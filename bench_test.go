@@ -1,0 +1,142 @@
+package diggsim
+
+// bench_test.go holds one benchmark per paper artifact (every table and
+// figure, the in-text boundary check, the §6 extensions and the design
+// ablations). Each benchmark regenerates its experiment end to end
+// against a shared small corpus, so `go test -bench=.` doubles as a
+// full reproduction smoke run and reports the cost of each analysis.
+
+import (
+	"sync"
+	"testing"
+
+	"diggsim/internal/dataset"
+	"diggsim/internal/experiments"
+)
+
+var (
+	benchOnce   sync.Once
+	benchRunner *experiments.Runner
+	benchErr    error
+)
+
+func runner(b *testing.B) *experiments.Runner {
+	b.Helper()
+	benchOnce.Do(func() {
+		var ds *dataset.Dataset
+		ds, benchErr = dataset.Generate(dataset.SmallConfig())
+		if benchErr == nil {
+			benchRunner = &experiments.Runner{DS: ds, Seed: 99}
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchRunner
+}
+
+func benchExperiment(b *testing.B, id string) {
+	r := runner(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Text == "" {
+			b.Fatalf("%s produced empty report", id)
+		}
+	}
+}
+
+// BenchmarkCorpusGeneration measures the full synthetic-corpus pipeline
+// (graph generation + simulating every story's lifetime), the substrate
+// behind every other benchmark.
+func BenchmarkCorpusGeneration(b *testing.B) {
+	cfg := dataset.SmallConfig()
+	cfg.Submissions = 100
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1VoteTimeSeries regenerates Fig. 1 (vote time series of
+// front-page stories: slow queue accumulation, post-promotion burst,
+// saturation).
+func BenchmarkFig1VoteTimeSeries(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig2aFinalVotesHistogram regenerates Fig. 2(a) (final vote
+// histogram; ~20% under 500 votes, ~20% over 1500).
+func BenchmarkFig2aFinalVotesHistogram(b *testing.B) { benchExperiment(b, "fig2a") }
+
+// BenchmarkFig2bUserActivity regenerates Fig. 2(b) (log-log user
+// submission and vote activity distributions).
+func BenchmarkFig2bUserActivity(b *testing.B) { benchExperiment(b, "fig2b") }
+
+// BenchmarkFig3aInfluence regenerates Fig. 3(a) (story influence at
+// submission / after 10 / after 20 votes).
+func BenchmarkFig3aInfluence(b *testing.B) { benchExperiment(b, "fig3a") }
+
+// BenchmarkFig3bCascades regenerates Fig. 3(b) (in-network vote counts
+// after 10/20/30 votes).
+func BenchmarkFig3bCascades(b *testing.B) { benchExperiment(b, "fig3b") }
+
+// BenchmarkFig4Interestingness regenerates Fig. 4 (inverse relation
+// between early in-network votes and final votes, at 6/10/20 votes).
+func BenchmarkFig4Interestingness(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5DecisionTree regenerates Fig. 5 (C4.5 tree on v10+fans1
+// with 10-fold cross-validation).
+func BenchmarkFig5DecisionTree(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkTab1HoldoutPrediction regenerates the §5.2 holdout table
+// (top-user upcoming stories; predictor precision vs Digg's promotion).
+func BenchmarkTab1HoldoutPrediction(b *testing.B) { benchExperiment(b, "tab1") }
+
+// BenchmarkFig6FriendsFans regenerates the final unnumbered figure
+// (fans+1 vs friends+1 log-log scatter, all vs top users).
+func BenchmarkFig6FriendsFans(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkText1PromotionBoundary regenerates the in-text 43/42-vote
+// promotion boundary check.
+func BenchmarkText1PromotionBoundary(b *testing.B) { benchExperiment(b, "text1") }
+
+// BenchmarkExt1EpidemicThreshold regenerates the §6 extension: SIS
+// threshold sweep on scale-free vs Erdős–Rényi graphs.
+func BenchmarkExt1EpidemicThreshold(b *testing.B) { benchExperiment(b, "ext1") }
+
+// BenchmarkExt2ModularCascades regenerates the §6 extension:
+// independent cascades on modular vs homogeneous graphs.
+func BenchmarkExt2ModularCascades(b *testing.B) { benchExperiment(b, "ext2") }
+
+// BenchmarkAblPromotionPolicy regenerates the promotion-policy ablation
+// (classic vs diversity-weighted).
+func BenchmarkAblPromotionPolicy(b *testing.B) { benchExperiment(b, "abl-policy") }
+
+// BenchmarkAblFeatureSets regenerates the classifier feature-set
+// ablation (v6/v10/v20/fans1 combinations).
+func BenchmarkAblFeatureSets(b *testing.B) { benchExperiment(b, "abl-features") }
+
+// BenchmarkAblSpreadMechanisms regenerates the spread-mechanism
+// ablation (network-only vs interest-only corpora).
+func BenchmarkAblSpreadMechanisms(b *testing.B) { benchExperiment(b, "abl-mechanism") }
+
+// BenchmarkExt3CascadeDepth regenerates the cascade-depth study
+// (recommendation chains stay shallow).
+func BenchmarkExt3CascadeDepth(b *testing.B) { benchExperiment(b, "ext3") }
+
+// BenchmarkAblGraphSubstrate regenerates the fan-graph substrate
+// ablation (preferential attachment vs ER vs flat configuration model).
+func BenchmarkAblGraphSubstrate(b *testing.B) { benchExperiment(b, "abl-graph") }
+
+// BenchmarkExt4NoveltyDecay regenerates the post-promotion half-life
+// recovery (Wu & Huberman's one-day decay).
+func BenchmarkExt4NoveltyDecay(b *testing.B) { benchExperiment(b, "ext4") }
+
+// BenchmarkAblThreshold regenerates the interestingness-threshold
+// robustness ablation (the paper's footnote 3).
+func BenchmarkAblThreshold(b *testing.B) { benchExperiment(b, "abl-threshold") }

@@ -1,0 +1,88 @@
+// Command diggd serves a simulated Digg platform over HTTP/JSON — the
+// scrape target for cmd/diggscrape, standing in for digg.com circa
+// June 2006.
+//
+// Usage:
+//
+//	diggd [-addr :8080] [-small] [-seed N]
+//
+// The server generates a corpus at startup and then serves it
+// read-mostly; live submissions and votes are also accepted (POST
+// /api/stories, POST /api/stories/{id}/digg).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"diggsim/internal/dataset"
+	"diggsim/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	small := flag.Bool("small", true, "use the reduced corpus (default on for quick startup)")
+	seed := flag.Uint64("seed", 20060630, "corpus seed")
+	rate := flag.Float64("rate", 0, "rate limit in requests/second (0 = unlimited)")
+	verbose := flag.Bool("v", false, "log every request")
+	flag.Parse()
+
+	cfg := dataset.DefaultConfig()
+	if *small {
+		cfg = dataset.SmallConfig()
+	}
+	cfg.Seed = *seed
+	fmt.Fprintf(os.Stderr, "diggd: generating corpus (%d users, %d submissions)...\n",
+		cfg.Users, cfg.Submissions)
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	srv := httpapi.NewServer(ds.Platform, cfg.SnapshotAt, ds.RankOf)
+	handler := http.Handler(srv.Handler())
+	if *verbose {
+		handler = httpapi.LoggingMiddleware(os.Stderr, handler)
+	}
+	if *rate > 0 {
+		limiter := httpapi.NewRateLimiter(*rate, int(*rate)+1)
+		handler = limiter.Middleware(handler)
+	}
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "diggd: serving %d stories on %s\n", len(ds.Stories), *addr)
+		errCh <- httpServer.ListenAndServe()
+	}()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "diggd: shut down cleanly")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diggd:", err)
+	os.Exit(1)
+}

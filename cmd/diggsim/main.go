@@ -1,0 +1,79 @@
+// Command diggsim generates a synthetic Digg corpus and writes it to a
+// dataset directory (CSV files: graph edges, stories, votes, top
+// users), printing summary statistics.
+//
+// Usage:
+//
+//	diggsim -out DIR [-small] [-seed N] [-submissions N] [-users N] [-diversity]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"diggsim/internal/core"
+	"diggsim/internal/dataset"
+	"diggsim/internal/digg"
+)
+
+func main() {
+	out := flag.String("out", "", "output directory (required)")
+	small := flag.Bool("small", false, "use the reduced corpus configuration")
+	seed := flag.Uint64("seed", 20060630, "corpus seed")
+	users := flag.Int("users", 0, "override user count")
+	submissions := flag.Int("submissions", 0, "override submission count")
+	diversity := flag.Bool("diversity", false, "use the post-2006 diversity promotion rule")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "diggsim: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := dataset.DefaultConfig()
+	if *small {
+		cfg = dataset.SmallConfig()
+	}
+	cfg.Seed = *seed
+	if *users > 0 {
+		cfg.Users = *users
+	}
+	if *submissions > 0 {
+		cfg.Submissions = *submissions
+	}
+	if *diversity {
+		cfg.Policy = digg.NewDiversityPromotion()
+	}
+
+	start := time.Now()
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := ds.Save(*out); err != nil {
+		fatal(err)
+	}
+
+	interesting := 0
+	for _, s := range ds.FrontPage {
+		if core.Interesting(s.VoteCount()) {
+			interesting++
+		}
+	}
+	fmt.Printf("corpus generated in %v and saved to %s\n",
+		time.Since(start).Round(time.Millisecond), *out)
+	fmt.Printf("  users:                 %d\n", ds.Graph.NumNodes())
+	fmt.Printf("  fan links:             %d\n", ds.Graph.NumEdges())
+	fmt.Printf("  submissions:           %d\n", len(ds.Stories))
+	fmt.Printf("  promoted:              %d\n", ds.Platform.PromotedCount())
+	fmt.Printf("  front-page sample:     %d (%d interesting)\n", len(ds.FrontPage), interesting)
+	fmt.Printf("  upcoming at snapshot:  %d\n", len(ds.UpcomingAtSnapshot))
+	fmt.Printf("  top-user list:         %d\n", len(ds.TopUsers))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diggsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,118 @@
+// Command diggstats analyzes a saved dataset directory (written by
+// cmd/diggsim or cmd/diggscrape): corpus summary, cascade statistics,
+// the trained classifier and its cross-validation — the offline half of
+// the paper's workflow, runnable on any scrape.
+//
+// Usage:
+//
+//	diggstats -data DIR [-tree] [-cv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diggsim/internal/cascade"
+	"diggsim/internal/core"
+	"diggsim/internal/dataset"
+	"diggsim/internal/mltree"
+	"diggsim/internal/rng"
+	"diggsim/internal/stats"
+	"diggsim/internal/timeseries"
+)
+
+func main() {
+	data := flag.String("data", "", "dataset directory (required)")
+	showTree := flag.Bool("tree", true, "print the learned decision tree")
+	runCV := flag.Bool("cv", true, "run 10-fold cross-validation")
+	seed := flag.Uint64("seed", 99, "cross-validation shuffle seed")
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "diggstats: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ds, err := dataset.Load(*data)
+	if err != nil {
+		fatal(err)
+	}
+	promoted := 0
+	var finals []float64
+	for _, s := range ds.Stories {
+		if s.Promoted {
+			promoted++
+		}
+		finals = append(finals, float64(s.VoteCount()))
+	}
+	fmt.Printf("corpus: %d stories (%d promoted), %d users, %d fan links\n",
+		len(ds.Stories), promoted, ds.Graph.NumNodes(), ds.Graph.NumEdges())
+	sum := stats.Summarize(finals)
+	fmt.Printf("votes per story: median=%.0f mean=%.0f max=%.0f\n",
+		sum.Median, sum.Mean, sum.Max)
+
+	if len(ds.FrontPage) == 0 {
+		fmt.Println("no front-page sample in this dataset; nothing to train on")
+		return
+	}
+	fmt.Printf("\nfront-page sample: %d stories\n", len(ds.FrontPage))
+
+	// Cascade statistics (Fig. 3/4 ingredients).
+	all := cascade.AnalyzeAll(ds.Graph, ds.FrontPage)
+	var in10 []float64
+	interesting := 0
+	for _, st := range all {
+		in10 = append(in10, float64(st.InNet10))
+		if core.Interesting(st.FinalVotes) {
+			interesting++
+		}
+	}
+	fmt.Printf("interesting (>520 votes): %d/%d\n", interesting, len(all))
+	fmt.Printf("in-network votes within first 10: median=%.0f, >=5 for %.0f%% of stories\n",
+		stats.Median(in10), 100*frac(in10, 5))
+
+	// Novelty decay.
+	if med, n := timeseries.MedianHalfLife(ds.FrontPage, 4*60, 5*24*60); n > 0 {
+		fmt.Printf("post-promotion half-life: median %.1f h over %d fitted stories\n", med/60, n)
+	}
+
+	// Classifier.
+	examples := core.ExtractAll(ds.Graph, ds.FrontPage)
+	p, err := core.Train(examples, nil, mltree.DefaultConfig())
+	if err != nil {
+		fatal(err)
+	}
+	if *showTree {
+		fmt.Printf("\nlearned decision tree (v10, fans1):\n%s\n", p.Tree.String())
+	}
+	if *runCV {
+		cv, err := core.CrossValidate(examples, nil, mltree.DefaultConfig(), 10, rng.New(*seed))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n10-fold CV: %d/%d correct (%.1f%%)  [%s]\n",
+			cv.Correct(), cv.Total(), 100*cv.Accuracy(), cv)
+	}
+	if auc, err := p.AUC(examples); err == nil {
+		fmt.Printf("training AUC: %.3f\n", auc)
+	}
+}
+
+func frac(xs []float64, threshold float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= threshold {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diggstats:", err)
+	os.Exit(1)
+}

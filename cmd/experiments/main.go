@@ -1,0 +1,73 @@
+// Command experiments regenerates the paper's tables and figures from a
+// synthetic corpus and prints each report to stdout.
+//
+// Usage:
+//
+//	experiments [-run id[,id...]] [-small] [-seed N] [-list]
+//
+// With no -run flag every registered experiment runs. -small switches
+// to the reduced corpus (fast; use for smoke tests), -list prints the
+// experiment index and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"diggsim/internal/dataset"
+	"diggsim/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	small := flag.Bool("small", false, "use the reduced corpus for a fast run")
+	seed := flag.Uint64("seed", 20060630, "corpus seed")
+	expSeed := flag.Uint64("expseed", 99, "experiment-local seed (CV shuffles, extensions)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-14s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	cfg := dataset.DefaultConfig()
+	if *small {
+		cfg = dataset.SmallConfig()
+	}
+	cfg.Seed = *seed
+	fmt.Fprintf(os.Stderr, "generating corpus (%d users, %d submissions)...\n",
+		cfg.Users, cfg.Submissions)
+	start := time.Now()
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "corpus ready in %v: %d stories, %d promoted, %d upcoming at snapshot\n",
+		time.Since(start).Round(time.Millisecond), len(ds.Stories),
+		ds.Platform.PromotedCount(), len(ds.UpcomingAtSnapshot))
+
+	runner := &experiments.Runner{DS: ds, Seed: *expSeed}
+	ids := experiments.IDs()
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		res, err := runner.Run(id)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("==== %s: %s ====\n%s\n", res.ID, res.Title, res.Text)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

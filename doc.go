@@ -1,0 +1,13 @@
+// Package diggsim is a full reproduction of Lerman & Galstyan, "Analysis
+// of Social Voting Patterns on Digg" (WOSN/SIGCOMM 2008): a simulated
+// Digg platform, a two-mechanism interest-spread model, cascade
+// analysis, a C4.5 interestingness predictor, an HTTP scrape pipeline,
+// and a harness regenerating every table and figure of the paper.
+//
+// See README.md for the package map, DESIGN.md for the system inventory
+// and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate one experiment
+// per paper artifact; run them with:
+//
+//	go test -bench=. -benchmem
+package diggsim

@@ -1,0 +1,60 @@
+// Promotion-tuning: compare Digg's classic 43-vote promotion rule with
+// the post-September-2006 "digging diversity" rule on the same
+// simulated workload — the policy change the paper argues is a blunt
+// instrument compared with predicting interestingness directly.
+//
+// Run with:
+//
+//	go run ./examples/promotion-tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diggsim/internal/core"
+	"diggsim/internal/dataset"
+	"diggsim/internal/digg"
+	"diggsim/internal/stats"
+)
+
+func main() {
+	base := dataset.SmallConfig()
+	base.Submissions = 300
+
+	fmt.Println("policy             promoted  dull-on-frontpage  mean-final-votes")
+	for _, pol := range []struct {
+		name   string
+		policy digg.PromotionPolicy
+	}{
+		{"classic (43 votes)", digg.NewClassicPromotion()},
+		{"diversity-weighted", digg.NewDiversityPromotion()},
+		{"strict diversity", &digg.DiversityPromotion{
+			EffectiveThreshold: 43, InNetworkWeight: 0.25, Window: digg.Day}},
+	} {
+		cfg := base
+		cfg.Policy = pol.policy
+		ds, err := dataset.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var finals []float64
+		dull := 0
+		for _, s := range ds.FrontPage {
+			finals = append(finals, float64(s.VoteCount()))
+			if !core.Interesting(s.VoteCount()) {
+				dull++
+			}
+		}
+		dullFrac := 0.0
+		if len(finals) > 0 {
+			dullFrac = float64(dull) / float64(len(finals))
+		}
+		fmt.Printf("%-18s %8d  %16.0f%%  %16.0f\n",
+			pol.name, ds.Platform.PromotedCount(), 100*dullFrac, stats.Mean(finals))
+	}
+	fmt.Println("\nDiscounting in-network votes keeps network-carried (dull) stories")
+	fmt.Println("off the front page, at the cost of promoting fewer stories overall —")
+	fmt.Println("the trade-off Digg made in September 2006. The paper's alternative:")
+	fmt.Println("predict interestingness from the early vote pattern instead.")
+}

@@ -1,0 +1,89 @@
+// Scrape-pipeline: the paper's data-collection workflow end to end,
+// entirely in-process but over a real TCP connection — serve a
+// simulated Digg over HTTP, crawl it with the concurrent scraper, save
+// the dataset to disk, reload it, and run the cascade analysis on the
+// reconstruction.
+//
+// Run with:
+//
+//	go run ./examples/scrape-pipeline
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"diggsim/internal/cascade"
+	"diggsim/internal/dataset"
+	"diggsim/internal/httpapi"
+)
+
+func main() {
+	// 1. Generate the "site" and serve it on a loopback listener.
+	cfg := dataset.SmallConfig()
+	cfg.Submissions = 200
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httpapi.NewServer(ds.Platform, cfg.SnapshotAt, ds.RankOf)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpServer := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := httpServer.Serve(ln); err != http.ErrServerClosed {
+			log.Print(err)
+		}
+	}()
+	defer httpServer.Close()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("serving simulated Digg at %s\n", baseURL)
+
+	// 2. Crawl it the way the paper crawled digg.com.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	client := httpapi.NewClient(baseURL)
+	start := time.Now()
+	scraped, err := httpapi.Scrape(ctx, client, httpapi.ScrapeConfig{
+		FrontPageLimit: 100, UpcomingLimit: 300, Workers: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scraped %d stories and %d fan links in %v\n",
+		len(scraped.Stories), scraped.Graph.NumEdges(), time.Since(start).Round(time.Millisecond))
+
+	// 3. Persist and reload — the offline analysis works from files.
+	dir := filepath.Join(os.TempDir(), "digg-scrape-demo")
+	if err := scraped.Save(dir); err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := dataset.Load(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset saved to %s and reloaded (%d stories)\n", dir, len(reloaded.Stories))
+
+	// 4. Run the paper's cascade analysis on the reconstruction.
+	fmt.Println("\nstory  submitterFans  influence@10votes  inNet10  final")
+	shown := 0
+	for _, s := range reloaded.FrontPage {
+		st := cascade.Analyze(reloaded.Graph, s)
+		fmt.Printf("%-5d  %-13d  %-17d  %-7d  %d\n",
+			st.StoryID, st.SubmitterFans, st.InfluenceAfter10, st.InNet10, st.FinalVotes)
+		if shown++; shown >= 8 {
+			break
+		}
+	}
+	fmt.Println("\nThe scraper reconstructs exactly what the paper's crawler saw:")
+	fmt.Println("chronological voter lists plus fan links, from which influence and")
+	fmt.Println("in-network votes are recomputed offline.")
+}

@@ -1,0 +1,79 @@
+// Viral-seeding: who should submit your story? This example plays the
+// content-producer role from the paper's introduction ("interest in
+// using social networks to promote content... viral marketing") and
+// measures how submitter connectivity and story quality interact.
+//
+// It submits the same story from submitters with very different fan
+// counts and reports promotion outcome, audience reach and final votes
+// — reproducing the paper's finding that well-connected submitters can
+// push mediocre stories to the front page, but only genuinely
+// interesting stories go on to large vote totals.
+//
+// Run with:
+//
+//	go run ./examples/viral-seeding
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diggsim/internal/agent"
+	"diggsim/internal/cascade"
+	"diggsim/internal/digg"
+	"diggsim/internal/graph"
+	"diggsim/internal/rng"
+)
+
+func main() {
+	r := rng.New(42)
+	g, err := graph.PreferentialAttachment(r, 20000, 4, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Pick three submitters across the connectivity spectrum.
+	ranked := graph.TopByInDegree(g, g.NumNodes())
+	submitters := []struct {
+		label string
+		id    digg.UserID
+	}{
+		{"top user", ranked[0]},
+		{"mid user", ranked[len(ranked)/10]},
+		{"newcomer", ranked[len(ranked)-1]},
+	}
+
+	cfg := agent.NewConfig()
+	fmt.Println("submitter  fans   interest  promoted@   final  inNet10  maxCascadeDepth")
+	for _, interest := range []float64{0.1, 0.6} {
+		for _, sub := range submitters {
+			// Fresh platform per run so stories do not interact.
+			p := digg.NewPlatform(g, nil)
+			sim, err := agent.NewSimulator(p, cfg, r.Split())
+			if err != nil {
+				log.Fatal(err)
+			}
+			st, _, err := sim.RunStory(sub.id, "launch", interest, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			promo := "never"
+			if st.Promoted {
+				promo = fmt.Sprintf("%d min", st.PromotedAt)
+			}
+			voters := cascade.Voters(st)
+			inNet10 := cascade.InNetworkCount(g, voters, 10)
+			depth := cascade.MaxDepth(cascade.Tree(g, voters))
+			fmt.Printf("%-9s  %-5d  %-8.1f  %-9s  %-6d  %-7d  %d\n",
+				sub.label, g.InDegree(sub.id), interest, promo,
+				st.VoteCount(), inNet10, depth)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Takeaways (matching the paper):")
+	fmt.Println(" - a top user's fan base promotes even a dull story, but it stalls")
+	fmt.Println("   under ~500 votes: the network effect buys reach, not interest;")
+	fmt.Println(" - a newcomer's story only survives if it is genuinely interesting,")
+	fmt.Println("   spreading through independent discovery (low inNet10);")
+	fmt.Println(" - cascade chains stay shallow, echoing the viral-marketing studies")
+	fmt.Println("   the paper cites (recommendation chains die after a few steps).")
+}

@@ -1,0 +1,189 @@
+package diggsim
+
+// integration_test.go exercises the full reproduction pipeline across
+// module boundaries: generate -> serve over HTTP -> scrape -> persist ->
+// reload -> analyze -> train -> predict. Unit tests live next to each
+// package; these tests assert the pieces compose.
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"diggsim/internal/cascade"
+	"diggsim/internal/core"
+	"diggsim/internal/dataset"
+	"diggsim/internal/httpapi"
+	"diggsim/internal/mltree"
+	"diggsim/internal/rng"
+)
+
+func generateSmall(t *testing.T, submissions int) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.SmallConfig()
+	cfg.Submissions = submissions
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestPipelineGenerateTrainPredict is the in-process path: corpus ->
+// features -> classifier -> holdout, the paper's §5 workflow.
+func TestPipelineGenerateTrainPredict(t *testing.T) {
+	ds := generateSmall(t, 400)
+	examples := core.ExtractAll(ds.Graph, ds.FrontPage)
+	if len(examples) < 20 {
+		t.Fatalf("front-page sample too small: %d", len(examples))
+	}
+	p, err := core.Train(examples, nil, mltree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := core.CrossValidate(examples, nil, mltree.DefaultConfig(), 10, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.Accuracy() < 0.6 {
+		t.Errorf("cross-validated accuracy = %.3f (paper: 0.84)", cv.Accuracy())
+	}
+	h := core.EvaluateHoldout(ds.Graph, ds.UpcomingAtSnapshot, ds.RankOf, p,
+		core.DefaultHoldoutConfig(ds.Config.SnapshotAt))
+	if h.Kept > 0 && h.Confusion.Total() != h.Kept {
+		t.Errorf("holdout bookkeeping: kept=%d confusion=%d", h.Kept, h.Confusion.Total())
+	}
+}
+
+// TestPipelineScrapeRoundTrip is the over-the-wire path: the scraped
+// and reloaded dataset must support the same analysis as the original,
+// with identical in-network structure for the sampled stories.
+func TestPipelineScrapeRoundTrip(t *testing.T) {
+	ds := generateSmall(t, 200)
+	srv := httpapi.NewServer(ds.Platform, ds.Config.SnapshotAt, ds.RankOf)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	client := httpapi.NewClient(ts.URL)
+	scraped, err := httpapi.Scrape(ctx, client, httpapi.ScrapeConfig{
+		FrontPageLimit: 50, UpcomingLimit: 200, Workers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scraped.Stories) == 0 {
+		t.Fatal("scrape returned no stories")
+	}
+
+	// Persist + reload.
+	dir := filepath.Join(t.TempDir(), "scrape")
+	if err := scraped.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := dataset.Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reloaded.Stories) != len(scraped.Stories) {
+		t.Fatalf("reload lost stories: %d vs %d", len(reloaded.Stories), len(scraped.Stories))
+	}
+
+	// The offline in-network analysis over the scraped graph must match
+	// the original platform's stored flags for every scraped story.
+	origByID := map[int]*struct{ flags []bool }{}
+	for _, s := range ds.Stories {
+		flags := make([]bool, 0, len(s.Votes))
+		for _, v := range s.Votes[1:] {
+			flags = append(flags, v.InNetwork)
+		}
+		origByID[int(s.ID)] = &struct{ flags []bool }{flags}
+	}
+	checked := 0
+	for _, s := range reloaded.Stories {
+		orig, ok := origByID[int(s.ID)]
+		if !ok {
+			t.Fatalf("scraped story %d not in original corpus", s.ID)
+		}
+		flags := cascade.InNetworkFlags(reloaded.Graph, cascade.Voters(s))
+		if len(flags) != len(orig.flags) {
+			t.Fatalf("story %d: %d flags vs %d votes", s.ID, len(flags), len(orig.flags))
+		}
+		for i := range flags {
+			if flags[i] != orig.flags[i] {
+				t.Fatalf("story %d vote %d: scraped-graph analysis %v != platform %v",
+					s.ID, i+1, flags[i], orig.flags[i])
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("nothing verified")
+	}
+
+	// And the classifier trained on the scraped data still works.
+	examples := core.ExtractAll(reloaded.Graph, reloaded.FrontPage)
+	if len(examples) < 10 {
+		t.Skipf("scraped front-page sample too small: %d", len(examples))
+	}
+	if _, err := core.Train(examples, nil, mltree.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDatasetStatisticalShape asserts the corpus-level calibration
+// invariants every experiment depends on, on a fresh corpus (separate
+// seed from the shared test corpora).
+func TestDatasetStatisticalShape(t *testing.T) {
+	cfg := dataset.SmallConfig()
+	cfg.Seed = 7777
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promoted, upcoming := 0, 0
+	for _, s := range ds.Stories {
+		if s.Promoted {
+			promoted++
+			if s.VoteCount() < 43 {
+				t.Errorf("promoted story %d below 43 votes", s.ID)
+			}
+		} else {
+			upcoming++
+			if s.VoteCount() > 42 {
+				t.Errorf("upcoming story %d above 42 votes", s.ID)
+			}
+		}
+	}
+	if promoted == 0 || upcoming == 0 {
+		t.Fatalf("degenerate corpus: %d promoted, %d upcoming", promoted, upcoming)
+	}
+	// The inverse early-vote signal must hold on a fresh seed too.
+	var lowBand, highBand []float64
+	for _, s := range ds.FrontPage {
+		st := cascade.Analyze(ds.Graph, s)
+		switch {
+		case st.InNet10 <= 2:
+			lowBand = append(lowBand, float64(st.FinalVotes))
+		case st.InNet10 >= 8:
+			highBand = append(highBand, float64(st.FinalVotes))
+		}
+	}
+	if len(lowBand) >= 3 && len(highBand) >= 3 {
+		if mean(lowBand) <= mean(highBand) {
+			t.Errorf("inverse relation failed on fresh seed: low=%.0f high=%.0f",
+				mean(lowBand), mean(highBand))
+		}
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

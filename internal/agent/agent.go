@@ -1,0 +1,359 @@
+// Package agent implements the stochastic user-behaviour model that
+// drives the simulated Digg platform.
+//
+// Section 5.1 of the paper proposes two mechanisms for the spread of
+// interest in a story:
+//
+//   - network-based: fans of the submitter and of prior voters see the
+//     story through the Friends interface and vote on it;
+//   - interest-based: users unconnected to prior voters independently
+//     discover the story (upcoming queue, front page, external links)
+//     with a probability that grows with how interesting the story is.
+//
+// The network channel is modeled as a one-shot exposure: when a user
+// enters a story's Friends-interface audience they browse the interface
+// once after a random delay and either vote or move on. This keeps the
+// social cascade a (sub)critical branching process, matching the small
+// cascade sizes of Fig. 3(b), instead of letting every fan vote with
+// probability one given enough time.
+//
+// The simulator advances stories minute by minute. While a story sits
+// in the upcoming queue it gathers votes slowly; once promoted to the
+// front page it is exposed to the whole audience and gathers votes
+// quickly, with the rate decaying with a half-life of about a day
+// following Wu & Huberman's novelty decay — reproducing the vote time
+// series of Fig. 1.
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"diggsim/internal/digg"
+	"diggsim/internal/rng"
+)
+
+// Mechanism tags which behavioural channel produced a vote. Analysis
+// code must not use it (the paper infers spread from the graph alone);
+// it exists for tests and ablations.
+type Mechanism uint8
+
+const (
+	// MechanismSubmit marks the submitter's implicit vote.
+	MechanismSubmit Mechanism = iota
+	// MechanismNetwork marks votes by Friends-interface audience members.
+	MechanismNetwork
+	// MechanismQueue marks independent discoveries in the upcoming queue.
+	MechanismQueue
+	// MechanismFrontPage marks votes from front-page browsing.
+	MechanismFrontPage
+)
+
+// String returns the mechanism name.
+func (m Mechanism) String() string {
+	switch m {
+	case MechanismSubmit:
+		return "submit"
+	case MechanismNetwork:
+		return "network"
+	case MechanismQueue:
+		return "queue"
+	case MechanismFrontPage:
+		return "frontpage"
+	default:
+		return fmt.Sprintf("mechanism(%d)", uint8(m))
+	}
+}
+
+// VoteEvent is one simulated vote with its generating mechanism.
+type VoteEvent struct {
+	Story     digg.StoryID
+	Voter     digg.UserID
+	At        digg.Minutes
+	Mechanism Mechanism
+	InNetwork bool
+}
+
+// Config holds the behaviour-model parameters. All rates are per
+// minute. NewConfig returns the calibrated defaults used throughout the
+// reproduction.
+type Config struct {
+	// ExposureDelayMean is the mean delay (minutes) between a user
+	// entering a story's Friends-interface audience and browsing the
+	// interface. Delays are exponential; exposures that would land
+	// beyond the horizon never happen (users stop seeing old activity
+	// after Digg's 48-hour window anyway).
+	ExposureDelayMean float64
+	// FanVoteScale is the overall probability scale of a fan voting
+	// when they see a friend's story. Together with the mean fan count
+	// it sets the branching factor of the social cascade and must keep
+	// it subcritical.
+	FanVoteScale float64
+	// FanInterestFloor is the interest-independent component of a fan's
+	// vote decision: an exposed fan votes with probability
+	// FanVoteScale * (FanInterestFloor + (1-FanInterestFloor)*interest).
+	// A high floor encodes the paper's observation that fans vote on
+	// friends' stories largely out of social courtesy — which is
+	// exactly what makes in-network votes a weak quality signal.
+	FanInterestFloor float64
+	// QueueDiscoveryRate scales independent discovery while the story
+	// is in the upcoming queue: votes/minute = QueueDiscoveryRate *
+	// interest^2. The quadratic makes independent early votes a strong
+	// quality signal, per §5.1.
+	QueueDiscoveryRate float64
+	// FrontPageRate scales front-page voting immediately after
+	// promotion: votes/minute = FrontPageRate * interest at the moment
+	// of promotion.
+	FrontPageRate float64
+	// QueueLifetime is how long a story stays discoverable in the
+	// upcoming queue. Digg's promotion algorithm examines the first 24
+	// hours; stories not promoted by then scroll out of the queue and
+	// stop gathering votes, which is why the paper saw no upcoming
+	// story with more than 42 votes.
+	QueueLifetime digg.Minutes
+	// NoveltyHalfLife is the decay half-life of the front-page rate
+	// (Wu & Huberman measured about a day).
+	NoveltyHalfLife digg.Minutes
+	// Horizon is how long each story is simulated after submission.
+	Horizon digg.Minutes
+	// MaxVotes stops a story early once it has this many votes
+	// (0 = unlimited); a safety valve for extreme parameter choices.
+	MaxVotes int
+}
+
+// NewConfig returns parameters calibrated so that the synthetic corpus
+// matches the marginals reported in the paper (see internal/dataset).
+func NewConfig() Config {
+	// With a mean fan count around 5 (the generated 20k-user graph),
+	// FanVoteScale 0.1 keeps the social cascade's branching factor in
+	// the subcritical 0.25-0.5 range, matching the small cascades of
+	// Fig. 3(b) while still letting a vote by a heavily fanned user
+	// trigger a visible in-network burst (the paper's kevinrose
+	// anecdote).
+	return Config{
+		ExposureDelayMean:  240,
+		FanVoteScale:       0.1,
+		FanInterestFloor:   0.5,
+		QueueDiscoveryRate: 0.08,
+		FrontPageRate:      0.8,
+		QueueLifetime:      digg.Day,
+		NoveltyHalfLife:    digg.Day,
+		Horizon:            5 * digg.Day,
+		MaxVotes:           6000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.ExposureDelayMean <= 0:
+		return errors.New("agent: ExposureDelayMean must be > 0")
+	case c.FanVoteScale < 0 || c.FanVoteScale > 1:
+		return errors.New("agent: FanVoteScale must be in [0, 1]")
+	case c.FanInterestFloor < 0 || c.FanInterestFloor > 1:
+		return errors.New("agent: FanInterestFloor must be in [0, 1]")
+	case c.QueueDiscoveryRate < 0:
+		return errors.New("agent: QueueDiscoveryRate must be >= 0")
+	case c.FrontPageRate < 0:
+		return errors.New("agent: FrontPageRate must be >= 0")
+	case c.QueueLifetime <= 0:
+		return errors.New("agent: QueueLifetime must be > 0")
+	case c.NoveltyHalfLife <= 0:
+		return errors.New("agent: NoveltyHalfLife must be > 0")
+	case c.Horizon <= 0:
+		return errors.New("agent: Horizon must be > 0")
+	case c.MaxVotes < 0:
+		return errors.New("agent: MaxVotes must be >= 0")
+	}
+	return nil
+}
+
+// FanVoteProb returns the probability that an exposed fan votes on a
+// story with the given intrinsic interest.
+func (c Config) FanVoteProb(interest float64) float64 {
+	return c.FanVoteScale * (c.FanInterestFloor + (1-c.FanInterestFloor)*interest)
+}
+
+// Simulator drives one Platform with the behaviour model.
+type Simulator struct {
+	cfg      Config
+	platform *digg.Platform
+	rng      *rng.RNG
+}
+
+// NewSimulator creates a simulator over the platform. It returns an
+// error if the configuration is invalid.
+func NewSimulator(p *digg.Platform, cfg Config, r *rng.RNG) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{cfg: cfg, platform: p, rng: r}, nil
+}
+
+// Platform returns the platform the simulator drives.
+func (s *Simulator) Platform() *digg.Platform { return s.platform }
+
+// Config returns the simulator's behaviour parameters.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// storyState tracks the per-story bookkeeping the behaviour model needs
+// beyond what the platform stores.
+type storyState struct {
+	id digg.StoryID
+	// pending maps a minute offset to audience members whose one-shot
+	// Friends-interface exposure fires at that minute.
+	pending map[digg.Minutes][]digg.UserID
+	inAud   map[digg.UserID]bool // ever added to the audience
+	voted   map[digg.UserID]bool
+	// queueDeadline bounds exposures while the story is unpromoted;
+	// horizonDeadline bounds them afterwards.
+	queueDeadline   digg.Minutes
+	horizonDeadline digg.Minutes
+}
+
+// exposureDeadline returns the latest time a newly scheduled exposure
+// may fire given the story's promotion state.
+func (ss *storyState) exposureDeadline(st *digg.Story) digg.Minutes {
+	if st.Promoted {
+		return ss.horizonDeadline
+	}
+	return ss.queueDeadline
+}
+
+// absorbFans schedules exposures for the fans of voter that have not
+// been in the audience before.
+func (s *Simulator) absorbFans(ss *storyState, voter digg.UserID, now, deadline digg.Minutes) {
+	for _, fan := range s.platform.Graph.Fans(voter) {
+		if ss.inAud[fan] {
+			continue
+		}
+		ss.inAud[fan] = true
+		if ss.voted[fan] {
+			continue
+		}
+		delay := digg.Minutes(s.rng.ExpFloat64()*s.cfg.ExposureDelayMean) + 1
+		at := now + delay
+		if at > deadline {
+			continue // never browses in time
+		}
+		ss.pending[at] = append(ss.pending[at], fan)
+	}
+}
+
+// RunStory submits one story by submitter at submitTime with the given
+// intrinsic interest and simulates its lifetime. It returns the story
+// and the full event log (the submitter's implicit vote is event 0).
+func (s *Simulator) RunStory(submitter digg.UserID, title string, interest float64, submitTime digg.Minutes) (*digg.Story, []VoteEvent, error) {
+	if interest < 0 || interest > 1 {
+		return nil, nil, errors.New("agent: interest must be in [0, 1]")
+	}
+	st, err := s.platform.Submit(submitter, title, interest, submitTime)
+	if err != nil {
+		return nil, nil, err
+	}
+	ss := &storyState{
+		id:      st.ID,
+		pending: make(map[digg.Minutes][]digg.UserID),
+		inAud:   make(map[digg.UserID]bool),
+		voted:   map[digg.UserID]bool{submitter: true},
+	}
+	deadline := submitTime + s.cfg.Horizon
+	queueDeadline := submitTime + s.cfg.QueueLifetime
+	if queueDeadline > deadline {
+		queueDeadline = deadline
+	}
+	// Until the story is promoted its audience can only act while the
+	// story is still in the queue; once it scrolls out, unpromoted
+	// stories are frozen (this is what bounds upcoming stories at 42
+	// votes in the paper's data).
+	ss.queueDeadline = queueDeadline
+	ss.horizonDeadline = deadline
+	s.absorbFans(ss, submitter, submitTime, ss.exposureDeadline(st))
+	events := []VoteEvent{{
+		Story: st.ID, Voter: submitter, At: submitTime,
+		Mechanism: MechanismSubmit, InNetwork: false,
+	}}
+
+	pVote := s.cfg.FanVoteProb(interest)
+	queueRate := s.cfg.QueueDiscoveryRate * interest * interest
+	n := s.platform.Graph.NumNodes()
+
+	for now := submitTime + 1; now <= deadline; now++ {
+		if s.cfg.MaxVotes > 0 && st.VoteCount() >= s.cfg.MaxVotes {
+			break
+		}
+		if !st.Promoted && now > queueDeadline {
+			break // scrolled out of the queue unpromoted: frozen
+		}
+		// Network-based spread: due one-shot exposures.
+		if due := ss.pending[now]; len(due) > 0 {
+			delete(ss.pending, now)
+			for _, u := range due {
+				if ss.voted[u] || !s.rng.Bool(pVote) {
+					continue
+				}
+				ev, err := s.vote(st, ss, u, now, MechanismNetwork)
+				if err != nil {
+					return nil, nil, err
+				}
+				events = append(events, ev)
+			}
+		}
+		// Interest-based spread.
+		var rate float64
+		var mech Mechanism
+		if st.Promoted {
+			age := float64(now - st.PromotedAt)
+			rate = s.cfg.FrontPageRate * interest * math.Exp2(-age/float64(s.cfg.NoveltyHalfLife))
+			mech = MechanismFrontPage
+		} else {
+			rate = queueRate
+			mech = MechanismQueue
+		}
+		for k := s.rng.Poisson(rate); k > 0; k-- {
+			u, ok := s.randomNonVoter(ss, n)
+			if !ok {
+				break
+			}
+			ev, err := s.vote(st, ss, u, now, mech)
+			if err != nil {
+				return nil, nil, err
+			}
+			events = append(events, ev)
+		}
+	}
+	return st, events, nil
+}
+
+// vote records a vote through the platform and updates local state. The
+// exposure deadline for the voter's fans is computed after the platform
+// call so that the vote that triggers promotion already exposes fans
+// under the longer post-promotion deadline.
+func (s *Simulator) vote(st *digg.Story, ss *storyState, u digg.UserID, now digg.Minutes, mech Mechanism) (VoteEvent, error) {
+	res, err := s.platform.Digg(st.ID, u, now)
+	if err != nil {
+		return VoteEvent{}, fmt.Errorf("agent: vote by %d on story %d: %w", u, st.ID, err)
+	}
+	ss.voted[u] = true
+	s.absorbFans(ss, u, now, ss.exposureDeadline(st))
+	return VoteEvent{
+		Story: st.ID, Voter: u, At: now, Mechanism: mech, InNetwork: res.InNetwork,
+	}, nil
+}
+
+// randomNonVoter picks a uniformly random user who has not voted on the
+// story, giving up after a bounded number of rejections (which only
+// happens when nearly everyone voted).
+func (s *Simulator) randomNonVoter(ss *storyState, n int) (digg.UserID, bool) {
+	if n <= 0 || len(ss.voted) >= n {
+		return 0, false
+	}
+	for tries := 0; tries < 64; tries++ {
+		u := digg.UserID(s.rng.Intn(n))
+		if !ss.voted[u] {
+			return u, true
+		}
+	}
+	return 0, false
+}

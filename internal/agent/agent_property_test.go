@@ -1,0 +1,114 @@
+package agent
+
+import (
+	"testing"
+	"testing/quick"
+
+	"diggsim/internal/digg"
+	"diggsim/internal/graph"
+	"diggsim/internal/rng"
+)
+
+// TestQuickStoryInvariants checks, across random seeds and parameters,
+// the structural invariants every simulated story must satisfy:
+// chronological votes, unique voters, submitter first, the platform's
+// in-network flags consistent with the event log, and unpromoted
+// stories frozen at the queue deadline.
+func TestQuickStoryInvariants(t *testing.T) {
+	f := func(seed uint64, interestRaw uint8, submitterRaw uint16) bool {
+		r := rng.New(seed)
+		g, err := graph.PreferentialAttachment(r, 3000, 4, 0.3)
+		if err != nil {
+			return false
+		}
+		cfg := NewConfig()
+		cfg.Horizon = 2 * digg.Day
+		sim, err := NewSimulator(digg.NewPlatform(g, nil), cfg, r.Split())
+		if err != nil {
+			return false
+		}
+		interest := float64(interestRaw) / 255
+		submitter := digg.UserID(int(submitterRaw) % 3000)
+		st, events, err := sim.RunStory(submitter, "prop", interest, 0)
+		if err != nil {
+			return false
+		}
+		if len(events) != st.VoteCount() {
+			return false
+		}
+		if events[0].Voter != submitter || events[0].Mechanism != MechanismSubmit {
+			return false
+		}
+		seen := map[digg.UserID]bool{}
+		for i, ev := range events {
+			if seen[ev.Voter] {
+				return false
+			}
+			seen[ev.Voter] = true
+			if i > 0 && ev.At < events[i-1].At {
+				return false
+			}
+			if ev.InNetwork != st.Votes[i].InNetwork {
+				return false
+			}
+		}
+		// Unpromoted stories must not receive votes after the queue
+		// lifetime (the 42-vote ceiling of text1 depends on this).
+		if !st.Promoted {
+			if st.VoteCount() > 42 {
+				return false
+			}
+			last := st.Votes[len(st.Votes)-1].At
+			if last > st.SubmittedAt+cfg.QueueLifetime {
+				return false
+			}
+		} else if st.VoteCount() < 43 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFanVoteProbBounds checks the fan-vote probability stays a
+// probability for every configuration and interest.
+func TestQuickFanVoteProbBounds(t *testing.T) {
+	f := func(scaleRaw, floorRaw, interestRaw uint8) bool {
+		cfg := NewConfig()
+		cfg.FanVoteScale = float64(scaleRaw) / 255
+		cfg.FanInterestFloor = float64(floorRaw) / 255
+		p := cfg.FanVoteProb(float64(interestRaw) / 255)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQueueLifetimeShorterThanHorizon confirms the freeze boundary
+// moves with the configuration, not a constant.
+func TestQueueLifetimeShorterThanHorizon(t *testing.T) {
+	r := rng.New(5)
+	g, err := graph.PreferentialAttachment(r, 5000, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := NewConfig()
+	cfg.QueueLifetime = 6 * 60 // six hours
+	cfg.Horizon = 2 * digg.Day
+	sim, err := NewSimulator(digg.NewPlatform(g, digg.NeverPromote{}), cfg, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := sim.RunStory(0, "short-queue", 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range st.Votes {
+		if v.At > st.SubmittedAt+cfg.QueueLifetime {
+			t.Fatalf("vote at %d beyond queue lifetime %d", v.At, cfg.QueueLifetime)
+		}
+	}
+}

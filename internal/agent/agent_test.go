@@ -1,0 +1,297 @@
+package agent
+
+import (
+	"testing"
+
+	"diggsim/internal/digg"
+	"diggsim/internal/graph"
+	"diggsim/internal/rng"
+)
+
+func newTestSim(t *testing.T, cfg Config, seed uint64, policy digg.PromotionPolicy) *Simulator {
+	t.Helper()
+	// The behaviour model's default rates are calibrated for a Digg-sized
+	// population (the paper saw 16.6k distinct voters); a small graph
+	// saturates and hides interest effects.
+	r := rng.New(seed)
+	g, err := graph.PreferentialAttachment(r, 20000, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulator(digg.NewPlatform(g, policy), cfg, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestConfigValidation(t *testing.T) {
+	base := NewConfig()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.ExposureDelayMean = 0 },
+		func(c *Config) { c.FanVoteScale = -1 },
+		func(c *Config) { c.FanVoteScale = 2 },
+		func(c *Config) { c.FanInterestFloor = 1.5 },
+		func(c *Config) { c.QueueDiscoveryRate = -0.1 },
+		func(c *Config) { c.FrontPageRate = -1 },
+		func(c *Config) { c.NoveltyHalfLife = 0 },
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.MaxVotes = -1 },
+	}
+	for i, mutate := range bad {
+		c := base
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestNewSimulatorRejectsBadConfig(t *testing.T) {
+	g, _ := graph.FromEdgeList(2, nil)
+	cfg := NewConfig()
+	cfg.Horizon = 0
+	if _, err := NewSimulator(digg.NewPlatform(g, nil), cfg, rng.New(1)); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestRunStoryBasics(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Horizon = 2 * digg.Day
+	sim := newTestSim(t, cfg, 1, nil)
+	st, events, err := sim.RunStory(0, "test", 0.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != st.VoteCount() {
+		t.Errorf("events %d != votes %d", len(events), st.VoteCount())
+	}
+	if events[0].Mechanism != MechanismSubmit || events[0].Voter != 0 {
+		t.Errorf("first event = %+v", events[0])
+	}
+	// Chronological order.
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("events out of order")
+		}
+	}
+	// No duplicate voters.
+	seen := map[digg.UserID]bool{}
+	for _, ev := range events {
+		if seen[ev.Voter] {
+			t.Fatalf("voter %d voted twice", ev.Voter)
+		}
+		seen[ev.Voter] = true
+	}
+}
+
+func TestInterestValidation(t *testing.T) {
+	sim := newTestSim(t, NewConfig(), 2, nil)
+	if _, _, err := sim.RunStory(0, "x", -0.1, 0); err == nil {
+		t.Error("negative interest accepted")
+	}
+	if _, _, err := sim.RunStory(0, "x", 1.1, 0); err == nil {
+		t.Error("interest > 1 accepted")
+	}
+}
+
+func TestInterestDrivesFinalVotes(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Horizon = 3 * digg.Day
+	const trials = 3
+	var lowSum, highSum int
+	for i := 0; i < trials; i++ {
+		// Submitter 0 is a well-connected seed node, so even the low-
+		// interest story reaches the front page through its fans — the
+		// paper's "top user" scenario. Final counts must still separate.
+		simLow := newTestSim(t, cfg, uint64(10+i), nil)
+		stLow, _, err := simLow.RunStory(0, "low", 0.1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lowSum += stLow.VoteCount()
+		simHigh := newTestSim(t, cfg, uint64(20+i), nil)
+		stHigh, _, err := simHigh.RunStory(0, "high", 0.9, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		highSum += stHigh.VoteCount()
+	}
+	if highSum <= 2*lowSum {
+		t.Errorf("interest effect too weak: high=%d low=%d", highSum, lowSum)
+	}
+}
+
+func TestPromotionAcceleratesVoting(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Horizon = 2 * digg.Day
+	sim := newTestSim(t, cfg, 3, nil)
+	// A poorly connected submitter (late preferential-attachment node):
+	// the queue phase is slow, so the front-page acceleration of Fig. 1
+	// is clearly visible.
+	st, _, err := sim.RunStory(19999, "hot", 0.9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Promoted {
+		t.Skip("story did not promote under this seed; covered by dataset tests")
+	}
+	// Votes per minute before promotion vs. the day right after.
+	window := st.PromotedAt - st.SubmittedAt
+	if window == 0 {
+		t.Skip("instant promotion; rate comparison meaningless")
+	}
+	pre := st.VotedAtOrBefore(st.PromotedAt)
+	preRate := float64(pre) / float64(window)
+	post := st.VotedAtOrBefore(st.PromotedAt+digg.Day) - pre
+	postRate := float64(post) / float64(digg.Day)
+	if postRate < 2*preRate {
+		t.Errorf("promotion did not accelerate: %.3f votes/min in queue, %.3f after", preRate, postRate)
+	}
+}
+
+func TestNoveltyDecaySaturates(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Horizon = 5 * digg.Day
+	sim := newTestSim(t, cfg, 4, nil)
+	st, _, err := sim.RunStory(0, "sat", 0.8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Promoted {
+		t.Skip("story did not promote under this seed")
+	}
+	// Votes in day 1 after promotion should exceed votes in day 4.
+	day1 := st.VotedAtOrBefore(st.PromotedAt+digg.Day) - st.VotedAtOrBefore(st.PromotedAt)
+	day4 := st.VotedAtOrBefore(st.PromotedAt+4*digg.Day) - st.VotedAtOrBefore(st.PromotedAt+3*digg.Day)
+	if day1 <= 2*day4 {
+		t.Errorf("no saturation: day1=%d day4=%d", day1, day4)
+	}
+}
+
+func TestNetworkMechanismProducesInNetworkVotes(t *testing.T) {
+	// A star submitter with many fans and moderate interest: most early
+	// votes should be network votes.
+	r := rng.New(5)
+	b := graph.NewBuilder(500)
+	for i := 1; i < 400; i++ {
+		b.AddEdge(graph.NodeID(i), 0) // everyone watches user 0
+	}
+	g := b.Build()
+	cfg := NewConfig()
+	cfg.Horizon = digg.Day
+	cfg.QueueDiscoveryRate = 0 // isolate the network channel
+	sim, err := NewSimulator(digg.NewPlatform(g, digg.NeverPromote{}), cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, events, err := sim.RunStory(0, "star", 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VoteCount() < 10 {
+		t.Fatalf("expected many fan votes, got %d", st.VoteCount())
+	}
+	for _, ev := range events[1:] {
+		if ev.Mechanism != MechanismNetwork {
+			t.Fatalf("unexpected mechanism %v with discovery disabled", ev.Mechanism)
+		}
+		if !ev.InNetwork {
+			t.Errorf("network-mechanism vote by %d not flagged in-network", ev.Voter)
+		}
+	}
+}
+
+func TestZeroRatesProduceNoVotes(t *testing.T) {
+	cfg := NewConfig()
+	cfg.FanVoteScale = 0
+	cfg.QueueDiscoveryRate = 0
+	cfg.FrontPageRate = 0
+	cfg.Horizon = digg.Day
+	sim := newTestSim(t, cfg, 6, digg.NeverPromote{})
+	st, events, err := sim.RunStory(0, "dead", 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VoteCount() != 1 || len(events) != 1 {
+		t.Errorf("votes = %d events = %d; want only the submitter", st.VoteCount(), len(events))
+	}
+}
+
+func TestMaxVotesCap(t *testing.T) {
+	cfg := NewConfig()
+	cfg.MaxVotes = 25
+	cfg.Horizon = 5 * digg.Day
+	sim := newTestSim(t, cfg, 7, nil)
+	st, _, err := sim.RunStory(0, "capped", 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cap is checked per minute, so a small overshoot within one
+	// minute is possible; it must stay bounded.
+	if st.VoteCount() > 25+50 {
+		t.Errorf("cap ignored: %d votes", st.VoteCount())
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	run := func() int {
+		cfg := NewConfig()
+		cfg.Horizon = digg.Day
+		r := rng.New(99)
+		g, err := graph.PreferentialAttachment(r, 1000, 4, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewSimulator(digg.NewPlatform(g, nil), cfg, r.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, _, err := sim.RunStory(0, "d", 0.7, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.VoteCount()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed, different outcomes: %d vs %d", a, b)
+	}
+}
+
+func TestMechanismString(t *testing.T) {
+	cases := map[Mechanism]string{
+		MechanismSubmit:    "submit",
+		MechanismNetwork:   "network",
+		MechanismQueue:     "queue",
+		MechanismFrontPage: "frontpage",
+		Mechanism(9):       "mechanism(9)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q want %q", m, got, want)
+		}
+	}
+}
+
+func TestEventInNetworkMatchesStoryVotes(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Horizon = digg.Day
+	sim := newTestSim(t, cfg, 8, nil)
+	st, events, err := sim.RunStory(0, "x", 0.6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(st.Votes) {
+		t.Fatalf("events %d != stored votes %d", len(events), len(st.Votes))
+	}
+	for i, ev := range events {
+		v := st.Votes[i]
+		if ev.Voter != v.Voter || ev.At != v.At || ev.InNetwork != v.InNetwork {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, ev, v)
+		}
+	}
+}

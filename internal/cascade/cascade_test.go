@@ -1,0 +1,276 @@
+package cascade
+
+import (
+	"testing"
+
+	"diggsim/internal/agent"
+	"diggsim/internal/digg"
+	"diggsim/internal/graph"
+	"diggsim/internal/rng"
+)
+
+// fanGraph: 1 and 2 watch 0; 3 watches 1; 4 watches 3; 5 isolated.
+func fanGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdgeList(6, [][2]graph.NodeID{{1, 0}, {2, 0}, {3, 1}, {4, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestInfluenceAt(t *testing.T) {
+	g := fanGraph(t)
+	voters := []digg.UserID{0, 1, 5}
+	// At submission (k=1): fans of 0 = {1, 2}.
+	if got := InfluenceAt(g, voters, 1); got != 2 {
+		t.Errorf("influence at submission = %d want 2", got)
+	}
+	// After vote by 1: + fans of 1 = {3} -> 3 total.
+	if got := InfluenceAt(g, voters, 2); got != 3 {
+		t.Errorf("influence after 2 votes = %d want 3", got)
+	}
+	// Voter 5 has no fans: unchanged; k clamps.
+	if got := InfluenceAt(g, voters, 10); got != 3 {
+		t.Errorf("clamped influence = %d want 3", got)
+	}
+	if got := InfluenceAt(g, voters, 0); got != 0 {
+		t.Errorf("influence at k=0 = %d want 0", got)
+	}
+	if got := InfluenceAt(g, voters, -1); got != 0 {
+		t.Errorf("influence at k<0 = %d want 0", got)
+	}
+}
+
+func TestInfluenceSeriesMatchesPointQueries(t *testing.T) {
+	g := fanGraph(t)
+	voters := []digg.UserID{0, 1, 3, 5, 2}
+	ks := []int{0, 1, 2, 3, 4, 5, 99}
+	series := InfluenceSeries(g, voters, ks)
+	for i, k := range ks {
+		if want := InfluenceAt(g, voters, k); series[i] != want {
+			t.Errorf("series[%d] (k=%d) = %d want %d", i, k, series[i], want)
+		}
+	}
+}
+
+func TestIsInNetwork(t *testing.T) {
+	g := fanGraph(t)
+	voters := []digg.UserID{0, 1, 5, 3}
+	// Voter 1 watches 0 (prior) -> in-network.
+	if !IsInNetwork(g, voters, 1) {
+		t.Error("voter 1 should be in-network")
+	}
+	// Voter 5 watches nobody -> out.
+	if IsInNetwork(g, voters, 2) {
+		t.Error("voter 5 should be out-of-network")
+	}
+	// Voter 3 watches 1 (prior) -> in-network.
+	if !IsInNetwork(g, voters, 3) {
+		t.Error("voter 3 should be in-network")
+	}
+	// Submitter and out-of-range.
+	if IsInNetwork(g, voters, 0) || IsInNetwork(g, voters, 9) || IsInNetwork(g, voters, -1) {
+		t.Error("edge indices misclassified")
+	}
+}
+
+func TestIsInNetworkOrderMatters(t *testing.T) {
+	g := fanGraph(t)
+	// 3 votes before 1: 3 watches 1 but 1 hasn't voted yet.
+	voters := []digg.UserID{0, 3, 1}
+	if IsInNetwork(g, voters, 1) {
+		t.Error("voter 3 votes before its friend: must be out-of-network")
+	}
+	// And 1 is in-network via submitter 0.
+	if !IsInNetwork(g, voters, 2) {
+		t.Error("voter 1 watches submitter: in-network")
+	}
+}
+
+func TestInNetworkFlagsAndCount(t *testing.T) {
+	g := fanGraph(t)
+	voters := []digg.UserID{0, 1, 5, 3, 4}
+	flags := InNetworkFlags(g, voters)
+	want := []bool{true, false, true, true} // 1 via 0; 5 no; 3 via 1; 4 via 3
+	if len(flags) != len(want) {
+		t.Fatalf("flags = %v", flags)
+	}
+	for i := range want {
+		if flags[i] != want[i] {
+			t.Fatalf("flags = %v want %v", flags, want)
+		}
+	}
+	if got := InNetworkCount(g, voters, 2); got != 1 {
+		t.Errorf("count k=2 = %d want 1", got)
+	}
+	if got := InNetworkCount(g, voters, 4); got != 3 {
+		t.Errorf("count k=4 = %d want 3", got)
+	}
+	if got := InNetworkCount(g, voters, 99); got != 3 {
+		t.Errorf("clamped count = %d want 3", got)
+	}
+	if InNetworkFlags(g, []digg.UserID{0}) != nil {
+		t.Error("single-voter story should have no flags")
+	}
+}
+
+func TestIsInNetworkBothBranches(t *testing.T) {
+	// Build a voter with a large friends list to force the prior-set
+	// branch, and one with a small list for the HasEdge branch.
+	b := graph.NewBuilder(40)
+	for i := 2; i < 40; i++ {
+		b.AddEdge(1, graph.NodeID(i)) // voter 1 watches many
+	}
+	b.AddEdge(1, 0) // and the submitter
+	b.AddEdge(2, 0) // small-degree voter
+	g := b.Build()
+	voters := []digg.UserID{0, 1, 2}
+	if !IsInNetwork(g, voters, 1) { // friends(1)=39 > idx=1: HasEdge branch
+		t.Error("large-degree voter misclassified")
+	}
+	if !IsInNetwork(g, voters, 2) { // friends(2)=1 <= idx=2: set branch
+		t.Error("small-degree voter misclassified")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	g := fanGraph(t)
+	s := &digg.Story{
+		ID:        7,
+		Submitter: 0,
+		Votes: []digg.Vote{
+			{Voter: 0}, {Voter: 1}, {Voter: 5}, {Voter: 3},
+		},
+	}
+	st := Analyze(g, s)
+	if st.StoryID != 7 || st.Submitter != 0 || st.FinalVotes != 4 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.SubmitterFans != 2 {
+		t.Errorf("SubmitterFans = %d want 2", st.SubmitterFans)
+	}
+	if st.InfluenceAtSubmission != 2 {
+		t.Errorf("InfluenceAtSubmission = %d", st.InfluenceAtSubmission)
+	}
+	if st.InNet6 != 2 || st.InNet10 != 2 {
+		t.Errorf("in-network counts = %+v", st)
+	}
+}
+
+func TestAnalyzeAll(t *testing.T) {
+	g := fanGraph(t)
+	stories := []*digg.Story{
+		{ID: 0, Submitter: 0, Votes: []digg.Vote{{Voter: 0}}},
+		{ID: 1, Submitter: 5, Votes: []digg.Vote{{Voter: 5}, {Voter: 1}}},
+	}
+	all := AnalyzeAll(g, stories)
+	if len(all) != 2 || all[0].StoryID != 0 || all[1].StoryID != 1 {
+		t.Errorf("AnalyzeAll = %+v", all)
+	}
+	if all[1].InNet10 != 0 {
+		t.Error("voter 1 does not watch 5; must be out-of-network")
+	}
+}
+
+func TestTree(t *testing.T) {
+	g := fanGraph(t)
+	voters := []digg.UserID{0, 1, 5, 3, 4}
+	parent := Tree(g, voters)
+	want := []int{-1, 0, -1, 1, 3}
+	for i := range want {
+		if parent[i] != want[i] {
+			t.Fatalf("Tree = %v want %v", parent, want)
+		}
+	}
+	depths := TreeDepths(parent)
+	wantD := []int{0, 1, 0, 2, 3}
+	for i := range wantD {
+		if depths[i] != wantD[i] {
+			t.Fatalf("depths = %v want %v", depths, wantD)
+		}
+	}
+	if MaxDepth(parent) != 3 {
+		t.Errorf("MaxDepth = %d", MaxDepth(parent))
+	}
+}
+
+func TestTreeEarliestParent(t *testing.T) {
+	// Voter 4 watches both 3 and 1... build: 4 watches 1 and 3.
+	g, err := graph.FromEdgeList(5, [][2]graph.NodeID{{4, 1}, {4, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	voters := []digg.UserID{0, 1, 3, 4}
+	parent := Tree(g, voters)
+	if parent[3] != 1 {
+		t.Errorf("parent of 4 = %d want earliest watched voter (index 1)", parent[3])
+	}
+}
+
+func TestTreeEmpty(t *testing.T) {
+	g := fanGraph(t)
+	if got := Tree(g, nil); len(got) != 0 {
+		t.Errorf("Tree(nil) = %v", got)
+	}
+	if MaxDepth(nil) != 0 {
+		t.Error("MaxDepth(nil) != 0")
+	}
+}
+
+// TestOfflineMatchesOnline verifies that offline in-network analysis of
+// a simulated story agrees vote-by-vote with the platform's online
+// flags — the two independent implementations of the paper's central
+// measurement.
+func TestOfflineMatchesOnline(t *testing.T) {
+	r := rng.New(42)
+	g, err := graph.PreferentialAttachment(r, 5000, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := agent.NewConfig()
+	cfg.Horizon = 2 * digg.Day
+	sim, err := agent.NewSimulator(digg.NewPlatform(g, nil), cfg, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A seed node with fans: guarantees in-network votes to compare.
+	st, _, err := sim.RunStory(0, "x", 0.6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VoteCount() < 10 {
+		t.Fatalf("too few votes (%d) to compare", st.VoteCount())
+	}
+	voters := Voters(st)
+	flags := InNetworkFlags(g, voters)
+	sawInNet := false
+	for i, f := range flags {
+		online := st.Votes[i+1].InNetwork
+		if f != online {
+			t.Fatalf("vote %d: offline=%v online=%v", i+1, f, online)
+		}
+		sawInNet = sawInNet || f
+	}
+	if !sawInNet {
+		t.Error("expected at least one in-network vote in this scenario")
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	r := rng.New(1)
+	g, _ := graph.PreferentialAttachment(r, 10000, 4, 0.3)
+	voters := make([]digg.UserID, 500)
+	for i := range voters {
+		voters[i] = digg.UserID(r.Intn(10000))
+	}
+	s := &digg.Story{Votes: make([]digg.Vote, len(voters))}
+	for i, v := range voters {
+		s.Votes[i].Voter = v
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Analyze(g, s)
+	}
+}

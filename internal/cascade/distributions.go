@@ -1,0 +1,84 @@
+package cascade
+
+import (
+	"diggsim/internal/digg"
+	"diggsim/internal/graph"
+)
+
+// SizeDistribution returns, for each story, the number of in-network
+// votes among its first k votes (not counting the submitter) — the
+// cascade-size sample behind Fig. 3(b).
+func SizeDistribution(g *graph.Graph, stories []*digg.Story, k int) []int {
+	out := make([]int, len(stories))
+	for i, s := range stories {
+		out[i] = InNetworkCount(g, Voters(s), k)
+	}
+	return out
+}
+
+// DepthDistribution returns the maximum cascade-forest depth of each
+// story: how many hops interest propagated fan-to-fan. The paper's
+// related-work section stresses that real recommendation chains
+// terminate after a few steps; this lets the reproduction check the
+// same property.
+func DepthDistribution(g *graph.Graph, stories []*digg.Story) []int {
+	out := make([]int, len(stories))
+	for i, s := range stories {
+		out[i] = MaxDepth(Tree(g, Voters(s)))
+	}
+	return out
+}
+
+// FanoutDistribution returns, over all stories, a histogram of how many
+// direct cascade children each voter spawned (out-degree in the cascade
+// forest), excluding voters with zero children.
+func FanoutDistribution(g *graph.Graph, stories []*digg.Story) map[int]int {
+	out := make(map[int]int)
+	for _, s := range stories {
+		parent := Tree(g, Voters(s))
+		children := make(map[int]int)
+		for _, p := range parent {
+			if p >= 0 {
+				children[p]++
+			}
+		}
+		for _, c := range children {
+			out[c]++
+		}
+	}
+	return out
+}
+
+// InNetworkFractionByPosition aggregates, across stories, the fraction
+// of votes at each position (1-based, submitter excluded) that were
+// in-network — how the network effect decays (or not) as a story
+// spreads. Positions beyond maxPos are ignored; entries with no
+// observations are -1.
+func InNetworkFractionByPosition(g *graph.Graph, stories []*digg.Story, maxPos int) []float64 {
+	if maxPos <= 0 {
+		return nil
+	}
+	inNet := make([]int, maxPos)
+	total := make([]int, maxPos)
+	for _, s := range stories {
+		flags := InNetworkFlags(g, Voters(s))
+		for i, f := range flags {
+			if i >= maxPos {
+				break
+			}
+			total[i]++
+			if f {
+				inNet[i]++
+			}
+		}
+	}
+	out := make([]float64, maxPos)
+	for i := range out {
+		if total[i] == 0 {
+			out[i] = -1
+			continue
+		}
+		out[i] = float64(inNet[i]) / float64(total[i])
+	}
+	return out
+}

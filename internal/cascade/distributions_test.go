@@ -1,0 +1,91 @@
+package cascade
+
+import (
+	"testing"
+
+	"diggsim/internal/digg"
+	"diggsim/internal/graph"
+)
+
+func chainStories(t *testing.T) (*graph.Graph, []*digg.Story) {
+	t.Helper()
+	// 1,2 watch 0; 3 watches 1; 4 watches 3.
+	g, err := graph.FromEdgeList(6, [][2]graph.NodeID{{1, 0}, {2, 0}, {3, 1}, {4, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(voters ...digg.UserID) *digg.Story {
+		s := &digg.Story{Submitter: voters[0]}
+		for _, v := range voters {
+			s.Votes = append(s.Votes, digg.Vote{Voter: v})
+		}
+		return s
+	}
+	return g, []*digg.Story{
+		mk(0, 1, 3, 4), // full chain: 3 in-network, depth 3
+		mk(0, 5),       // no cascade
+		mk(5, 0, 2),    // 2 in-network via 0
+	}
+}
+
+func TestSizeDistribution(t *testing.T) {
+	g, stories := chainStories(t)
+	sizes := SizeDistribution(g, stories, 10)
+	want := []int{3, 0, 1}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes = %v want %v", sizes, want)
+		}
+	}
+	// Truncated horizon.
+	sizes = SizeDistribution(g, stories, 1)
+	if sizes[0] != 1 {
+		t.Errorf("k=1 sizes = %v", sizes)
+	}
+}
+
+func TestDepthDistribution(t *testing.T) {
+	g, stories := chainStories(t)
+	depths := DepthDistribution(g, stories)
+	want := []int{3, 0, 1}
+	for i := range want {
+		if depths[i] != want[i] {
+			t.Fatalf("depths = %v want %v", depths, want)
+		}
+	}
+}
+
+func TestFanoutDistribution(t *testing.T) {
+	g, stories := chainStories(t)
+	fanout := FanoutDistribution(g, stories)
+	// In story 0 the chain 0<-1<-3<-4 has three parents with one child
+	// each; story 2 has one parent (voter 0, child 2). So fanout 1
+	// occurs 4 times.
+	if fanout[1] != 4 {
+		t.Errorf("fanout = %v", fanout)
+	}
+	if len(fanout) != 1 {
+		t.Errorf("unexpected fanout keys: %v", fanout)
+	}
+}
+
+func TestInNetworkFractionByPosition(t *testing.T) {
+	g, stories := chainStories(t)
+	fr := InNetworkFractionByPosition(g, stories, 4)
+	// Position 1: story0 vote by 1 (in), story1 vote by 5 (out),
+	// story2 vote by 0 (out) -> 1/3.
+	if fr[0] < 0.33 || fr[0] > 0.34 {
+		t.Errorf("pos1 fraction = %v", fr[0])
+	}
+	// Position 2: story0 vote by 3 (in), story2 vote by 2 (in) -> 1.0.
+	if fr[1] != 1 {
+		t.Errorf("pos2 fraction = %v", fr[1])
+	}
+	// Position 4: nobody voted that late -> -1 sentinel.
+	if fr[3] != -1 {
+		t.Errorf("pos4 fraction = %v", fr[3])
+	}
+	if InNetworkFractionByPosition(g, stories, 0) != nil {
+		t.Error("maxPos=0 should give nil")
+	}
+}

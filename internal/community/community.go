@@ -1,0 +1,310 @@
+// Package community implements community detection and modularity
+// scoring for the paper's §6 future-work direction ("the presence of
+// well-connected clusters of nodes can impact the transient dynamics of
+// various influence propagation models ... especially important in
+// networks with well-defined community structure").
+//
+// Two detectors are provided: asynchronous label propagation (fast, for
+// large graphs) and a Girvan–Newman-style divisive splitter driven by
+// edge betweenness (the method of the paper's reference [6]); both are
+// scored with Newman modularity (reference [15]).
+package community
+
+import (
+	"errors"
+	"sort"
+
+	"diggsim/internal/graph"
+	"diggsim/internal/rng"
+)
+
+// Partition assigns each node a community label in [0, Count).
+type Partition struct {
+	Labels []int
+	Count  int
+}
+
+// Normalize relabels communities to dense ids [0, Count) preserving
+// grouping, and recomputes Count.
+func Normalize(labels []int) Partition {
+	remap := make(map[int]int)
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		id, ok := remap[l]
+		if !ok {
+			id = len(remap)
+			remap[l] = id
+		}
+		out[i] = id
+	}
+	return Partition{Labels: out, Count: len(remap)}
+}
+
+// Sizes returns the size of each community.
+func (p Partition) Sizes() []int {
+	sizes := make([]int, p.Count)
+	for _, l := range p.Labels {
+		sizes[l]++
+	}
+	return sizes
+}
+
+// Modularity computes Newman's modularity Q of the partition over the
+// undirected projection of g: Q = Σ_c (e_c/m - (d_c/2m)^2) with e_c the
+// intra-community undirected edges, d_c the total degree inside c and m
+// the undirected edge count. It returns an error if the label slice
+// does not match the graph.
+func Modularity(g *graph.Graph, labels []int) (float64, error) {
+	if len(labels) != g.NumNodes() {
+		return 0, errors.New("community: label count mismatch")
+	}
+	adj := undirected(g)
+	m := 0
+	for _, nbrs := range adj {
+		m += len(nbrs)
+	}
+	m /= 2
+	if m == 0 {
+		return 0, nil
+	}
+	part := Normalize(labels)
+	intra := make([]float64, part.Count)
+	degree := make([]float64, part.Count)
+	for u, nbrs := range adj {
+		cu := part.Labels[u]
+		degree[cu] += float64(len(nbrs))
+		for _, v := range nbrs {
+			if int(v) > u && part.Labels[v] == cu {
+				intra[cu]++
+			}
+		}
+	}
+	q := 0.0
+	fm := float64(m)
+	for c := 0; c < part.Count; c++ {
+		q += intra[c]/fm - (degree[c]/(2*fm))*(degree[c]/(2*fm))
+	}
+	return q, nil
+}
+
+// LabelPropagation detects communities by asynchronous label
+// propagation on the undirected projection: every node repeatedly
+// adopts the most frequent label among its neighbors (ties broken by
+// smallest label) until no label changes or maxIters passes complete.
+func LabelPropagation(g *graph.Graph, r *rng.RNG, maxIters int) Partition {
+	n := g.NumNodes()
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i
+	}
+	if maxIters <= 0 {
+		maxIters = 50
+	}
+	adj := undirected(g)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	counts := make(map[int]int)
+	for iter := 0; iter < maxIters; iter++ {
+		r.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		changed := false
+		for _, u := range order {
+			nbrs := adj[u]
+			if len(nbrs) == 0 {
+				continue
+			}
+			for k := range counts {
+				delete(counts, k)
+			}
+			for _, v := range nbrs {
+				counts[labels[v]]++
+			}
+			best, bestCount := labels[u], 0
+			keys := make([]int, 0, len(counts))
+			for k := range counts {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			for _, k := range keys {
+				if counts[k] > bestCount {
+					best, bestCount = k, counts[k]
+				}
+			}
+			if best != labels[u] {
+				labels[u] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return Normalize(labels)
+}
+
+// GirvanNewman splits the undirected projection into targetCommunities
+// components by repeatedly removing the highest-betweenness edge. It is
+// O(V*E) per removal and intended for the small graphs of the §6
+// experiments. targetCommunities is clamped to [1, NumNodes].
+func GirvanNewman(g *graph.Graph, targetCommunities int) Partition {
+	n := g.NumNodes()
+	if targetCommunities < 1 {
+		targetCommunities = 1
+	}
+	if targetCommunities > n {
+		targetCommunities = n
+	}
+	adj := undirected(g)
+	for {
+		part := components(adj)
+		if part.Count >= targetCommunities {
+			return part
+		}
+		u, v, ok := highestBetweennessEdge(adj)
+		if !ok {
+			return part
+		}
+		adj[u] = removeNeighbor(adj[u], graph.NodeID(v))
+		adj[v] = removeNeighbor(adj[v], graph.NodeID(u))
+	}
+}
+
+// undirected builds symmetric adjacency lists from the directed graph,
+// deduplicating mutual edges.
+func undirected(g *graph.Graph) [][]graph.NodeID {
+	n := g.NumNodes()
+	adj := make([][]graph.NodeID, n)
+	for u := graph.NodeID(0); int(u) < n; u++ {
+		seen := make(map[graph.NodeID]bool)
+		for _, v := range g.Friends(u) {
+			seen[v] = true
+		}
+		for _, v := range g.Fans(u) {
+			seen[v] = true
+		}
+		nbrs := make([]graph.NodeID, 0, len(seen))
+		for v := range seen {
+			nbrs = append(nbrs, v)
+		}
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		adj[u] = nbrs
+	}
+	return adj
+}
+
+// components labels connected components of adjacency lists.
+func components(adj [][]graph.NodeID) Partition {
+	labels := make([]int, len(adj))
+	for i := range labels {
+		labels[i] = -1
+	}
+	count := 0
+	for start := range adj {
+		if labels[start] >= 0 {
+			continue
+		}
+		stack := []int{start}
+		labels[start] = count
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range adj[u] {
+				if labels[v] < 0 {
+					labels[v] = count
+					stack = append(stack, int(v))
+				}
+			}
+		}
+		count++
+	}
+	return Partition{Labels: labels, Count: count}
+}
+
+// highestBetweennessEdge computes edge betweenness via Brandes'
+// accumulation over BFS shortest paths and returns the edge with the
+// highest score.
+func highestBetweennessEdge(adj [][]graph.NodeID) (int, int, bool) {
+	n := len(adj)
+	type key struct{ a, b int }
+	score := make(map[key]float64)
+	edgeKey := func(a, b int) key {
+		if a > b {
+			a, b = b, a
+		}
+		return key{a, b}
+	}
+	dist := make([]int, n)
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	order := make([]int, 0, n)
+	for s := 0; s < n; s++ {
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+		}
+		order = order[:0]
+		dist[s] = 0
+		sigma[s] = 1
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			order = append(order, u)
+			for _, vn := range adj[u] {
+				v := int(vn)
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+				if dist[v] == dist[u]+1 {
+					sigma[v] += sigma[u]
+				}
+			}
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, vn := range adj[w] {
+				v := int(vn)
+				if dist[v] == dist[w]+1 && sigma[v] > 0 {
+					c := sigma[w] / sigma[v] * (1 + delta[v])
+					score[edgeKey(w, v)] += c
+					delta[w] += c
+				}
+			}
+		}
+	}
+	bestScore := -1.0
+	var best key
+	keys := make([]key, 0, len(score))
+	for k := range score {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, k := range keys {
+		if score[k] > bestScore {
+			bestScore = score[k]
+			best = k
+		}
+	}
+	if bestScore < 0 {
+		return 0, 0, false
+	}
+	return best.a, best.b, true
+}
+
+func removeNeighbor(nbrs []graph.NodeID, v graph.NodeID) []graph.NodeID {
+	out := nbrs[:0]
+	for _, u := range nbrs {
+		if u != v {
+			out = append(out, u)
+		}
+	}
+	return out
+}

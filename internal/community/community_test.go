@@ -1,0 +1,176 @@
+package community
+
+import (
+	"testing"
+
+	"diggsim/internal/graph"
+	"diggsim/internal/rng"
+)
+
+// twoCliques builds two directed 5-cliques joined by one bridge edge.
+func twoCliques(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(10)
+	for c := 0; c < 2; c++ {
+		base := c * 5
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				b.AddEdge(graph.NodeID(base+i), graph.NodeID(base+j))
+			}
+		}
+	}
+	b.AddEdge(0, 5) // bridge
+	return b.Build()
+}
+
+func TestNormalize(t *testing.T) {
+	p := Normalize([]int{7, 7, 3, 9, 3})
+	if p.Count != 3 {
+		t.Fatalf("Count = %d", p.Count)
+	}
+	if p.Labels[0] != p.Labels[1] || p.Labels[2] != p.Labels[4] {
+		t.Errorf("grouping broken: %v", p.Labels)
+	}
+	if p.Labels[0] == p.Labels[2] || p.Labels[0] == p.Labels[3] {
+		t.Errorf("distinct groups merged: %v", p.Labels)
+	}
+	sizes := p.Sizes()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 5 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestModularityPerfectSplit(t *testing.T) {
+	g := twoCliques(t)
+	labels := []int{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}
+	q, err := Modularity(g, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 0.3 {
+		t.Errorf("two-clique modularity = %v; want high", q)
+	}
+	// A single community scores ~0.
+	single := make([]int, 10)
+	q1, err := Modularity(g, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1 > 0.01 || q1 < -0.01 {
+		t.Errorf("single-community modularity = %v want ~0", q1)
+	}
+	if q <= q1 {
+		t.Error("good split should beat trivial split")
+	}
+}
+
+func TestModularityErrors(t *testing.T) {
+	g := twoCliques(t)
+	if _, err := Modularity(g, []int{0}); err == nil {
+		t.Error("label mismatch accepted")
+	}
+	empty := graph.NewBuilder(3).Build()
+	q, err := Modularity(empty, []int{0, 1, 2})
+	if err != nil || q != 0 {
+		t.Errorf("edgeless modularity = %v, %v", q, err)
+	}
+}
+
+func TestLabelPropagationFindsCliques(t *testing.T) {
+	g := twoCliques(t)
+	p := LabelPropagation(g, rng.New(1), 50)
+	// Both cliques should be internally uniform.
+	for c := 0; c < 2; c++ {
+		base := c * 5
+		for i := 1; i < 5; i++ {
+			if p.Labels[base+i] != p.Labels[base] {
+				t.Fatalf("clique %d split: %v", c, p.Labels)
+			}
+		}
+	}
+	q, err := Modularity(g, p.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Count >= 2 && q < 0.3 {
+		t.Errorf("label propagation modularity = %v", q)
+	}
+}
+
+func TestLabelPropagationModularGraph(t *testing.T) {
+	r := rng.New(2)
+	cfg := graph.ModularConfig{Communities: 4, NodesPerComm: 30, IntraDegree: 8, InterDegree: 0.3}
+	g, err := graph.Modular(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := LabelPropagation(g, r, 100)
+	q, err := Modularity(g, p.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 0.3 {
+		t.Errorf("modularity on planted partition = %v", q)
+	}
+	// Compare against the planted truth: detected Q should be close.
+	truth := make([]int, g.NumNodes())
+	for u := range truth {
+		truth[u] = cfg.CommunityOf(graph.NodeID(u))
+	}
+	qTruth, err := Modularity(g, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < qTruth-0.2 {
+		t.Errorf("detected Q=%v far below planted Q=%v", q, qTruth)
+	}
+}
+
+func TestLabelPropagationIsolatedNodes(t *testing.T) {
+	g := graph.NewBuilder(5).Build()
+	p := LabelPropagation(g, rng.New(3), 10)
+	if p.Count != 5 {
+		t.Errorf("isolated nodes should stay singleton: %v", p.Labels)
+	}
+}
+
+func TestGirvanNewmanSplitsBridge(t *testing.T) {
+	g := twoCliques(t)
+	p := GirvanNewman(g, 2)
+	if p.Count != 2 {
+		t.Fatalf("components = %d want 2", p.Count)
+	}
+	if p.Labels[0] != p.Labels[4] || p.Labels[5] != p.Labels[9] {
+		t.Errorf("cliques split wrongly: %v", p.Labels)
+	}
+	if p.Labels[0] == p.Labels[5] {
+		t.Errorf("bridge not cut: %v", p.Labels)
+	}
+}
+
+func TestGirvanNewmanClamps(t *testing.T) {
+	g := twoCliques(t)
+	if p := GirvanNewman(g, 0); p.Count < 1 {
+		t.Error("target 0 should clamp to 1")
+	}
+	p := GirvanNewman(g, 100)
+	if p.Count != g.NumNodes() {
+		t.Errorf("target > n: got %d communities", p.Count)
+	}
+}
+
+func TestGirvanNewmanAlreadySplit(t *testing.T) {
+	// Two disconnected edges: asking for 2 communities needs no cuts.
+	g, err := graph.FromEdgeList(4, [][2]graph.NodeID{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := GirvanNewman(g, 2)
+	if p.Count != 2 {
+		t.Errorf("components = %d", p.Count)
+	}
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"testing"
+
+	"diggsim/internal/dataset"
+	"diggsim/internal/digg"
+	"diggsim/internal/graph"
+	"diggsim/internal/mltree"
+	"diggsim/internal/rng"
+)
+
+var sharedDS *dataset.Dataset
+
+func getDS(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	if sharedDS == nil {
+		ds, err := dataset.Generate(dataset.SmallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedDS = ds
+	}
+	return sharedDS
+}
+
+func TestInteresting(t *testing.T) {
+	if Interesting(520) {
+		t.Error("520 votes must not be interesting (threshold is exclusive)")
+	}
+	if !Interesting(521) {
+		t.Error("521 votes must be interesting")
+	}
+	if Interesting(0) {
+		t.Error("0 votes interesting")
+	}
+}
+
+func TestFeatureNames(t *testing.T) {
+	cases := map[Feature]string{
+		FeatureV6: "v6", FeatureV10: "v10", FeatureV20: "v20", FeatureFans1: "fans1",
+		Feature(9): "feature(9)",
+	}
+	for f, want := range cases {
+		if got := f.Name(); got != want {
+			t.Errorf("Name(%d) = %q want %q", f, got, want)
+		}
+	}
+}
+
+func TestExtractExample(t *testing.T) {
+	// 1, 2 watch 0; 3 watches 1.
+	g, err := graph.FromEdgeList(6, [][2]graph.NodeID{{1, 0}, {2, 0}, {3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &digg.Story{
+		ID:        3,
+		Submitter: 0,
+		Votes: []digg.Vote{
+			{Voter: 0}, {Voter: 1}, {Voter: 5}, {Voter: 3},
+		},
+	}
+	ex := ExtractExample(g, s)
+	if ex.StoryID != 3 || ex.Fans1 != 2 || ex.FinalVotes != 4 {
+		t.Errorf("example = %+v", ex)
+	}
+	// Votes 1 (fan of 0) and 3 (fan of 1) are in-network.
+	if ex.V6 != 2 || ex.V10 != 2 || ex.V20 != 2 {
+		t.Errorf("in-network counts = %+v", ex)
+	}
+	if ex.Interesting {
+		t.Error("4-vote story labeled interesting")
+	}
+}
+
+func TestAttrVectorProjection(t *testing.T) {
+	ex := Example{V6: 1, V10: 2, V20: 3, Fans1: 4}
+	got := attrVector(ex, []Feature{FeatureFans1, FeatureV6, FeatureV20, FeatureV10})
+	want := []float64{4, 1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("attrVector = %v want %v", got, want)
+		}
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, mltree.DefaultConfig()); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestTrainDefaultsToPaperFeatures(t *testing.T) {
+	exs := []Example{
+		{V10: 0, Fans1: 5, Interesting: true},
+		{V10: 9, Fans1: 500, Interesting: false},
+		{V10: 1, Fans1: 9, Interesting: true},
+		{V10: 8, Fans1: 400, Interesting: false},
+	}
+	p, err := Train(exs, nil, mltree.Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Features) != 2 || p.Features[0] != FeatureV10 || p.Features[1] != FeatureFans1 {
+		t.Errorf("features = %v", p.Features)
+	}
+	if !p.Predict(Example{V10: 0, Fans1: 3}) {
+		t.Error("low-v10 story should predict interesting")
+	}
+	if p.Predict(Example{V10: 9, Fans1: 450}) {
+		t.Error("high-v10 story should predict uninteresting")
+	}
+}
+
+func TestEndToEndOnDataset(t *testing.T) {
+	ds := getDS(t)
+	examples := ExtractAll(ds.Graph, ds.FrontPage)
+	if len(examples) != len(ds.FrontPage) {
+		t.Fatalf("examples = %d", len(examples))
+	}
+	nInteresting := 0
+	for _, ex := range examples {
+		if ex.Interesting {
+			nInteresting++
+		}
+	}
+	if nInteresting == 0 || nInteresting == len(examples) {
+		t.Fatalf("degenerate labels: %d/%d interesting", nInteresting, len(examples))
+	}
+	p, err := Train(examples, nil, mltree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Evaluate(examples)
+	if c.Accuracy() < 0.7 {
+		t.Errorf("training accuracy = %.3f; the early-vote signal should be strong", c.Accuracy())
+	}
+}
+
+func TestInverseSignal(t *testing.T) {
+	// The central claim: among front-page stories, higher v10 implies
+	// lower probability of being interesting.
+	ds := getDS(t)
+	examples := ExtractAll(ds.Graph, ds.FrontPage)
+	var lowSum, lowN, highSum, highN float64
+	for _, ex := range examples {
+		if ex.V10 <= 3 {
+			lowN++
+			if ex.Interesting {
+				lowSum++
+			}
+		} else if ex.V10 >= 7 {
+			highN++
+			if ex.Interesting {
+				highSum++
+			}
+		}
+	}
+	if lowN < 3 || highN < 3 {
+		t.Skipf("too few stories in bands (low=%v high=%v)", lowN, highN)
+	}
+	if lowSum/lowN <= highSum/highN {
+		t.Errorf("P(interesting | low v10)=%.2f <= P(interesting | high v10)=%.2f",
+			lowSum/lowN, highSum/highN)
+	}
+}
+
+func TestCrossValidateOnDataset(t *testing.T) {
+	ds := getDS(t)
+	examples := ExtractAll(ds.Graph, ds.FrontPage)
+	r := rng.New(7)
+	c, err := CrossValidate(examples, nil, mltree.DefaultConfig(), 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != len(examples) {
+		t.Errorf("CV total = %d want %d", c.Total(), len(examples))
+	}
+	if c.Accuracy() < 0.6 {
+		t.Errorf("CV accuracy = %.3f", c.Accuracy())
+	}
+}
+
+func TestEvaluateHoldout(t *testing.T) {
+	ds := getDS(t)
+	examples := ExtractAll(ds.Graph, ds.FrontPage)
+	p, err := Train(examples, nil, mltree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultHoldoutConfig(ds.Config.SnapshotAt)
+	res := EvaluateHoldout(ds.Graph, ds.UpcomingAtSnapshot, ds.RankOf, p, cfg)
+	if res.Kept == 0 {
+		t.Skip("no holdout stories under small config")
+	}
+	if res.Confusion.Total() != res.Kept {
+		t.Errorf("confusion total %d != kept %d", res.Confusion.Total(), res.Kept)
+	}
+	if res.DiggPromotedInteresting > res.DiggPromoted {
+		t.Error("promoted-interesting exceeds promoted")
+	}
+	if res.PredictorOnPromoted > res.DiggPromoted {
+		t.Error("predictor-on-promoted exceeds promoted")
+	}
+	if p := res.DiggPrecision(); p < 0 || p > 1 {
+		t.Errorf("DiggPrecision = %v", p)
+	}
+	if p := res.PredictorPrecisionOnPromoted(); p < 0 || p > 1 {
+		t.Errorf("PredictorPrecisionOnPromoted = %v", p)
+	}
+}
+
+func TestHoldoutFilters(t *testing.T) {
+	g, err := graph.FromEdgeList(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkStory := func(id int, submitter digg.UserID, votes int) *digg.Story {
+		s := &digg.Story{ID: digg.StoryID(id), Submitter: submitter}
+		for i := 0; i < votes; i++ {
+			s.Votes = append(s.Votes, digg.Vote{Voter: digg.UserID(i), At: digg.Minutes(i)})
+		}
+		return s
+	}
+	stories := []*digg.Story{
+		mkStory(0, 1, 15), // rank 1: kept
+		mkStory(1, 2, 15), // rank 200: dropped (rank)
+		mkStory(2, 1, 5),  // rank 1 but too few votes: dropped
+		mkStory(3, 3, 15), // unranked: dropped
+	}
+	rankOf := func(u digg.UserID) int {
+		switch u {
+		case 1:
+			return 1
+		case 2:
+			return 200
+		default:
+			return 0
+		}
+	}
+	p, err := Train([]Example{
+		{V10: 0, Interesting: true}, {V10: 9, Interesting: false},
+		{V10: 1, Interesting: true}, {V10: 8, Interesting: false},
+	}, []Feature{FeatureV10}, mltree.Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := EvaluateHoldout(g, stories, rankOf, p, HoldoutConfig{MaxRank: 100, MinVotes: 10, SnapshotAt: 1000})
+	if res.Kept != 1 {
+		t.Errorf("Kept = %d want 1", res.Kept)
+	}
+}
+
+func TestHoldoutPrecisionDegenerate(t *testing.T) {
+	var h HoldoutResult
+	if h.DiggPrecision() != 0 || h.PredictorPrecisionOnPromoted() != 0 {
+		t.Error("empty holdout precisions should be 0")
+	}
+	h = HoldoutResult{DiggPromoted: 14, DiggPromotedInteresting: 5,
+		PredictorOnPromoted: 7, PredictorOnPromotedInteresting: 4}
+	if got := h.DiggPrecision(); got < 0.35 || got > 0.36 {
+		t.Errorf("DiggPrecision = %v want ~0.357", got)
+	}
+	if got := h.PredictorPrecisionOnPromoted(); got < 0.57 || got > 0.58 {
+		t.Errorf("PredictorPrecisionOnPromoted = %v want ~0.571", got)
+	}
+}

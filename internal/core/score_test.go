@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"diggsim/internal/digg"
+	"diggsim/internal/mltree"
+)
+
+func scoreTrainingSet() []Example {
+	return []Example{
+		{V10: 0, Fans1: 5, Interesting: true},
+		{V10: 1, Fans1: 8, Interesting: true},
+		{V10: 2, Fans1: 12, Interesting: true},
+		{V10: 8, Fans1: 300, Interesting: false},
+		{V10: 9, Fans1: 400, Interesting: false},
+		{V10: 10, Fans1: 500, Interesting: false},
+	}
+}
+
+func TestScoreOrdering(t *testing.T) {
+	p, err := Train(scoreTrainingSet(), nil, mltree.Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := p.Score(Example{V10: 0, Fans1: 4})
+	high := p.Score(Example{V10: 10, Fans1: 450})
+	if low <= high {
+		t.Errorf("score(low v10)=%v should exceed score(high v10)=%v", low, high)
+	}
+	if low <= 0 || low >= 1 || high <= 0 || high >= 1 {
+		t.Errorf("scores not in (0,1): %v %v", low, high)
+	}
+}
+
+func TestScoreConsistentWithPredict(t *testing.T) {
+	p, err := Train(scoreTrainingSet(), nil, mltree.Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v10 := 0; v10 <= 10; v10++ {
+		ex := Example{V10: v10, Fans1: 50}
+		pred := p.Predict(ex)
+		score := p.Score(ex)
+		if pred != (score > 0.5) {
+			t.Errorf("v10=%d: predict=%v but score=%v", v10, pred, score)
+		}
+	}
+}
+
+func TestAUCOnDataset(t *testing.T) {
+	ds := getDS(t)
+	examples := ExtractAll(ds.Graph, ds.FrontPage)
+	p, err := Train(examples, nil, mltree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := p.AUC(examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Errorf("training AUC = %v; early-vote signal should rank well", auc)
+	}
+	if auc > 1 {
+		t.Errorf("AUC = %v out of range", auc)
+	}
+}
+
+func TestAUCSingleClassErrors(t *testing.T) {
+	p, err := Train(scoreTrainingSet(), nil, mltree.Config{MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oneClass := []Example{{V10: 1, Interesting: true}, {V10: 2, Interesting: true}}
+	if _, err := p.AUC(oneClass); err == nil {
+		t.Error("single-class AUC did not error")
+	}
+}
+
+func TestRankStories(t *testing.T) {
+	ds := getDS(t)
+	p, err := Train(ExtractAll(ds.Graph, ds.FrontPage), nil, mltree.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Like the paper's holdout, rank only top-user stories with >= 10
+	// votes: with fewer votes v10 is trivially small, and §5.2 frames
+	// the predictor as "especially useful for stories submitted by top
+	// users", whose fan networks mask story quality.
+	var sample []*digg.Story
+	for _, s := range ds.UpcomingAtSnapshot {
+		rank := ds.RankOf(s.Submitter)
+		if rank > 0 && rank <= 100 && s.VoteCount() >= 10 {
+			sample = append(sample, s)
+		}
+	}
+	if len(sample) < 5 {
+		t.Skip("tiny upcoming sample")
+	}
+	ranked := p.RankStories(ds.Graph, sample)
+	if len(ranked) != len(sample) {
+		t.Fatalf("ranked %d of %d", len(ranked), len(sample))
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score {
+			t.Fatal("ranking not descending")
+		}
+		if ranked[i].Score == ranked[i-1].Score && ranked[i].StoryID < ranked[i-1].StoryID {
+			t.Fatal("tie-break not deterministic")
+		}
+	}
+	// Scores are smoothed leaf probabilities: strictly inside (0, 1).
+	for _, r := range ranked {
+		if r.Score <= 0 || r.Score >= 1 {
+			t.Fatalf("score out of (0,1): %+v", r)
+		}
+	}
+	// Predictive power at corpus scale is asserted by the tab1
+	// experiment tests and TestAUCOnDataset; this holdout slice is too
+	// small for a stable precision claim.
+}

@@ -1,0 +1,393 @@
+package dataset
+
+import (
+	"path/filepath"
+	"testing"
+
+	"diggsim/internal/cascade"
+	"diggsim/internal/digg"
+)
+
+// smallDS caches one generated small dataset across tests; generation
+// is deterministic so sharing is safe for read-only use.
+var smallDS *Dataset
+
+func getSmall(t *testing.T) *Dataset {
+	t.Helper()
+	if smallDS == nil {
+		ds, err := Generate(SmallConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		smallDS = ds
+	}
+	return smallDS
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if err := SmallConfig().Validate(); err != nil {
+		t.Fatalf("small config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Users = 1 },
+		func(c *Config) { c.GraphM = 0 },
+		func(c *Config) { c.Submissions = 0 },
+		func(c *Config) { c.SubmissionWindow = 0 },
+		func(c *Config) { c.SnapshotAt = 0 },
+		func(c *Config) { c.InterestExponent = 0 },
+		func(c *Config) { c.SubmitterZipfS = 0 },
+		func(c *Config) { c.TopUserListSize = 0 },
+		func(c *Config) { c.FrontPageSample = 0 },
+		func(c *Config) { c.Agent.Horizon = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	ds := getSmall(t)
+	cfg := ds.Config
+	if len(ds.Stories) != cfg.Submissions {
+		t.Fatalf("stories = %d want %d", len(ds.Stories), cfg.Submissions)
+	}
+	if ds.Graph.NumNodes() != cfg.Users {
+		t.Errorf("graph nodes = %d", ds.Graph.NumNodes())
+	}
+	// Chronological submission order.
+	for i := 1; i < len(ds.Stories); i++ {
+		if ds.Stories[i].SubmittedAt < ds.Stories[i-1].SubmittedAt {
+			t.Fatal("stories out of chronological order")
+		}
+	}
+	// Every story has at least the submitter's vote, chronological.
+	for _, s := range ds.Stories {
+		if s.VoteCount() < 1 || s.Votes[0].Voter != s.Submitter {
+			t.Fatalf("story %d vote structure broken", s.ID)
+		}
+		for i := 1; i < len(s.Votes); i++ {
+			if s.Votes[i].At < s.Votes[i-1].At {
+				t.Fatalf("story %d votes out of order", s.ID)
+			}
+		}
+	}
+}
+
+func TestPromotionBoundary(t *testing.T) {
+	// The paper: no front-page story under 43 votes, no upcoming story
+	// over 42 (text1 experiment).
+	ds := getSmall(t)
+	for _, s := range ds.Stories {
+		if s.Promoted && s.VoteCount() < 43 {
+			t.Errorf("promoted story %d has %d votes", s.ID, s.VoteCount())
+		}
+		if !s.Promoted && s.VoteCount() > 42 {
+			t.Errorf("upcoming story %d has %d votes", s.ID, s.VoteCount())
+		}
+	}
+}
+
+func TestFrontPageSample(t *testing.T) {
+	ds := getSmall(t)
+	cfg := ds.Config
+	if len(ds.FrontPage) == 0 || len(ds.FrontPage) > cfg.FrontPageSample {
+		t.Fatalf("front-page sample size = %d", len(ds.FrontPage))
+	}
+	for i, s := range ds.FrontPage {
+		if !s.Promoted || s.PromotedAt > cfg.SnapshotAt {
+			t.Errorf("sample story %d not promoted before snapshot", s.ID)
+		}
+		if i > 0 && s.PromotedAt < ds.FrontPage[i-1].PromotedAt {
+			t.Error("front-page sample not in promotion order")
+		}
+	}
+}
+
+func TestUpcomingSnapshot(t *testing.T) {
+	ds := getSmall(t)
+	cfg := ds.Config
+	if len(ds.UpcomingAtSnapshot) == 0 {
+		t.Fatal("empty upcoming snapshot")
+	}
+	someLaterPromoted := false
+	for _, s := range ds.UpcomingAtSnapshot {
+		if s.SubmittedAt > cfg.SnapshotAt || s.SubmittedAt < cfg.SnapshotAt-digg.Day {
+			t.Errorf("story %d outside snapshot window", s.ID)
+		}
+		if s.Promoted && s.PromotedAt <= cfg.SnapshotAt {
+			t.Errorf("story %d was already promoted at snapshot", s.ID)
+		}
+		if s.Promoted {
+			someLaterPromoted = true
+		}
+	}
+	// The holdout test depends on some upcoming stories promoting after
+	// the snapshot (the paper's TP/FN cases).
+	if !someLaterPromoted {
+		t.Error("no upcoming story promoted after the snapshot")
+	}
+}
+
+func TestTopUsersList(t *testing.T) {
+	ds := getSmall(t)
+	cfg := ds.Config
+	if len(ds.TopUsers) != cfg.TopUserListSize {
+		t.Fatalf("top users = %d want %d", len(ds.TopUsers), cfg.TopUserListSize)
+	}
+	seen := map[digg.UserID]bool{}
+	for _, u := range ds.TopUsers {
+		if seen[u] {
+			t.Fatal("duplicate user in top list")
+		}
+		seen[u] = true
+	}
+	for i, u := range ds.TopUsers {
+		if ds.RankOf(u) != i+1 {
+			t.Fatalf("RankOf(%d) = %d want %d", u, ds.RankOf(u), i+1)
+		}
+	}
+	// A user not on the list has rank 0.
+	for u := digg.UserID(0); int(u) < cfg.Users; u++ {
+		if !seen[u] {
+			if ds.RankOf(u) != 0 {
+				t.Errorf("off-list RankOf = %d", ds.RankOf(u))
+			}
+			break
+		}
+	}
+}
+
+func TestActivitySkew(t *testing.T) {
+	// The paper: top users are disproportionately active (top 3% made
+	// 35% of front-page submissions). Verify strong skew.
+	ds := getSmall(t)
+	counts := map[digg.UserID]int{}
+	promoted := 0
+	for _, s := range ds.Stories {
+		if s.Promoted {
+			counts[s.Submitter]++
+			promoted++
+		}
+	}
+	if promoted == 0 {
+		t.Fatal("no promoted stories")
+	}
+	// Share of promotions by the top 3% of *users with promotions*.
+	top := 0
+	topN := len(counts)*3/100 + 1
+	best := make([]int, 0, len(counts))
+	for _, c := range counts {
+		best = append(best, c)
+	}
+	// selection: find the topN largest
+	for i := 0; i < topN; i++ {
+		maxIdx := i
+		for j := i + 1; j < len(best); j++ {
+			if best[j] > best[maxIdx] {
+				maxIdx = j
+			}
+		}
+		best[i], best[maxIdx] = best[maxIdx], best[i]
+		top += best[i]
+	}
+	share := float64(top) / float64(promoted)
+	if share < 0.10 {
+		t.Errorf("top 3%% share = %.2f; want heavy skew", share)
+	}
+}
+
+func TestInverseRelationship(t *testing.T) {
+	// Fig. 4's core finding: front-page stories with mostly in-network
+	// early votes end up with fewer total votes than stories with
+	// mostly independent early votes.
+	ds := getSmall(t)
+	var inNetHeavy, inNetLight []float64
+	for _, s := range ds.FrontPage {
+		st := cascade.Analyze(ds.Graph, s)
+		if st.InNet10 >= 7 {
+			inNetHeavy = append(inNetHeavy, float64(st.FinalVotes))
+		} else if st.InNet10 <= 3 {
+			inNetLight = append(inNetLight, float64(st.FinalVotes))
+		}
+	}
+	if len(inNetHeavy) < 3 || len(inNetLight) < 3 {
+		t.Skipf("too few stories per band (heavy=%d light=%d)", len(inNetHeavy), len(inNetLight))
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(inNetHeavy) >= mean(inNetLight) {
+		t.Errorf("inverse relationship violated: heavy=%.0f light=%.0f",
+			mean(inNetHeavy), mean(inNetLight))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Submissions = 50
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Stories) != len(b.Stories) {
+		t.Fatal("story counts differ")
+	}
+	for i := range a.Stories {
+		sa, sb := a.Stories[i], b.Stories[i]
+		if sa.VoteCount() != sb.VoteCount() || sa.Submitter != sb.Submitter ||
+			sa.Promoted != sb.Promoted {
+			t.Fatalf("story %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Submissions = 60
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "corpus")
+	if err := ds.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Graph.NumEdges() != ds.Graph.NumEdges() {
+		t.Errorf("edges: %d vs %d", got.Graph.NumEdges(), ds.Graph.NumEdges())
+	}
+	if len(got.Stories) != len(ds.Stories) {
+		t.Fatalf("stories: %d vs %d", len(got.Stories), len(ds.Stories))
+	}
+	for i, s := range ds.Stories {
+		l := got.Stories[i]
+		if l.ID != s.ID || l.Title != s.Title || l.Submitter != s.Submitter ||
+			l.SubmittedAt != s.SubmittedAt || l.Promoted != s.Promoted {
+			t.Fatalf("story %d metadata mismatch: %+v vs %+v", i, l, s)
+		}
+		if s.Promoted && l.PromotedAt != s.PromotedAt {
+			t.Fatalf("story %d promotion time mismatch", i)
+		}
+		if len(l.Votes) != len(s.Votes) {
+			t.Fatalf("story %d votes: %d vs %d", i, len(l.Votes), len(s.Votes))
+		}
+		for j := range s.Votes {
+			if l.Votes[j] != s.Votes[j] {
+				t.Fatalf("story %d vote %d mismatch", i, j)
+			}
+		}
+	}
+	if len(got.TopUsers) != len(ds.TopUsers) {
+		t.Fatalf("top users: %d vs %d", len(got.TopUsers), len(ds.TopUsers))
+	}
+	for i := range ds.TopUsers {
+		if got.TopUsers[i] != ds.TopUsers[i] {
+			t.Fatal("top user order changed")
+		}
+	}
+	if got.RankOf(ds.TopUsers[0]) != 1 {
+		t.Error("rank lookup broken after load")
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("loading missing directory succeeded")
+	}
+}
+
+func TestGraphModelString(t *testing.T) {
+	cases := map[GraphModel]string{
+		GraphPreferential: "preferential",
+		GraphErdosRenyi:   "erdos-renyi",
+		GraphFlat:         "flat",
+		GraphModel(9):     "graphmodel(9)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("String(%d) = %q want %q", m, got, want)
+		}
+	}
+}
+
+func TestAlternativeGraphModels(t *testing.T) {
+	for _, model := range []GraphModel{GraphErdosRenyi, GraphFlat} {
+		cfg := SmallConfig()
+		cfg.Submissions = 60
+		cfg.GraphModel = model
+		ds, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if ds.Graph.NumNodes() != cfg.Users {
+			t.Errorf("%v: nodes = %d", model, ds.Graph.NumNodes())
+		}
+		// Mean degree roughly GraphM.
+		mean := float64(ds.Graph.NumEdges()) / float64(cfg.Users)
+		if mean < float64(cfg.GraphM)*0.5 || mean > float64(cfg.GraphM)*1.5 {
+			t.Errorf("%v: mean degree %.2f far from %d", model, mean, cfg.GraphM)
+		}
+		// No hubs: max fan count should stay modest compared to the BA
+		// substrate's thousands.
+		maxFans := 0
+		for u := 0; u < cfg.Users; u++ {
+			if d := ds.Graph.InDegree(digg.UserID(u)); d > maxFans {
+				maxFans = d
+			}
+		}
+		if maxFans > 100 {
+			t.Errorf("%v: unexpected hub with %d fans", model, maxFans)
+		}
+	}
+}
+
+func TestUnknownGraphModel(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.GraphModel = GraphModel(42)
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("unknown graph model accepted")
+	}
+}
+
+func TestOfflineInNetworkMatchesStored(t *testing.T) {
+	// The stored in-network flags (computed online by the platform)
+	// must agree with offline cascade analysis over the whole corpus.
+	ds := getSmall(t)
+	checked := 0
+	for _, s := range ds.Stories {
+		if s.VoteCount() < 5 {
+			continue
+		}
+		flags := cascade.InNetworkFlags(ds.Graph, cascade.Voters(s))
+		for i, f := range flags {
+			if f != s.Votes[i+1].InNetwork {
+				t.Fatalf("story %d vote %d: offline %v != stored %v", s.ID, i+1, f, s.Votes[i+1].InNetwork)
+			}
+		}
+		checked++
+		if checked >= 50 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no stories checked")
+	}
+}

@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadVotesCSV feeds corrupted votes files through Load to verify
+// the loader returns errors instead of panicking on malformed scrapes.
+func FuzzLoadVotesCSV(f *testing.F) {
+	f.Add("story,voter,at,in_network\n0,1,5,1\n")
+	f.Add("story,voter,at,in_network\n0,notanint,5,1\n")
+	f.Add("story,voter,at,in_network\n99,1,5,1\n")
+	f.Add("")
+	f.Add("story,voter,at\n0,1,5\n")
+	f.Add("story,voter,at,in_network\n-1,-2,-3,2\n")
+	f.Fuzz(func(t *testing.T, votes string) {
+		dir := t.TempDir()
+		write := func(name, content string) {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		write(graphFile, "from,to\n1,0\n")
+		write(storiesFile, "id,title,submitter,submitted_at,promoted,promoted_at\n0,t,0,0,0,-1\n")
+		write(topUsersFile, "rank,user\n1,0\n")
+		write(votesFile, votes)
+		ds, err := Load(dir)
+		if err != nil {
+			return // malformed input rejected: fine
+		}
+		// Accepted input must produce a well-formed dataset.
+		if ds.Graph == nil {
+			t.Fatal("accepted dataset without graph")
+		}
+		for _, s := range ds.Stories {
+			for _, v := range s.Votes {
+				if int(v.Voter) >= ds.Graph.NumNodes() {
+					t.Fatalf("voter %d outside graph (%d nodes)", v.Voter, ds.Graph.NumNodes())
+				}
+			}
+		}
+	})
+}
+
+// FuzzLoadGraphCSV does the same for the graph file.
+func FuzzLoadGraphCSV(f *testing.F) {
+	f.Add("from,to\n0,1\n")
+	f.Add("from,to\n-1,0\n")
+	f.Add("from,to\nx,y\n")
+	f.Add("from,to\n")
+	f.Fuzz(func(t *testing.T, edges string) {
+		dir := t.TempDir()
+		write := func(name, content string) {
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		write(graphFile, edges)
+		write(storiesFile, "id,title,submitter,submitted_at,promoted,promoted_at\n")
+		write(topUsersFile, "rank,user\n")
+		write(votesFile, "story,voter,at,in_network\n")
+		ds, err := Load(dir)
+		if err != nil {
+			return
+		}
+		if ds.Graph == nil || ds.Graph.NumEdges() < 0 {
+			t.Fatal("accepted dataset with broken graph")
+		}
+	})
+}

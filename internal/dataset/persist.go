@@ -1,0 +1,269 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"diggsim/internal/digg"
+	"diggsim/internal/graph"
+)
+
+// File names used inside a dataset directory.
+const (
+	graphFile    = "graph.csv"
+	storiesFile  = "stories.csv"
+	votesFile    = "votes.csv"
+	topUsersFile = "topusers.csv"
+)
+
+// Save writes the dataset to dir as CSV files (graph edges, stories,
+// votes, top users), creating dir if needed. The format matches what a
+// scraper of the simulated site would collect, and Load restores an
+// analyzable dataset from it.
+func (d *Dataset) Save(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, graphFile), []string{"from", "to"}, func(w *csv.Writer) error {
+		for _, e := range d.Graph.Edges() {
+			if err := w.Write([]string{itoa(int(e[0])), itoa(int(e[1]))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, storiesFile),
+		[]string{"id", "title", "submitter", "submitted_at", "promoted", "promoted_at"},
+		func(w *csv.Writer) error {
+			for _, s := range d.Stories {
+				promoted := "0"
+				promotedAt := "-1"
+				if s.Promoted {
+					promoted = "1"
+					promotedAt = itoa(int(s.PromotedAt))
+				}
+				err := w.Write([]string{
+					itoa(int(s.ID)), s.Title, itoa(int(s.Submitter)),
+					itoa(int(s.SubmittedAt)), promoted, promotedAt,
+				})
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, votesFile),
+		[]string{"story", "voter", "at", "in_network"},
+		func(w *csv.Writer) error {
+			for _, s := range d.Stories {
+				for _, v := range s.Votes {
+					inNet := "0"
+					if v.InNetwork {
+						inNet = "1"
+					}
+					err := w.Write([]string{
+						itoa(int(s.ID)), itoa(int(v.Voter)), itoa(int(v.At)), inNet,
+					})
+					if err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}); err != nil {
+		return err
+	}
+	return writeCSV(filepath.Join(dir, topUsersFile), []string{"rank", "user"},
+		func(w *csv.Writer) error {
+			for i, u := range d.TopUsers {
+				if err := w.Write([]string{itoa(i + 1), itoa(int(u))}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+}
+
+// Load reads a dataset directory written by Save (or by the scraper).
+// The returned Dataset has Graph, Stories, TopUsers and the snapshot
+// samples populated; Platform is nil because the live site state cannot
+// be reconstructed from a scrape, and Config holds only zero values
+// except the fields recoverable from the data.
+func Load(dir string) (*Dataset, error) {
+	d := &Dataset{}
+
+	// Graph.
+	b := &graph.Builder{}
+	if err := readCSV(filepath.Join(dir, graphFile), 2, func(rec []string) error {
+		from, err := atoi(rec[0])
+		if err != nil {
+			return err
+		}
+		to, err := atoi(rec[1])
+		if err != nil {
+			return err
+		}
+		return b.AddEdge(graph.NodeID(from), graph.NodeID(to))
+	}); err != nil {
+		return nil, fmt.Errorf("dataset: loading graph: %w", err)
+	}
+
+	// Stories.
+	byID := make(map[digg.StoryID]*digg.Story)
+	if err := readCSV(filepath.Join(dir, storiesFile), 6, func(rec []string) error {
+		id, err := atoi(rec[0])
+		if err != nil {
+			return err
+		}
+		submitter, err := atoi(rec[2])
+		if err != nil {
+			return err
+		}
+		submittedAt, err := atoi(rec[3])
+		if err != nil {
+			return err
+		}
+		promotedAt, err := atoi(rec[5])
+		if err != nil {
+			return err
+		}
+		s := &digg.Story{
+			ID:          digg.StoryID(id),
+			Title:       rec[1],
+			Submitter:   digg.UserID(submitter),
+			SubmittedAt: digg.Minutes(submittedAt),
+			Promoted:    rec[4] == "1",
+		}
+		if s.Promoted {
+			s.PromotedAt = digg.Minutes(promotedAt)
+		}
+		b.EnsureNodes(submitter + 1)
+		d.Stories = append(d.Stories, s)
+		byID[s.ID] = s
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("dataset: loading stories: %w", err)
+	}
+
+	// Votes.
+	if err := readCSV(filepath.Join(dir, votesFile), 4, func(rec []string) error {
+		id, err := atoi(rec[0])
+		if err != nil {
+			return err
+		}
+		voter, err := atoi(rec[1])
+		if err != nil {
+			return err
+		}
+		at, err := atoi(rec[2])
+		if err != nil {
+			return err
+		}
+		s, ok := byID[digg.StoryID(id)]
+		if !ok {
+			return fmt.Errorf("vote references unknown story %d", id)
+		}
+		b.EnsureNodes(voter + 1)
+		s.Votes = append(s.Votes, digg.Vote{
+			Voter:     digg.UserID(voter),
+			At:        digg.Minutes(at),
+			InNetwork: rec[3] == "1",
+		})
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("dataset: loading votes: %w", err)
+	}
+
+	// Top users.
+	if err := readCSV(filepath.Join(dir, topUsersFile), 2, func(rec []string) error {
+		u, err := atoi(rec[1])
+		if err != nil {
+			return err
+		}
+		d.TopUsers = append(d.TopUsers, digg.UserID(u))
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("dataset: loading top users: %w", err)
+	}
+
+	d.Graph = b.Build()
+	d.rankOf = make(map[digg.UserID]int, len(d.TopUsers))
+	for i, u := range d.TopUsers {
+		d.rankOf[u] = i + 1
+	}
+	// Recover snapshot samples using the latest promotion time seen as
+	// the snapshot instant, matching how the generator defined them.
+	var snapshot digg.Minutes
+	for _, s := range d.Stories {
+		if s.Promoted && s.PromotedAt > snapshot {
+			snapshot = s.PromotedAt
+		}
+	}
+	if snapshot > 0 {
+		d.FrontPage = frontPageSample(d.Stories, snapshot, len(d.Stories))
+		d.UpcomingAtSnapshot = upcomingSnapshot(d.Stories, snapshot)
+	}
+	return d, nil
+}
+
+func writeCSV(path string, header []string, body func(*csv.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := body(w); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func readCSV(path string, fields int, row func([]string) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = fields
+	r.ReuseRecord = true
+	first := true
+	for {
+		rec, err := r.Read()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if first {
+			first = false
+			continue // header
+		}
+		if err := row(rec); err != nil {
+			return err
+		}
+	}
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func atoi(s string) (int, error) { return strconv.Atoi(s) }

@@ -1,0 +1,75 @@
+package digg
+
+import "sort"
+
+// Comment is a user comment on a story. Digg's Friends interface
+// surfaced friends' comments alongside submissions and diggs ("the
+// number of stories his friends have submitted, commented on or voted
+// on in the preceding 48 hours"); the reproduction models comments so
+// that the Friends-interface view is structurally complete.
+type Comment struct {
+	Story StoryID
+	User  UserID
+	At    Minutes
+	Text  string
+}
+
+// CommentOn records a comment by u on story id at time t. Unlike
+// votes, users may comment repeatedly. Comments do not affect
+// promotion or visibility cascades (commenters have usually voted too;
+// modeling that coupling is not needed by any experiment).
+func (p *Platform) CommentOn(id StoryID, u UserID, t Minutes, text string) (Comment, error) {
+	if _, err := p.Story(id); err != nil {
+		return Comment{}, err
+	}
+	if u < 0 || int(u) >= p.Graph.NumNodes() {
+		return Comment{}, ErrUnknownUser
+	}
+	c := Comment{Story: id, User: u, At: t, Text: text}
+	p.comments = append(p.comments, c)
+	return c, nil
+}
+
+// Comments returns all comments on a story in chronological order.
+func (p *Platform) Comments(id StoryID) []Comment {
+	var out []Comment
+	for _, c := range p.comments {
+		if c.Story == id {
+			out = append(out, c)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// CommentCount returns the number of comments on a story.
+func (p *Platform) CommentCount(id StoryID) int {
+	n := 0
+	for _, c := range p.comments {
+		if c.Story == id {
+			n++
+		}
+	}
+	return n
+}
+
+// commentedStories returns story ids commented on by any of the users
+// in watched within (since, now], deduplicated, in first-comment order.
+func (p *Platform) commentedStories(watched map[UserID]struct{}, since, now Minutes) []StoryID {
+	var out []StoryID
+	seen := make(map[StoryID]struct{})
+	for _, c := range p.comments {
+		if c.At <= since || c.At > now {
+			continue
+		}
+		if _, ok := watched[c.User]; !ok {
+			continue
+		}
+		if _, dup := seen[c.Story]; dup {
+			continue
+		}
+		seen[c.Story] = struct{}{}
+		out = append(out, c.Story)
+	}
+	return out
+}

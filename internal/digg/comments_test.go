@@ -1,0 +1,70 @@
+package digg
+
+import "testing"
+
+func TestCommentFlow(t *testing.T) {
+	p := NewPlatform(testGraph(t), NeverPromote{})
+	s, _ := p.Submit(0, "t", 0.5, 0)
+	c, err := p.CommentOn(s.ID, 1, 5, "nice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Story != s.ID || c.User != 1 || c.Text != "nice" {
+		t.Errorf("comment = %+v", c)
+	}
+	// Repeated comments allowed, chronological ordering by At.
+	p.CommentOn(s.ID, 1, 9, "again")
+	p.CommentOn(s.ID, 2, 7, "mid")
+	got := p.Comments(s.ID)
+	if len(got) != 3 {
+		t.Fatalf("comments = %d", len(got))
+	}
+	if got[0].At != 5 || got[1].At != 7 || got[2].At != 9 {
+		t.Errorf("order = %+v", got)
+	}
+	if p.CommentCount(s.ID) != 3 {
+		t.Errorf("count = %d", p.CommentCount(s.ID))
+	}
+	if p.CommentCount(99) != 0 {
+		t.Error("phantom comments")
+	}
+}
+
+func TestCommentErrors(t *testing.T) {
+	p := NewPlatform(testGraph(t), NeverPromote{})
+	if _, err := p.CommentOn(0, 1, 0, "x"); err == nil {
+		t.Error("comment on missing story accepted")
+	}
+	s, _ := p.Submit(0, "t", 0.5, 0)
+	if _, err := p.CommentOn(s.ID, 99, 0, "x"); err != ErrUnknownUser {
+		t.Errorf("unknown commenter err = %v", err)
+	}
+}
+
+func TestFriendsInterfaceIncludesComments(t *testing.T) {
+	// 0 watches 1.
+	p := NewPlatform(testGraph(t), NeverPromote{})
+	// testGraph: 1 watches 0, so use user 1 as the observer of 0.
+	s, _ := p.Submit(2, "t", 0.5, 0)
+	p.CommentOn(s.ID, 0, 10, "hot take")
+	act := p.FriendsInterface(1, 0, 20)
+	if len(act.Commented) != 1 || act.Commented[0] != s.ID {
+		t.Errorf("Commented = %v", act.Commented)
+	}
+	// Window excludes the comment.
+	act = p.FriendsInterface(1, 15, 20)
+	if len(act.Commented) != 0 {
+		t.Errorf("windowed Commented = %v", act.Commented)
+	}
+	// Non-friends see nothing.
+	act = p.FriendsInterface(4, 0, 20)
+	if len(act.Commented) != 0 {
+		t.Errorf("stranger Commented = %v", act.Commented)
+	}
+	// Dedup: second comment by the same friend on the same story.
+	p.CommentOn(s.ID, 0, 12, "another")
+	act = p.FriendsInterface(1, 0, 20)
+	if len(act.Commented) != 1 {
+		t.Errorf("dedup failed: %v", act.Commented)
+	}
+}

@@ -1,0 +1,379 @@
+// Package digg simulates the Digg social news platform as described in
+// §3 of Lerman & Galstyan (2008): users submit stories into an upcoming
+// queue, vote ("digg") on stories, and a promotion algorithm moves the
+// most promising stories to the front page. Users are connected by an
+// asymmetric fan/friend graph, and the Friends interface makes a story
+// visible to the fans of everyone who has voted on it.
+//
+// The simulator reproduces the platform behaviours the paper's analysis
+// observes:
+//
+//   - an upcoming queue displaying recent submissions,
+//   - a front page fed by a promotion policy (the classic vote-count and
+//     vote-rate threshold, and the post-September-2006 "digging
+//     diversity" variant),
+//   - the Friends interface visibility rule, and
+//   - a reputation ranking ("top users") based on promoted submissions.
+//
+// Time is measured in integer minutes from the start of the simulation,
+// matching the paper's minute-resolution vote time series (Fig. 1).
+package digg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"diggsim/internal/graph"
+)
+
+// Minutes is simulation time in minutes since the simulation epoch.
+type Minutes int64
+
+// Day is the number of minutes in 24 hours, the window the classic
+// promotion algorithm examines.
+const Day Minutes = 24 * 60
+
+// UserID identifies a user; it doubles as the user's node in the social
+// graph.
+type UserID = graph.NodeID
+
+// StoryID identifies a story.
+type StoryID int32
+
+// Vote is a single digg on a story. Votes are stored in chronological
+// order; the submitter's own vote is always first, mirroring the
+// scraped data ("they are listed in chronological order, with
+// submitter's name appearing first").
+type Vote struct {
+	Voter UserID
+	At    Minutes
+	// InNetwork records whether, at voting time, the voter was a fan of
+	// the submitter or of any previous voter — i.e. the story was
+	// visible to the voter through the Friends interface.
+	InNetwork bool
+}
+
+// Story is a submitted news story and its full vote history.
+type Story struct {
+	ID          StoryID
+	Title       string
+	Submitter   UserID
+	SubmittedAt Minutes
+	Votes       []Vote
+	Promoted    bool
+	PromotedAt  Minutes // valid only when Promoted
+	// Interest is the story's intrinsic appeal in [0, 1], used by the
+	// behaviour model; it is hidden from analysis code, which must infer
+	// interestingness from votes like the paper does.
+	Interest float64
+}
+
+// VoteCount returns the current number of votes (including the
+// submitter's).
+func (s *Story) VoteCount() int { return len(s.Votes) }
+
+// VotedAtOrBefore returns the number of votes cast at or before t.
+func (s *Story) VotedAtOrBefore(t Minutes) int {
+	// Votes are chronological; binary search for the cut.
+	return sort.Search(len(s.Votes), func(i int) bool { return s.Votes[i].At > t })
+}
+
+// HasVoted reports whether u already voted on s. Voter sets are small
+// (hundreds to thousands); the platform maintains a per-story set, this
+// linear scan is only for external callers holding a bare Story.
+func (s *Story) HasVoted(u UserID) bool {
+	for _, v := range s.Votes {
+		if v.Voter == u {
+			return true
+		}
+	}
+	return false
+}
+
+// Platform is the simulated Digg site. It is not safe for concurrent
+// mutation; the discrete-event simulator drives it from one goroutine.
+type Platform struct {
+	Graph  *graph.Graph
+	Policy PromotionPolicy
+
+	stories  []*Story
+	voted    []map[UserID]struct{} // per-story voter sets
+	visible  []map[UserID]struct{} // per-story Friends-interface audience
+	promoted []StoryID             // promotion order
+	// promotedBySubmitter counts front-page stories per user, the basis
+	// of the reputation ("top users") ranking.
+	promotedBySubmitter map[UserID]int
+	// comments holds all comments in insertion order (see comments.go).
+	comments []Comment
+}
+
+// NewPlatform creates a platform over the given social graph using the
+// supplied promotion policy (ClassicPromotion with default settings if
+// nil).
+func NewPlatform(g *graph.Graph, policy PromotionPolicy) *Platform {
+	if policy == nil {
+		policy = NewClassicPromotion()
+	}
+	return &Platform{
+		Graph:               g,
+		Policy:              policy,
+		promotedBySubmitter: make(map[UserID]int),
+	}
+}
+
+// NumStories returns the number of submitted stories.
+func (p *Platform) NumStories() int { return len(p.stories) }
+
+// Story returns the story with the given id, or an error if it does not
+// exist.
+func (p *Platform) Story(id StoryID) (*Story, error) {
+	if id < 0 || int(id) >= len(p.stories) {
+		return nil, fmt.Errorf("digg: no story %d", id)
+	}
+	return p.stories[id], nil
+}
+
+// Stories returns all stories in submission order. The slice is shared;
+// callers must not modify it.
+func (p *Platform) Stories() []*Story { return p.stories }
+
+// ErrUnknownUser is returned when a user id falls outside the social
+// graph.
+var ErrUnknownUser = errors.New("digg: user outside social graph")
+
+// ErrAlreadyVoted is returned when a user diggs a story twice.
+var ErrAlreadyVoted = errors.New("digg: user already voted on story")
+
+// ErrStoryCompacted is returned when voting on a story whose live state
+// was released with CompactStory.
+var ErrStoryCompacted = errors.New("digg: story state was compacted")
+
+// Submit creates a new story submitted by u at time t with the given
+// intrinsic interest. The submitter's implicit first vote is recorded,
+// and the story becomes visible to the submitter's fans.
+func (p *Platform) Submit(u UserID, title string, interest float64, t Minutes) (*Story, error) {
+	if u < 0 || int(u) >= p.Graph.NumNodes() {
+		return nil, ErrUnknownUser
+	}
+	s := &Story{
+		ID:          StoryID(len(p.stories)),
+		Title:       title,
+		Submitter:   u,
+		SubmittedAt: t,
+		Interest:    interest,
+	}
+	s.Votes = append(s.Votes, Vote{Voter: u, At: t, InNetwork: false})
+	p.stories = append(p.stories, s)
+	p.voted = append(p.voted, map[UserID]struct{}{u: {}})
+	aud := make(map[UserID]struct{})
+	for _, fan := range p.Graph.Fans(u) {
+		aud[fan] = struct{}{}
+	}
+	p.visible = append(p.visible, aud)
+	return s, nil
+}
+
+// DiggResult reports the consequences of a vote.
+type DiggResult struct {
+	InNetwork bool // vote arrived through the Friends interface audience
+	Promoted  bool // this vote triggered promotion to the front page
+}
+
+// Digg records a vote by u on story id at time t. The vote is flagged
+// in-network if u was in the story's Friends-interface audience (a fan
+// of the submitter or any prior voter) at voting time. After the vote,
+// u's fans join the audience and the promotion policy is consulted.
+func (p *Platform) Digg(id StoryID, u UserID, t Minutes) (DiggResult, error) {
+	s, err := p.Story(id)
+	if err != nil {
+		return DiggResult{}, err
+	}
+	if u < 0 || int(u) >= p.Graph.NumNodes() {
+		return DiggResult{}, ErrUnknownUser
+	}
+	if p.voted[id] == nil {
+		return DiggResult{}, ErrStoryCompacted
+	}
+	if _, dup := p.voted[id][u]; dup {
+		return DiggResult{}, ErrAlreadyVoted
+	}
+	_, inNet := p.visible[id][u]
+	s.Votes = append(s.Votes, Vote{Voter: u, At: t, InNetwork: inNet})
+	p.voted[id][u] = struct{}{}
+	for _, fan := range p.Graph.Fans(u) {
+		p.visible[id][fan] = struct{}{}
+	}
+	res := DiggResult{InNetwork: inNet}
+	if !s.Promoted && p.Policy.ShouldPromote(s, t) {
+		s.Promoted = true
+		s.PromotedAt = t
+		p.promoted = append(p.promoted, id)
+		p.promotedBySubmitter[s.Submitter]++
+		res.Promoted = true
+	}
+	return res, nil
+}
+
+// Audience returns the number of users who can currently see story id
+// through the Friends interface (the story's "influence" in the paper's
+// terms). The submitter and voters themselves are not counted unless
+// they are also fans of a voter.
+func (p *Platform) Audience(id StoryID) int {
+	if id < 0 || int(id) >= len(p.visible) {
+		return 0
+	}
+	return len(p.visible[id])
+}
+
+// CanSee reports whether user u currently sees story id through the
+// Friends interface.
+func (p *Platform) CanSee(id StoryID, u UserID) bool {
+	if id < 0 || int(id) >= len(p.visible) {
+		return false
+	}
+	_, ok := p.visible[id][u]
+	return ok
+}
+
+// CompactStory releases the per-story voter and audience bookkeeping
+// once a story's lifetime has been fully simulated. The vote history
+// (including in-network flags) is retained; further Digg calls on the
+// story will be rejected, and Audience/CanSee report zero. Large-corpus
+// generation calls this after each story to bound memory.
+func (p *Platform) CompactStory(id StoryID) error {
+	if _, err := p.Story(id); err != nil {
+		return err
+	}
+	p.voted[id] = nil
+	p.visible[id] = nil
+	return nil
+}
+
+// Upcoming returns stories that are not yet promoted, newest first,
+// limited to limit entries (limit <= 0 means no limit) — the upcoming
+// stories queue as displayed on the site.
+func (p *Platform) Upcoming(now Minutes, limit int) []*Story {
+	var out []*Story
+	for i := len(p.stories) - 1; i >= 0; i-- {
+		s := p.stories[i]
+		if s.Promoted || s.SubmittedAt > now {
+			continue
+		}
+		out = append(out, s)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// FrontPage returns promoted stories, most recently promoted first,
+// limited to limit entries (limit <= 0 means no limit).
+func (p *Platform) FrontPage(limit int) []*Story {
+	var out []*Story
+	for i := len(p.promoted) - 1; i >= 0; i-- {
+		out = append(out, p.stories[p.promoted[i]])
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// PromotedCount returns the number of front-page stories.
+func (p *Platform) PromotedCount() int { return len(p.promoted) }
+
+// FriendActivity summarizes what u's friends did in the window
+// (since, now], mirroring Digg's Friends interface summary ("the number
+// of stories his friends have submitted, commented on or voted on in
+// the preceding 48 hours").
+type FriendActivity struct {
+	Submitted []StoryID
+	Dugg      []StoryID
+	Commented []StoryID
+}
+
+// FriendsInterface computes the friend-activity view for u: stories
+// submitted or dugg by users u watches within the window.
+func (p *Platform) FriendsInterface(u UserID, since, now Minutes) FriendActivity {
+	watched := make(map[UserID]struct{})
+	for _, f := range p.Graph.Friends(u) {
+		watched[f] = struct{}{}
+	}
+	var act FriendActivity
+	seenSub := make(map[StoryID]struct{})
+	seenDug := make(map[StoryID]struct{})
+	for _, s := range p.stories {
+		if s.SubmittedAt > now {
+			continue
+		}
+		if _, ok := watched[s.Submitter]; ok && s.SubmittedAt > since {
+			if _, dup := seenSub[s.ID]; !dup {
+				act.Submitted = append(act.Submitted, s.ID)
+				seenSub[s.ID] = struct{}{}
+			}
+		}
+		for _, v := range s.Votes[1:] { // skip submitter's implicit vote
+			if v.At <= since || v.At > now {
+				continue
+			}
+			if _, ok := watched[v.Voter]; ok {
+				if _, dup := seenDug[s.ID]; !dup {
+					act.Dugg = append(act.Dugg, s.ID)
+					seenDug[s.ID] = struct{}{}
+				}
+				break
+			}
+		}
+	}
+	act.Commented = p.commentedStories(watched, since, now)
+	return act
+}
+
+// TopUsers returns up to k users ranked by promoted front-page
+// submissions (descending), breaking ties by fan count then ID — the
+// site's "Top Users" reputation list.
+func (p *Platform) TopUsers(k int) []UserID {
+	type entry struct {
+		u        UserID
+		promoted int
+	}
+	entries := make([]entry, 0, len(p.promotedBySubmitter))
+	for u, c := range p.promotedBySubmitter {
+		entries = append(entries, entry{u, c})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].promoted != entries[j].promoted {
+			return entries[i].promoted > entries[j].promoted
+		}
+		fi, fj := p.Graph.InDegree(entries[i].u), p.Graph.InDegree(entries[j].u)
+		if fi != fj {
+			return fi > fj
+		}
+		return entries[i].u < entries[j].u
+	})
+	if k > len(entries) {
+		k = len(entries)
+	}
+	if k < 0 {
+		k = 0
+	}
+	out := make([]UserID, k)
+	for i := 0; i < k; i++ {
+		out[i] = entries[i].u
+	}
+	return out
+}
+
+// UserRank returns the 1-based reputation rank of u (1 = most promoted
+// submissions) or 0 if u has no promoted stories.
+func (p *Platform) UserRank(u UserID) int {
+	top := p.TopUsers(len(p.promotedBySubmitter))
+	for i, t := range top {
+		if t == u {
+			return i + 1
+		}
+	}
+	return 0
+}

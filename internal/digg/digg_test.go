@@ -1,0 +1,376 @@
+package digg
+
+import (
+	"testing"
+
+	"diggsim/internal/graph"
+)
+
+// testGraph builds a small fan graph:
+//
+//	1 -> 0, 2 -> 0          (users 1 and 2 are fans of 0)
+//	3 -> 1                  (user 3 is a fan of 1)
+//	4 is isolated
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdgeList(5, [][2]graph.NodeID{{1, 0}, {2, 0}, {3, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSubmitBasics(t *testing.T) {
+	p := NewPlatform(testGraph(t), NeverPromote{})
+	s, err := p.Submit(0, "hello", 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != 0 || s.Submitter != 0 || s.SubmittedAt != 10 {
+		t.Errorf("story = %+v", s)
+	}
+	if s.VoteCount() != 1 || s.Votes[0].Voter != 0 {
+		t.Error("submitter's implicit vote missing")
+	}
+	if s.Votes[0].InNetwork {
+		t.Error("submitter vote must not be in-network")
+	}
+	if p.NumStories() != 1 {
+		t.Errorf("NumStories = %d", p.NumStories())
+	}
+}
+
+func TestSubmitUnknownUser(t *testing.T) {
+	p := NewPlatform(testGraph(t), NeverPromote{})
+	if _, err := p.Submit(99, "x", 0.5, 0); err != ErrUnknownUser {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := p.Submit(-1, "x", 0.5, 0); err != ErrUnknownUser {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVisibilityAfterSubmit(t *testing.T) {
+	p := NewPlatform(testGraph(t), NeverPromote{})
+	s, _ := p.Submit(0, "t", 0.5, 0)
+	// Fans of 0 are 1 and 2.
+	if !p.CanSee(s.ID, 1) || !p.CanSee(s.ID, 2) {
+		t.Error("submitter's fans should see the story")
+	}
+	if p.CanSee(s.ID, 3) || p.CanSee(s.ID, 4) {
+		t.Error("non-fans should not see the story")
+	}
+	if p.Audience(s.ID) != 2 {
+		t.Errorf("Audience = %d want 2", p.Audience(s.ID))
+	}
+}
+
+func TestDiggInNetworkFlag(t *testing.T) {
+	p := NewPlatform(testGraph(t), NeverPromote{})
+	s, _ := p.Submit(0, "t", 0.5, 0)
+	// User 1 is a fan of submitter 0 -> in-network vote.
+	res, err := p.Digg(s.ID, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.InNetwork {
+		t.Error("fan vote should be in-network")
+	}
+	// User 4 is isolated -> out-of-network.
+	res, err = p.Digg(s.ID, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InNetwork {
+		t.Error("isolated user's vote should be out-of-network")
+	}
+	// After 1 voted, fan of 1 (user 3) sees the story -> in-network.
+	res, err = p.Digg(s.ID, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.InNetwork {
+		t.Error("fan of a prior voter should be in-network")
+	}
+	if got := s.VoteCount(); got != 4 {
+		t.Errorf("VoteCount = %d", got)
+	}
+}
+
+func TestAudienceGrowsWithVotes(t *testing.T) {
+	p := NewPlatform(testGraph(t), NeverPromote{})
+	s, _ := p.Submit(4, "t", 0.5, 0) // isolated submitter: audience 0
+	if p.Audience(s.ID) != 0 {
+		t.Errorf("audience = %d", p.Audience(s.ID))
+	}
+	p.Digg(s.ID, 0, 1) // 0's fans are 1, 2
+	if p.Audience(s.ID) != 2 {
+		t.Errorf("audience after 0 votes on it = %d want 2", p.Audience(s.ID))
+	}
+	p.Digg(s.ID, 1, 2) // 1's fan is 3
+	if p.Audience(s.ID) != 3 {
+		t.Errorf("audience = %d want 3", p.Audience(s.ID))
+	}
+}
+
+func TestDoubleVoteRejected(t *testing.T) {
+	p := NewPlatform(testGraph(t), NeverPromote{})
+	s, _ := p.Submit(0, "t", 0.5, 0)
+	if _, err := p.Digg(s.ID, 0, 1); err != ErrAlreadyVoted {
+		t.Errorf("submitter re-vote: err = %v", err)
+	}
+	p.Digg(s.ID, 1, 1)
+	if _, err := p.Digg(s.ID, 1, 2); err != ErrAlreadyVoted {
+		t.Errorf("double vote: err = %v", err)
+	}
+}
+
+func TestDiggErrors(t *testing.T) {
+	p := NewPlatform(testGraph(t), NeverPromote{})
+	if _, err := p.Digg(0, 1, 0); err == nil {
+		t.Error("vote on missing story accepted")
+	}
+	s, _ := p.Submit(0, "t", 0.5, 0)
+	if _, err := p.Digg(s.ID, 99, 0); err != ErrUnknownUser {
+		t.Errorf("unknown voter: err = %v", err)
+	}
+}
+
+func TestVotedAtOrBefore(t *testing.T) {
+	p := NewPlatform(testGraph(t), NeverPromote{})
+	s, _ := p.Submit(0, "t", 0.5, 0)
+	p.Digg(s.ID, 1, 10)
+	p.Digg(s.ID, 2, 20)
+	cases := []struct {
+		t    Minutes
+		want int
+	}{{-1, 0}, {0, 1}, {9, 1}, {10, 2}, {25, 3}}
+	for _, c := range cases {
+		if got := s.VotedAtOrBefore(c.t); got != c.want {
+			t.Errorf("VotedAtOrBefore(%d) = %d want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestHasVoted(t *testing.T) {
+	p := NewPlatform(testGraph(t), NeverPromote{})
+	s, _ := p.Submit(0, "t", 0.5, 0)
+	if !s.HasVoted(0) {
+		t.Error("submitter should count as voted")
+	}
+	if s.HasVoted(1) {
+		t.Error("non-voter marked as voted")
+	}
+}
+
+func TestUpcomingAndFrontPage(t *testing.T) {
+	g, _ := graph.FromEdgeList(50, nil)
+	p := NewPlatform(g, &ClassicPromotion{VoteThreshold: 3, Window: Day})
+	a, _ := p.Submit(0, "a", 0.5, 0)
+	b, _ := p.Submit(1, "b", 0.5, 5)
+	up := p.Upcoming(10, 0)
+	if len(up) != 2 || up[0].ID != b.ID || up[1].ID != a.ID {
+		t.Fatalf("Upcoming = %v", up)
+	}
+	// Not yet submitted stories are hidden.
+	c, _ := p.Submit(2, "c", 0.5, 100)
+	if got := p.Upcoming(10, 0); len(got) != 2 {
+		t.Errorf("future story leaked into queue: %d", len(got))
+	}
+	// Limit.
+	if got := p.Upcoming(200, 1); len(got) != 1 || got[0].ID != c.ID {
+		t.Errorf("limited Upcoming = %v", got)
+	}
+	// Promote a: votes 2 and 3 reach the threshold of 3.
+	p.Digg(a.ID, 10, 6)
+	res, _ := p.Digg(a.ID, 11, 7)
+	if !res.Promoted {
+		t.Fatal("story a should promote at 3 votes")
+	}
+	if !a.Promoted || a.PromotedAt != 7 {
+		t.Errorf("promotion state: %+v", a)
+	}
+	fp := p.FrontPage(0)
+	if len(fp) != 1 || fp[0].ID != a.ID {
+		t.Errorf("FrontPage = %v", fp)
+	}
+	if got := p.Upcoming(200, 0); len(got) != 2 {
+		t.Errorf("promoted story still in queue: %d entries", len(got))
+	}
+	if p.PromotedCount() != 1 {
+		t.Errorf("PromotedCount = %d", p.PromotedCount())
+	}
+}
+
+func TestClassicPromotionWindow(t *testing.T) {
+	pol := &ClassicPromotion{VoteThreshold: 2, Window: 100}
+	s := &Story{SubmittedAt: 0, Votes: []Vote{{At: 0}, {At: 150}}}
+	if pol.ShouldPromote(s, 150) {
+		t.Error("promoted outside window")
+	}
+	s2 := &Story{SubmittedAt: 0, Votes: []Vote{{At: 0}, {At: 50}}}
+	if !pol.ShouldPromote(s2, 50) {
+		t.Error("not promoted inside window")
+	}
+}
+
+func TestClassicPromotionRate(t *testing.T) {
+	pol := &ClassicPromotion{VoteThreshold: 2, Window: Day, MinRate: 10}
+	// 2 votes over 600 minutes = 0.2/hour < 10.
+	slow := &Story{SubmittedAt: 0, Votes: []Vote{{At: 0}, {At: 600}}}
+	if pol.ShouldPromote(slow, 600) {
+		t.Error("slow story promoted despite rate floor")
+	}
+	// 5 votes in 6 minutes = 50/hour.
+	fast := &Story{SubmittedAt: 0, Votes: make([]Vote, 5)}
+	if !pol.ShouldPromote(fast, 6) {
+		t.Error("fast story not promoted")
+	}
+}
+
+func TestDefaultPolicyBoundary(t *testing.T) {
+	// The paper: no front page story with fewer than 43 votes.
+	pol := NewClassicPromotion()
+	s := &Story{SubmittedAt: 0, Votes: make([]Vote, 42)}
+	if pol.ShouldPromote(s, 60) {
+		t.Error("42 votes promoted")
+	}
+	s.Votes = make([]Vote, 43)
+	if !pol.ShouldPromote(s, 60) {
+		t.Error("43 votes not promoted")
+	}
+}
+
+func TestDiversityPromotion(t *testing.T) {
+	pol := &DiversityPromotion{EffectiveThreshold: 4, InNetworkWeight: 0.5, Window: Day}
+	inNet := func(n int) []Vote {
+		vs := make([]Vote, n)
+		for i := range vs {
+			vs[i].InNetwork = true
+		}
+		return vs
+	}
+	// 7 in-network votes = 3.5 mass < 4.
+	s := &Story{Votes: inNet(7)}
+	if pol.ShouldPromote(s, 10) {
+		t.Error("in-network votes overweighted")
+	}
+	// 8 in-network votes = 4.0 mass.
+	s = &Story{Votes: inNet(8)}
+	if !pol.ShouldPromote(s, 10) {
+		t.Error("8 in-network votes should reach mass 4")
+	}
+	// 4 independent votes promote immediately.
+	s = &Story{Votes: make([]Vote, 4)}
+	if !pol.ShouldPromote(s, 10) {
+		t.Error("4 independent votes should promote")
+	}
+	// Window still applies.
+	s = &Story{SubmittedAt: 0, Votes: make([]Vote, 10)}
+	if pol.ShouldPromote(s, 2*Day) {
+		t.Error("diversity policy ignored window")
+	}
+}
+
+func TestFriendsInterface(t *testing.T) {
+	// 0 watches 1 (0's friend is 1).
+	g, _ := graph.FromEdgeList(4, [][2]graph.NodeID{{0, 1}})
+	p := NewPlatform(g, NeverPromote{})
+	s1, _ := p.Submit(1, "by friend", 0.5, 10)
+	s2, _ := p.Submit(2, "by stranger", 0.5, 10)
+	p.Digg(s2.ID, 1, 20) // friend diggs stranger's story
+
+	act := p.FriendsInterface(0, 0, 30)
+	if len(act.Submitted) != 1 || act.Submitted[0] != s1.ID {
+		t.Errorf("Submitted = %v", act.Submitted)
+	}
+	if len(act.Dugg) != 1 || act.Dugg[0] != s2.ID {
+		t.Errorf("Dugg = %v", act.Dugg)
+	}
+	// Window excludes old activity.
+	act = p.FriendsInterface(0, 25, 30)
+	if len(act.Submitted) != 0 || len(act.Dugg) != 0 {
+		t.Errorf("windowed activity = %+v", act)
+	}
+	// A user with no friends sees nothing.
+	act = p.FriendsInterface(3, 0, 30)
+	if len(act.Submitted) != 0 || len(act.Dugg) != 0 {
+		t.Errorf("friendless activity = %+v", act)
+	}
+}
+
+func TestTopUsersRanking(t *testing.T) {
+	g, _ := graph.FromEdgeList(60, nil)
+	p := NewPlatform(g, &ClassicPromotion{VoteThreshold: 2, Window: Day})
+	promote := func(submitter UserID, times int) {
+		for i := 0; i < times; i++ {
+			s, err := p.Submit(submitter, "t", 0.5, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// One extra vote reaches threshold 2.
+			voter := UserID(50 + i%10)
+			if _, err := p.Digg(s.ID, voter, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	promote(3, 5)
+	promote(7, 2)
+	promote(9, 1)
+	top := p.TopUsers(2)
+	if len(top) != 2 || top[0] != 3 || top[1] != 7 {
+		t.Errorf("TopUsers = %v", top)
+	}
+	if p.UserRank(3) != 1 || p.UserRank(7) != 2 || p.UserRank(9) != 3 {
+		t.Errorf("ranks = %d %d %d", p.UserRank(3), p.UserRank(7), p.UserRank(9))
+	}
+	if p.UserRank(4) != 0 {
+		t.Errorf("unpromoted user rank = %d", p.UserRank(4))
+	}
+	if got := p.TopUsers(-1); len(got) != 0 {
+		t.Errorf("TopUsers(-1) = %v", got)
+	}
+}
+
+func TestStoryLookupErrors(t *testing.T) {
+	p := NewPlatform(testGraph(t), nil)
+	if _, err := p.Story(0); err == nil {
+		t.Error("missing story lookup succeeded")
+	}
+	if _, err := p.Story(-1); err == nil {
+		t.Error("negative story lookup succeeded")
+	}
+	if p.Audience(-1) != 0 || p.CanSee(5, 0) {
+		t.Error("out-of-range audience queries should be empty")
+	}
+}
+
+func TestCompactStory(t *testing.T) {
+	p := NewPlatform(testGraph(t), NeverPromote{})
+	s, _ := p.Submit(0, "t", 0.5, 0)
+	p.Digg(s.ID, 1, 1)
+	if err := p.CompactStory(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Vote history survives, live state is gone.
+	if s.VoteCount() != 2 || !s.Votes[1].InNetwork {
+		t.Error("vote history lost by compaction")
+	}
+	if p.Audience(s.ID) != 0 || p.CanSee(s.ID, 2) {
+		t.Error("compacted story still reports audience")
+	}
+	if _, err := p.Digg(s.ID, 2, 3); err != ErrStoryCompacted {
+		t.Errorf("vote on compacted story: err = %v", err)
+	}
+	if err := p.CompactStory(99); err == nil {
+		t.Error("compacting missing story succeeded")
+	}
+}
+
+func TestNilPolicyDefaults(t *testing.T) {
+	p := NewPlatform(testGraph(t), nil)
+	if _, ok := p.Policy.(*ClassicPromotion); !ok {
+		t.Errorf("default policy = %T", p.Policy)
+	}
+}

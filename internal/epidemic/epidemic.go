@@ -1,0 +1,305 @@
+// Package epidemic implements the spreading processes cited in §6 of
+// the paper as future work: SIS and SIR epidemics (Pastor-Satorras &
+// Vespignani, refs [16, 17]), the independent-cascade model and the
+// linear-threshold model (Galstyan & Cohen, ref [5]).
+//
+// The ext1 experiment sweeps the SIS spreading rate on scale-free vs.
+// Erdős–Rényi graphs to reproduce the vanishing-epidemic-threshold
+// contrast; ext2 runs independent cascades on modular vs. homogeneous
+// graphs to show community structure trapping cascades.
+package epidemic
+
+import (
+	"errors"
+
+	"diggsim/internal/graph"
+	"diggsim/internal/rng"
+)
+
+// SISConfig parameterizes an SIS (susceptible-infected-susceptible)
+// simulation on the undirected projection of the graph.
+type SISConfig struct {
+	// Lambda is the per-step infection probability along each edge from
+	// an infected node to a susceptible neighbor.
+	Lambda float64
+	// Recovery is the per-step probability an infected node recovers
+	// (returns to susceptible).
+	Recovery float64
+	// Steps is the number of synchronous update rounds.
+	Steps int
+	// InitialInfected is the number of seed infections (>= 1).
+	InitialInfected int
+}
+
+// Validate reports configuration errors.
+func (c SISConfig) Validate() error {
+	switch {
+	case c.Lambda < 0 || c.Lambda > 1:
+		return errors.New("epidemic: Lambda must be in [0, 1]")
+	case c.Recovery <= 0 || c.Recovery > 1:
+		return errors.New("epidemic: Recovery must be in (0, 1]")
+	case c.Steps < 1:
+		return errors.New("epidemic: Steps must be >= 1")
+	case c.InitialInfected < 1:
+		return errors.New("epidemic: InitialInfected must be >= 1")
+	}
+	return nil
+}
+
+// SISResult reports the endemic state of an SIS run.
+type SISResult struct {
+	// Prevalence is the fraction of infected nodes averaged over the
+	// final quarter of the run (the endemic density).
+	Prevalence float64
+	// PeakInfected is the maximum simultaneous infections seen.
+	PeakInfected int
+}
+
+// SIS runs the epidemic and returns its endemic statistics.
+func SIS(g *graph.Graph, cfg SISConfig, r *rng.RNG) (SISResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SISResult{}, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return SISResult{}, nil
+	}
+	infected := make([]bool, n)
+	seeds := cfg.InitialInfected
+	if seeds > n {
+		seeds = n
+	}
+	for _, idx := range r.SampleWithoutReplacement(n, seeds) {
+		infected[idx] = true
+	}
+	next := make([]bool, n)
+	peak, tailSum, tailCount := seeds, 0.0, 0
+	tailStart := cfg.Steps * 3 / 4
+	for step := 0; step < cfg.Steps; step++ {
+		copy(next, infected)
+		for u := 0; u < n; u++ {
+			if infected[u] {
+				if r.Bool(cfg.Recovery) {
+					next[u] = false
+				}
+				continue
+			}
+			// Infection attempts from infected neighbors (undirected).
+			for _, v := range g.Friends(graph.NodeID(u)) {
+				if infected[v] && r.Bool(cfg.Lambda) {
+					next[u] = true
+					break
+				}
+			}
+			if !next[u] {
+				for _, v := range g.Fans(graph.NodeID(u)) {
+					if infected[v] && r.Bool(cfg.Lambda) {
+						next[u] = true
+						break
+					}
+				}
+			}
+		}
+		infected, next = next, infected
+		count := 0
+		for _, inf := range infected {
+			if inf {
+				count++
+			}
+		}
+		if count > peak {
+			peak = count
+		}
+		if step >= tailStart {
+			tailSum += float64(count)
+			tailCount++
+		}
+		if count == 0 {
+			// Absorbed: prevalence is zero for the remaining tail.
+			remaining := cfg.Steps - step - 1
+			if step+1 >= tailStart {
+				tailCount += remaining
+			} else {
+				tailCount += cfg.Steps - tailStart
+			}
+			break
+		}
+	}
+	res := SISResult{PeakInfected: peak}
+	if tailCount > 0 {
+		res.Prevalence = tailSum / float64(tailCount) / float64(n)
+	}
+	return res, nil
+}
+
+// ThresholdSweep runs SIS at each lambda and returns the endemic
+// prevalences; on scale-free graphs prevalence stays positive down to
+// tiny lambda while on ER graphs it vanishes below ~Recovery/<k>.
+func ThresholdSweep(g *graph.Graph, lambdas []float64, base SISConfig, r *rng.RNG) ([]float64, error) {
+	out := make([]float64, len(lambdas))
+	for i, l := range lambdas {
+		cfg := base
+		cfg.Lambda = l
+		res, err := SIS(g, cfg, r.Split())
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res.Prevalence
+	}
+	return out, nil
+}
+
+// SIRResult reports the outcome of an SIR (susceptible-infected-
+// removed) run.
+type SIRResult struct {
+	// FinalSize is the fraction of nodes ever infected.
+	FinalSize float64
+	// Duration is the number of steps until no infections remained.
+	Duration int
+}
+
+// SIR runs a susceptible-infected-removed epidemic with the same
+// parameters as SIS (Recovery moves nodes to the removed state).
+func SIR(g *graph.Graph, cfg SISConfig, r *rng.RNG) (SIRResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return SIRResult{}, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return SIRResult{}, nil
+	}
+	const (
+		susceptible = iota
+		infectedState
+		removed
+	)
+	state := make([]int, n)
+	seeds := cfg.InitialInfected
+	if seeds > n {
+		seeds = n
+	}
+	for _, idx := range r.SampleWithoutReplacement(n, seeds) {
+		state[idx] = infectedState
+	}
+	everInfected := seeds
+	duration := 0
+	for step := 0; step < cfg.Steps; step++ {
+		var newInfections []int
+		var recoveries []int
+		active := false
+		for u := 0; u < n; u++ {
+			if state[u] != infectedState {
+				continue
+			}
+			active = true
+			infect := func(v graph.NodeID) {
+				if state[v] == susceptible && r.Bool(cfg.Lambda) {
+					newInfections = append(newInfections, int(v))
+				}
+			}
+			for _, v := range g.Friends(graph.NodeID(u)) {
+				infect(v)
+			}
+			for _, v := range g.Fans(graph.NodeID(u)) {
+				infect(v)
+			}
+			if r.Bool(cfg.Recovery) {
+				recoveries = append(recoveries, u)
+			}
+		}
+		if !active {
+			break
+		}
+		duration = step + 1
+		for _, u := range newInfections {
+			if state[u] == susceptible {
+				state[u] = infectedState
+				everInfected++
+			}
+		}
+		for _, u := range recoveries {
+			state[u] = removed
+		}
+	}
+	return SIRResult{
+		FinalSize: float64(everInfected) / float64(n),
+		Duration:  duration,
+	}, nil
+}
+
+// IndependentCascade runs the independent-cascade model: each newly
+// activated node gets one chance to activate each of its fans with
+// probability p (activation flows from a voter to the users watching
+// them, matching the Friends-interface direction). It returns the set
+// of activated nodes in activation order.
+func IndependentCascade(g *graph.Graph, seeds []graph.NodeID, p float64, r *rng.RNG) []graph.NodeID {
+	active := make(map[graph.NodeID]bool, len(seeds))
+	var order, frontier []graph.NodeID
+	for _, s := range seeds {
+		if s < 0 || int(s) >= g.NumNodes() || active[s] {
+			continue
+		}
+		active[s] = true
+		order = append(order, s)
+		frontier = append(frontier, s)
+	}
+	for len(frontier) > 0 {
+		var next []graph.NodeID
+		for _, u := range frontier {
+			for _, fan := range g.Fans(u) {
+				if !active[fan] && r.Bool(p) {
+					active[fan] = true
+					order = append(order, fan)
+					next = append(next, fan)
+				}
+			}
+		}
+		frontier = next
+	}
+	return order
+}
+
+// LinearThreshold runs the linear-threshold model: node v activates
+// when the fraction of its watched users (friends) that are active
+// reaches its threshold. Thresholds are drawn uniformly per node. It
+// returns the activated nodes in activation order.
+func LinearThreshold(g *graph.Graph, seeds []graph.NodeID, r *rng.RNG) []graph.NodeID {
+	n := g.NumNodes()
+	threshold := make([]float64, n)
+	for i := range threshold {
+		threshold[i] = r.Float64()
+	}
+	active := make([]bool, n)
+	var order []graph.NodeID
+	for _, s := range seeds {
+		if s < 0 || int(s) >= n || active[s] {
+			continue
+		}
+		active[s] = true
+		order = append(order, s)
+	}
+	for changed := true; changed; {
+		changed = false
+		for u := 0; u < n; u++ {
+			if active[u] {
+				continue
+			}
+			friends := g.Friends(graph.NodeID(u))
+			if len(friends) == 0 {
+				continue
+			}
+			act := 0
+			for _, v := range friends {
+				if active[v] {
+					act++
+				}
+			}
+			if float64(act)/float64(len(friends)) >= threshold[u] {
+				active[u] = true
+				order = append(order, graph.NodeID(u))
+				changed = true
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,216 @@
+package epidemic
+
+import (
+	"testing"
+
+	"diggsim/internal/graph"
+	"diggsim/internal/rng"
+)
+
+func TestSISValidate(t *testing.T) {
+	good := SISConfig{Lambda: 0.1, Recovery: 0.2, Steps: 10, InitialInfected: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SISConfig{
+		{Lambda: -0.1, Recovery: 0.2, Steps: 10, InitialInfected: 1},
+		{Lambda: 1.1, Recovery: 0.2, Steps: 10, InitialInfected: 1},
+		{Lambda: 0.1, Recovery: 0, Steps: 10, InitialInfected: 1},
+		{Lambda: 0.1, Recovery: 0.2, Steps: 0, InitialInfected: 1},
+		{Lambda: 0.1, Recovery: 0.2, Steps: 10, InitialInfected: 0},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSISZeroLambdaDiesOut(t *testing.T) {
+	r := rng.New(1)
+	g, err := graph.ErdosRenyi(r, 300, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SIS(g, SISConfig{Lambda: 0, Recovery: 0.5, Steps: 200, InitialInfected: 10}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prevalence > 0.001 {
+		t.Errorf("prevalence = %v with no transmission", res.Prevalence)
+	}
+	if res.PeakInfected < 10 {
+		t.Errorf("peak %d below seed count", res.PeakInfected)
+	}
+}
+
+func TestSISHighLambdaEndemic(t *testing.T) {
+	r := rng.New(2)
+	g, err := graph.ErdosRenyi(r, 300, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SIS(g, SISConfig{Lambda: 0.8, Recovery: 0.1, Steps: 200, InitialInfected: 5}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Prevalence < 0.5 {
+		t.Errorf("prevalence = %v; should be endemic", res.Prevalence)
+	}
+}
+
+func TestSISEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	res, err := SIS(g, SISConfig{Lambda: 0.5, Recovery: 0.5, Steps: 5, InitialInfected: 1}, rng.New(3))
+	if err != nil || res.Prevalence != 0 {
+		t.Errorf("empty graph: %+v, %v", res, err)
+	}
+}
+
+func TestThresholdSweepMonotoneish(t *testing.T) {
+	r := rng.New(4)
+	g, err := graph.ErdosRenyi(r, 400, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambdas := []float64{0.01, 0.2, 0.8}
+	prev, err := ThresholdSweep(g, lambdas,
+		SISConfig{Recovery: 0.2, Steps: 150, InitialInfected: 5}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prev) != 3 {
+		t.Fatalf("results = %v", prev)
+	}
+	if prev[2] <= prev[0] {
+		t.Errorf("prevalence not increasing with lambda: %v", prev)
+	}
+}
+
+func TestScaleFreeLowerThresholdThanER(t *testing.T) {
+	// The §6 contrast: at a small lambda, the scale-free graph sustains
+	// the epidemic while the ER graph of equal mean degree does not.
+	r := rng.New(5)
+	sf, err := graph.PreferentialAttachment(r, 3000, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanDeg := float64(sf.NumEdges()) / float64(sf.NumNodes())
+	er, err := graph.ErdosRenyi(r, 3000, meanDeg/float64(3000-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SISConfig{Lambda: 0.04, Recovery: 0.25, Steps: 250, InitialInfected: 30}
+	resSF, err := SIS(sf, cfg, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resER, err := SIS(er, cfg, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSF.Prevalence <= resER.Prevalence {
+		t.Errorf("scale-free prevalence %v <= ER prevalence %v at sub-threshold lambda",
+			resSF.Prevalence, resER.Prevalence)
+	}
+}
+
+func TestSIRFinalSize(t *testing.T) {
+	r := rng.New(6)
+	g, err := graph.ErdosRenyi(r, 500, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := SIR(g, SISConfig{Lambda: 0.5, Recovery: 0.3, Steps: 500, InitialInfected: 5}, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := SIR(g, SISConfig{Lambda: 0.01, Recovery: 0.5, Steps: 500, InitialInfected: 5}, r.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.FinalSize < 0.5 {
+		t.Errorf("supercritical SIR final size = %v", big.FinalSize)
+	}
+	if small.FinalSize > 0.2 {
+		t.Errorf("subcritical SIR final size = %v", small.FinalSize)
+	}
+	if big.FinalSize > 1 || small.FinalSize <= 0 {
+		t.Errorf("final sizes out of range: %v %v", big.FinalSize, small.FinalSize)
+	}
+	if big.Duration < 1 {
+		t.Error("active epidemic ended instantly")
+	}
+}
+
+func TestIndependentCascade(t *testing.T) {
+	// Star: center 0 is watched by 1..9 (they are fans of 0).
+	b := graph.NewBuilder(10)
+	for i := 1; i < 10; i++ {
+		b.AddEdge(graph.NodeID(i), 0)
+	}
+	g := b.Build()
+	r := rng.New(7)
+	// p=1: all fans activate.
+	order := IndependentCascade(g, []graph.NodeID{0}, 1, r)
+	if len(order) != 10 || order[0] != 0 {
+		t.Errorf("full cascade = %v", order)
+	}
+	// p=0: only the seed.
+	order = IndependentCascade(g, []graph.NodeID{0}, 0, r)
+	if len(order) != 1 {
+		t.Errorf("zero-p cascade = %v", order)
+	}
+	// Invalid and duplicate seeds are skipped.
+	order = IndependentCascade(g, []graph.NodeID{0, 0, -1, 99}, 0, r)
+	if len(order) != 1 {
+		t.Errorf("seed handling = %v", order)
+	}
+}
+
+func TestIndependentCascadeDepth(t *testing.T) {
+	// Chain: i+1 is a fan of i, so activation travels down the chain.
+	b := graph.NewBuilder(6)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(graph.NodeID(i+1), graph.NodeID(i))
+	}
+	g := b.Build()
+	order := IndependentCascade(g, []graph.NodeID{0}, 1, rng.New(8))
+	if len(order) != 6 {
+		t.Errorf("chain cascade = %v", order)
+	}
+	for i, u := range order {
+		if int(u) != i {
+			t.Errorf("activation order = %v", order)
+		}
+	}
+}
+
+func TestLinearThreshold(t *testing.T) {
+	// Node 3 watches 0, 1, 2 (its friends); when all are active its
+	// activation fraction is 1 >= any threshold.
+	g, err := graph.FromEdgeList(4, [][2]graph.NodeID{{3, 0}, {3, 1}, {3, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := LinearThreshold(g, []graph.NodeID{0, 1, 2}, rng.New(9))
+	if len(order) != 4 {
+		t.Errorf("order = %v; node 3 should activate", order)
+	}
+	// No seeds: nothing activates.
+	if got := LinearThreshold(g, nil, rng.New(10)); len(got) != 0 {
+		t.Errorf("no-seed activation = %v", got)
+	}
+}
+
+func BenchmarkSIS(b *testing.B) {
+	r := rng.New(11)
+	g, _ := graph.PreferentialAttachment(r, 2000, 3, 0)
+	cfg := SISConfig{Lambda: 0.1, Recovery: 0.2, Steps: 50, InitialInfected: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SIS(g, cfg, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+
+	"diggsim/internal/cascade"
+	"diggsim/internal/core"
+	"diggsim/internal/dataset"
+	"diggsim/internal/digg"
+	"diggsim/internal/mltree"
+	"diggsim/internal/rng"
+	"diggsim/internal/stats"
+)
+
+func init() {
+	register("abl-policy", "Ablation: classic vs diversity-weighted promotion", ablPolicy)
+	register("abl-features", "Ablation: classifier feature sets (v6/v10/v20/fans1)", ablFeatures)
+	register("abl-mechanism", "Ablation: network-only vs interest-only spread", ablMechanism)
+}
+
+// ablationConfig derives a reduced-size corpus config from the runner's
+// dataset so ablations stay fast even when the main corpus is full
+// size.
+func (r *Runner) ablationConfig() dataset.Config {
+	cfg := r.DS.Config
+	if cfg.Submissions == 0 {
+		// Loaded dataset without generation config: use the small one.
+		cfg = dataset.SmallConfig()
+	}
+	if cfg.Submissions > 600 {
+		small := dataset.SmallConfig()
+		small.Seed = cfg.Seed
+		cfg = small
+	}
+	return cfg
+}
+
+// ablPolicy regenerates the corpus under the post-September-2006
+// "digging diversity" promotion rule and compares front-page
+// composition: discounting in-network votes should keep more
+// uninteresting (network-promoted) stories off the front page.
+func ablPolicy(r *Runner) (Result, error) {
+	var res Result
+	base := r.ablationConfig()
+
+	classicCfg := base
+	classicCfg.Policy = digg.NewClassicPromotion()
+	diversityCfg := base
+	diversityCfg.Policy = digg.NewDiversityPromotion()
+
+	type outcome struct {
+		promoted        int
+		fracDull        float64
+		meanFinal       float64
+		meanInNet10Dull float64
+	}
+	measure := func(cfg dataset.Config) (outcome, error) {
+		ds, err := dataset.Generate(cfg)
+		if err != nil {
+			return outcome{}, err
+		}
+		var o outcome
+		var finals []float64
+		dull := 0
+		for _, s := range ds.FrontPage {
+			finals = append(finals, float64(s.VoteCount()))
+			if !core.Interesting(s.VoteCount()) {
+				dull++
+			}
+		}
+		o.promoted = ds.Platform.PromotedCount()
+		if len(finals) > 0 {
+			o.fracDull = float64(dull) / float64(len(finals))
+			o.meanFinal = stats.Mean(finals)
+		}
+		return o, nil
+	}
+	classic, err := measure(classicCfg)
+	if err != nil {
+		return res, err
+	}
+	diversity, err := measure(diversityCfg)
+	if err != nil {
+		return res, err
+	}
+	res.printf("Corpus regenerated under both promotion rules (%d submissions).", base.Submissions)
+	res.metric("classic_promoted", float64(classic.promoted))
+	res.metric("diversity_promoted", float64(diversity.promoted))
+	res.metric("classic_frac_dull_frontpage", classic.fracDull)
+	res.metric("diversity_frac_dull_frontpage", diversity.fracDull)
+	res.metric("classic_mean_final_votes", classic.meanFinal)
+	res.metric("diversity_mean_final_votes", diversity.meanFinal)
+	res.printf("Expectation: the diversity rule promotes fewer stories and a smaller")
+	res.printf("fraction of uninteresting (network-carried) ones — Digg's September")
+	res.printf("2006 change, which the paper argues is unnecessary if one instead")
+	res.printf("predicts interestingness from the voting pattern.")
+	res.finish()
+	return res, nil
+}
+
+// ablFeatures cross-validates the paper's classifier under different
+// feature sets, quantifying how much signal each early-vote horizon and
+// the submitter fan count carry.
+func ablFeatures(r *Runner) (Result, error) {
+	var res Result
+	fp := r.DS.FrontPage
+	if len(fp) == 0 {
+		return res, errNoFrontPage
+	}
+	examples := core.ExtractAll(r.DS.Graph, fp)
+	sets := []struct {
+		name     string
+		features []core.Feature
+	}{
+		{"v6", []core.Feature{core.FeatureV6}},
+		{"v10", []core.Feature{core.FeatureV10}},
+		{"v20", []core.Feature{core.FeatureV20}},
+		{"fans1", []core.Feature{core.FeatureFans1}},
+		{"v10+fans1 (paper)", []core.Feature{core.FeatureV10, core.FeatureFans1}},
+		{"v6+v10+v20+fans1", []core.Feature{core.FeatureV6, core.FeatureV10, core.FeatureV20, core.FeatureFans1}},
+	}
+	res.printf("10-fold CV accuracy by feature set over %d stories:", len(examples))
+	for i, set := range sets {
+		cv, err := core.CrossValidate(examples, set.features, mltree.DefaultConfig(), 10, rng.New(r.Seed+uint64(i)))
+		if err != nil {
+			return res, err
+		}
+		key := fmt.Sprintf("cv_accuracy_%d", i)
+		res.Metrics = ensure(res.Metrics)
+		res.Metrics[key] = cv.Accuracy()
+		res.printf("  %-22s accuracy=%.3f (%d/%d)", set.name, cv.Accuracy(), cv.Correct(), cv.Total())
+	}
+	res.printf("Expectation: v10 alone carries most of the signal (the paper's core")
+	res.printf("claim); fans1 alone is weaker; combining them matches Fig. 5.")
+	res.finish()
+	return res, nil
+}
+
+// ablMechanism regenerates the corpus with each spread mechanism
+// disabled in turn, demonstrating that the inverse v10/final-votes
+// relationship (Fig. 4) requires both channels.
+func ablMechanism(r *Runner) (Result, error) {
+	var res Result
+	base := r.ablationConfig()
+
+	variants := []struct {
+		name string
+		key  string
+		mut  func(*dataset.Config)
+	}{
+		{"combined (default)", "combined", func(*dataset.Config) {}},
+		{"network-only", "network_only", func(c *dataset.Config) {
+			c.Agent.QueueDiscoveryRate = 0
+			c.Agent.FrontPageRate = 0
+		}},
+		{"interest-only", "interest_only", func(c *dataset.Config) {
+			c.Agent.FanVoteScale = 0
+		}},
+	}
+	for _, v := range variants {
+		cfg := base
+		v.mut(&cfg)
+		ds, err := dataset.Generate(cfg)
+		if err != nil {
+			return res, err
+		}
+		var xs, ys []float64
+		var promoted int
+		for _, s := range ds.Stories {
+			if s.Promoted {
+				promoted++
+			}
+			if s.VoteCount() < 11 {
+				continue
+			}
+			st := cascade.Analyze(ds.Graph, s)
+			xs = append(xs, float64(st.InNet10))
+			ys = append(ys, float64(st.FinalVotes))
+		}
+		rho := 0.0
+		if len(xs) > 2 {
+			if got, err := stats.Spearman(xs, ys); err == nil {
+				rho = got
+			}
+		}
+		res.Metrics = ensure(res.Metrics)
+		res.Metrics["promoted_"+v.key] = float64(promoted)
+		res.Metrics["spearman_v10_final_"+v.key] = rho
+		res.printf("%-20s promoted=%-5d stories>=11votes=%-5d spearman(v10, final)=%+.3f",
+			v.name, promoted, len(xs), rho)
+	}
+	res.printf("Expectation: with both channels the correlation is clearly negative;")
+	res.printf("removing independent discovery (network-only) or fan voting")
+	res.printf("(interest-only) destroys or weakens the early-vote signal, showing")
+	res.printf("the paper's two-mechanism account is what creates it.")
+	res.finish()
+	return res, nil
+}
+
+func ensure(m map[string]float64) map[string]float64 {
+	if m == nil {
+		return map[string]float64{}
+	}
+	return m
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"diggsim/internal/epidemic"
+	"diggsim/internal/graph"
+	"diggsim/internal/rng"
+	"diggsim/internal/stats"
+	"diggsim/internal/textplot"
+)
+
+func init() {
+	register("ext1", "Epidemic threshold: scale-free vs Erdős–Rényi (§6)", ext1)
+	register("ext2", "Cascades on modular vs homogeneous networks (§6)", ext2)
+}
+
+// ext1 sweeps the SIS spreading rate on a scale-free and an
+// equal-mean-degree ER graph, reproducing the vanishing epidemic
+// threshold of Pastor-Satorras & Vespignani that §6 cites.
+func ext1(r *Runner) (Result, error) {
+	var res Result
+	rr := rng.New(r.Seed + 1)
+	const n = 4000
+	sf, err := graph.PreferentialAttachment(rr, n, 3, 0)
+	if err != nil {
+		return res, err
+	}
+	meanDeg := float64(sf.NumEdges()) / float64(n)
+	er, err := graph.ErdosRenyi(rr, n, meanDeg/float64(n-1))
+	if err != nil {
+		return res, err
+	}
+	lambdas := []float64{0.01, 0.02, 0.03, 0.05, 0.08, 0.12, 0.2, 0.35, 0.5}
+	base := epidemic.SISConfig{Recovery: 0.25, Steps: 200, InitialInfected: 40}
+	prevSF, err := epidemic.ThresholdSweep(sf, lambdas, base, rr)
+	if err != nil {
+		return res, err
+	}
+	prevER, err := epidemic.ThresholdSweep(er, lambdas, base, rr)
+	if err != nil {
+		return res, err
+	}
+	res.printf("%s", textplot.Plot(textplot.Config{
+		Title:  "Ext 1: endemic prevalence vs spreading rate lambda",
+		XLabel: "lambda",
+		YLabel: "prevalence",
+	},
+		textplot.Series{Name: "scale-free", X: lambdas, Y: prevSF},
+		textplot.Series{Name: "Erdos-Renyi", X: lambdas, Y: prevER},
+	))
+	res.metric("mean_degree", meanDeg)
+	res.metric("sf_prevalence_low_lambda", prevSF[1])
+	res.metric("er_prevalence_low_lambda", prevER[1])
+	res.metric("sf_prevalence_high_lambda", prevSF[len(prevSF)-1])
+	res.metric("er_prevalence_high_lambda", prevER[len(prevER)-1])
+	res.printf("Expectation: the scale-free network sustains the epidemic at rates")
+	res.printf("where the ER network (threshold ~ recovery/<k>) dies out.")
+	res.finish()
+	return res, nil
+}
+
+// ext2 seeds independent cascades inside one community of a modular
+// graph and contrasts spread with an equal-degree homogeneous graph
+// (Galstyan & Cohen's setting, cited in §6).
+func ext2(r *Runner) (Result, error) {
+	var res Result
+	rr := rng.New(r.Seed + 2)
+	cfg := graph.ModularConfig{Communities: 8, NodesPerComm: 250, IntraDegree: 6, InterDegree: 0.4}
+	mod, err := graph.Modular(rr, cfg)
+	if err != nil {
+		return res, err
+	}
+	n := mod.NumNodes()
+	meanDeg := float64(mod.NumEdges()) / float64(n)
+	hom, err := graph.ErdosRenyi(rr, n, meanDeg/float64(n-1))
+	if err != nil {
+		return res, err
+	}
+	const p = 0.16 // per-edge activation probability
+	const trials = 20
+	var modSizes, homSizes, escapeFracs []float64
+	for trial := 0; trial < trials; trial++ {
+		// Seed five nodes inside community 0.
+		seeds := make([]graph.NodeID, 5)
+		for i := range seeds {
+			seeds[i] = graph.NodeID(rr.Intn(cfg.NodesPerComm))
+		}
+		active := epidemic.IndependentCascade(mod, seeds, p, rr.Split())
+		modSizes = append(modSizes, float64(len(active)))
+		escaped := 0
+		for _, u := range active {
+			if cfg.CommunityOf(u) != 0 {
+				escaped++
+			}
+		}
+		escapeFracs = append(escapeFracs, float64(escaped)/float64(len(active)))
+		activeHom := epidemic.IndependentCascade(hom, seeds, p, rr.Split())
+		homSizes = append(homSizes, float64(len(activeHom)))
+	}
+	res.printf("Independent cascade (p=%.2f) seeded inside one community, %d trials.", p, trials)
+	res.metric("modular_mean_cascade", stats.Mean(modSizes))
+	res.metric("homogeneous_mean_cascade", stats.Mean(homSizes))
+	res.metric("mean_escape_fraction", stats.Mean(escapeFracs))
+	res.metric("modular_median_cascade", stats.Median(modSizes))
+	res.metric("homogeneous_median_cascade", stats.Median(homSizes))
+	res.printf("Expectation: community structure traps cascades — the modular graph")
+	res.printf("keeps most activations inside the seeded community, while the")
+	res.printf("homogeneous graph lets them spread globally. This is the paper's")
+	res.printf("story-interesting-to-a-narrow-community mechanism in its purest form.")
+	res.finish()
+	return res, nil
+}

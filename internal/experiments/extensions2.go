@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"diggsim/internal/cascade"
+	"diggsim/internal/dataset"
+	"diggsim/internal/stats"
+	"diggsim/internal/textplot"
+)
+
+func init() {
+	register("ext3", "Cascade depth: recommendation chains stay shallow", ext3)
+	register("abl-graph", "Ablation: scale-free vs Erdős–Rényi fan-graph substrate", ablGraph)
+}
+
+// ext3 measures how deep vote cascades propagate fan-to-fan. The
+// paper's related work (Leskovec et al.'s viral marketing study, Wu et
+// al.'s email study) found recommendation chains terminate after a few
+// steps; our simulated Digg should agree, and this quantifies it.
+func ext3(r *Runner) (Result, error) {
+	var res Result
+	fp := r.DS.FrontPage
+	if len(fp) == 0 {
+		return res, errNoFrontPage
+	}
+	depths := cascade.DepthDistribution(r.DS.Graph, fp)
+	counts := map[int]int{}
+	maxDepth := 0
+	var asFloat []float64
+	for _, d := range depths {
+		counts[d]++
+		if d > maxDepth {
+			maxDepth = d
+		}
+		asFloat = append(asFloat, float64(d))
+	}
+	bars := make([]textplot.Bar, maxDepth+1)
+	for d := 0; d <= maxDepth; d++ {
+		bars[d] = textplot.Bar{Label: itoa2(d), Value: float64(counts[d])}
+	}
+	res.printf("%s", textplot.BarChart("Ext 3: deepest fan-to-fan chain per front-page story", 40, bars))
+	res.metric("median_max_depth", stats.Median(asFloat))
+	res.metric("p90_max_depth", stats.Quantile(asFloat, 0.9))
+	res.metric("max_depth", float64(maxDepth))
+	// Positional decay of the network effect.
+	fr := cascade.InNetworkFractionByPosition(r.DS.Graph, fp, 30)
+	early, late := 0.0, 0.0
+	en, ln := 0, 0
+	for i, f := range fr {
+		if f < 0 {
+			continue
+		}
+		if i < 10 {
+			early += f
+			en++
+		} else if i >= 20 {
+			late += f
+			ln++
+		}
+	}
+	if en > 0 {
+		res.metric("innet_fraction_votes_1_10", early/float64(en))
+	}
+	if ln > 0 {
+		res.metric("innet_fraction_votes_21_30", late/float64(ln))
+	}
+	res.printf("Expectation: chains terminate after a few steps (viral-marketing")
+	res.printf("literature); most propagation is breadth through fan lists, not")
+	res.printf("depth through long referral chains.")
+	res.finish()
+	return res, nil
+}
+
+// ablGraph regenerates the corpus on an Erdős–Rényi fan graph (no hubs,
+// no top users) and checks what survives: the early-vote signal should
+// weaken dramatically because without heavily fanned submitters there
+// is no network-promotion pathway to create uninteresting front-page
+// stories.
+func ablGraph(r *Runner) (Result, error) {
+	var res Result
+	base := r.ablationConfig()
+
+	type outcome struct {
+		promoted int
+		rho      float64
+		dullFrac float64
+	}
+	measure := func(cfg dataset.Config) (outcome, error) {
+		ds, err := dataset.Generate(cfg)
+		if err != nil {
+			return outcome{}, err
+		}
+		var o outcome
+		o.promoted = ds.Platform.PromotedCount()
+		var xs, ys []float64
+		dull := 0
+		for _, s := range ds.FrontPage {
+			st := cascade.Analyze(ds.Graph, s)
+			xs = append(xs, float64(st.InNet10))
+			ys = append(ys, float64(st.FinalVotes))
+			if st.FinalVotes <= 520 {
+				dull++
+			}
+		}
+		if len(xs) > 2 {
+			if rho, err := stats.Spearman(xs, ys); err == nil {
+				o.rho = rho
+			}
+			o.dullFrac = float64(dull) / float64(len(xs))
+		}
+		return o, nil
+	}
+
+	ba, err := measure(base)
+	if err != nil {
+		return res, err
+	}
+	erCfg := base
+	erCfg.GraphModel = dataset.GraphErdosRenyi
+	er, err := measure(erCfg)
+	if err != nil {
+		return res, err
+	}
+	flatCfg := base
+	flatCfg.GraphModel = dataset.GraphFlat
+	flat, err := measure(flatCfg)
+	if err != nil {
+		return res, err
+	}
+	res.metric("ba_promoted", float64(ba.promoted))
+	res.metric("er_promoted", float64(er.promoted))
+	res.metric("flat_promoted", float64(flat.promoted))
+	res.metric("ba_spearman_v10_final", ba.rho)
+	res.metric("er_spearman_v10_final", er.rho)
+	res.metric("flat_spearman_v10_final", flat.rho)
+	res.metric("ba_frac_dull_frontpage", ba.dullFrac)
+	res.metric("er_frac_dull_frontpage", er.dullFrac)
+	res.metric("flat_frac_dull_frontpage", flat.dullFrac)
+	res.printf("Expectation: without heavy-tailed fan counts (ER / flat substrates)")
+	res.printf("there are no top users whose fan base can carry a dull story to the")
+	res.printf("front page, so fewer dull stories promote and the v10 signal")
+	res.printf("weakens — the paper's phenomenon needs the skewed fan graph that")
+	res.printf("real Digg had.")
+	res.finish()
+	return res, nil
+}
+
+func itoa2(d int) string {
+	if d < 10 {
+		return string(rune('0' + d))
+	}
+	return string(rune('0'+d/10)) + string(rune('0'+d%10))
+}

@@ -1,0 +1,200 @@
+package graph
+
+import (
+	"errors"
+
+	"diggsim/internal/rng"
+)
+
+// ErdosRenyi generates a directed G(n, p) graph: each ordered pair
+// (u, v), u != v, is an edge independently with probability p. It
+// returns an error if n < 0 or p is outside [0, 1].
+func ErdosRenyi(r *rng.RNG, n int, p float64) (*Graph, error) {
+	if n < 0 {
+		return nil, errors.New("graph: ErdosRenyi requires n >= 0")
+	}
+	if p < 0 || p > 1 {
+		return nil, errors.New("graph: ErdosRenyi requires 0 <= p <= 1")
+	}
+	b := NewBuilder(n)
+	if p == 0 || n < 2 {
+		return b.Build(), nil
+	}
+	// Geometric skipping over the n*(n-1) possible ordered pairs keeps
+	// sparse generation O(edges) instead of O(n^2).
+	total := int64(n) * int64(n-1)
+	pos := int64(-1)
+	for {
+		skip := int64(r.Geometric(p))
+		pos += skip + 1
+		if pos >= total {
+			break
+		}
+		u := pos / int64(n-1)
+		off := pos % int64(n-1)
+		v := off
+		if v >= u {
+			v++
+		}
+		if err := b.AddEdge(NodeID(u), NodeID(v)); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// PreferentialAttachment generates a directed scale-free graph with n
+// nodes using a Barabási–Albert-style process adapted to Digg's fan
+// semantics: each new node watches m existing nodes chosen with
+// probability proportional to (fan count + 1), so popular users
+// accumulate fans (in-degree follows a power law). Additionally each
+// new node is watched back by each chosen target with probability
+// reciprocity, modeling mutual-fan relationships.
+func PreferentialAttachment(r *rng.RNG, n, m int, reciprocity float64) (*Graph, error) {
+	if n < 0 || m < 1 {
+		return nil, errors.New("graph: PreferentialAttachment requires n >= 0, m >= 1")
+	}
+	if reciprocity < 0 || reciprocity > 1 {
+		return nil, errors.New("graph: reciprocity must be in [0, 1]")
+	}
+	b := NewBuilder(n)
+	if n < 2 {
+		return b.Build(), nil
+	}
+	// targets holds one entry per (fan-edge + smoothing) endpoint; sampling
+	// uniformly from it implements preferential attachment.
+	targets := make([]NodeID, 0, 2*n*m)
+	for seed := 0; seed < m+1 && seed < n; seed++ {
+		targets = append(targets, NodeID(seed)) // +1 smoothing entry
+	}
+	start := m + 1
+	if start > n {
+		start = n
+	}
+	chosen := make([]NodeID, 0, m)
+	for u := start; u < n; u++ {
+		// chosen is kept as a slice (not a map) so that iteration order —
+		// and therefore the evolving targets pool — is deterministic for
+		// a fixed seed.
+		chosen = chosen[:0]
+		for len(chosen) < m && len(chosen) < u {
+			t := targets[r.Intn(len(targets))]
+			if int(t) >= u || containsNode(chosen, t) {
+				continue
+			}
+			chosen = append(chosen, t)
+		}
+		for _, t := range chosen {
+			if err := b.AddEdge(NodeID(u), t); err != nil {
+				return nil, err
+			}
+			targets = append(targets, t) // t gained a fan
+			if r.Bool(reciprocity) {
+				if err := b.AddEdge(t, NodeID(u)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		targets = append(targets, NodeID(u)) // smoothing entry for u
+	}
+	return b.Build(), nil
+}
+
+func containsNode(s []NodeID, v NodeID) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ConfigurationModel generates a directed graph whose in-degree sequence
+// approximates inDegrees: each node u receives inDegrees[u] fan stubs,
+// and fans are assigned by shuffling watcher stubs uniformly. Self-loops
+// and duplicate edges are dropped, so realized degrees can be slightly
+// below the requested ones. Out-degrees are drawn from the same pool,
+// matching the paper's observation that active users both have and are
+// fans.
+func ConfigurationModel(r *rng.RNG, inDegrees []int) (*Graph, error) {
+	n := len(inDegrees)
+	b := NewBuilder(n)
+	var stubs []NodeID // one entry per desired incoming edge
+	for u, d := range inDegrees {
+		if d < 0 {
+			return nil, errors.New("graph: ConfigurationModel requires non-negative degrees")
+		}
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, NodeID(u))
+		}
+	}
+	for _, target := range stubs {
+		// Watcher chosen preferentially by desired degree, which keeps
+		// the watcher distribution heavy-tailed too.
+		watcher := stubs[r.Intn(len(stubs))]
+		if watcher == target {
+			watcher = NodeID(r.Intn(n))
+		}
+		if err := b.AddEdge(watcher, target); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// ModularConfig configures Modular graph generation.
+type ModularConfig struct {
+	Communities  int     // number of communities (>= 1)
+	NodesPerComm int     // nodes in each community (>= 1)
+	IntraDegree  float64 // mean number of intra-community friends per node
+	InterDegree  float64 // mean number of cross-community friends per node
+}
+
+// Modular generates a community-structured directed graph per §6 of the
+// paper (cascading dynamics in modular networks): dense within blocks,
+// sparse across them.
+func Modular(r *rng.RNG, cfg ModularConfig) (*Graph, error) {
+	if cfg.Communities < 1 || cfg.NodesPerComm < 1 {
+		return nil, errors.New("graph: Modular requires >= 1 community and node per community")
+	}
+	if cfg.IntraDegree < 0 || cfg.InterDegree < 0 {
+		return nil, errors.New("graph: Modular requires non-negative degrees")
+	}
+	n := cfg.Communities * cfg.NodesPerComm
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		comm := u / cfg.NodesPerComm
+		commStart := comm * cfg.NodesPerComm
+		// Intra-community edges.
+		kIntra := r.Poisson(cfg.IntraDegree)
+		for i := 0; i < kIntra; i++ {
+			v := commStart + r.Intn(cfg.NodesPerComm)
+			if v == u {
+				continue
+			}
+			if err := b.AddEdge(NodeID(u), NodeID(v)); err != nil {
+				return nil, err
+			}
+		}
+		// Inter-community edges.
+		if cfg.Communities > 1 {
+			kInter := r.Poisson(cfg.InterDegree)
+			for i := 0; i < kInter; i++ {
+				v := r.Intn(n)
+				if v/cfg.NodesPerComm == comm {
+					continue
+				}
+				if err := b.AddEdge(NodeID(u), NodeID(v)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// CommunityOf returns the community index of node u for a graph built by
+// Modular with the given config.
+func (cfg ModularConfig) CommunityOf(u NodeID) int {
+	return int(u) / cfg.NodesPerComm
+}

@@ -1,0 +1,220 @@
+// Package graph implements the directed social graph substrate for the
+// Digg reproduction.
+//
+// Digg's friendship relation is asymmetric: when user A lists user B as
+// a friend, A watches B's activity. Following the paper's terminology,
+// an edge A -> B means "A is a fan of B" is read on the *incoming* side:
+// B's fans are the users watching B. We store edges as
+// (watcher -> watched); Friends(u) returns who u watches (outgoing) and
+// Fans(u) returns who watches u (incoming).
+//
+// The package offers a mutable Builder for construction and an immutable
+// compact Graph (CSR adjacency) for analysis, plus generators for the
+// random-graph families the paper's §6 discusses (Erdős–Rényi,
+// preferential attachment, configuration model, modular graphs).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node (user). IDs are dense indices [0, N).
+type NodeID int32
+
+// Graph is an immutable directed graph in compressed sparse row form.
+// An edge u -> v means u watches v ("u is a fan of v", "v is a friend
+// of u" in Digg terms).
+type Graph struct {
+	n int
+	// CSR over outgoing edges (friends).
+	outIndex []int32
+	outEdges []NodeID
+	// CSR over incoming edges (fans).
+	inIndex []int32
+	inEdges []NodeID
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.outEdges) }
+
+// Friends returns the nodes u watches (outgoing neighbors). The slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Friends(u NodeID) []NodeID {
+	if !g.valid(u) {
+		return nil
+	}
+	return g.outEdges[g.outIndex[u]:g.outIndex[u+1]]
+}
+
+// Fans returns the nodes watching u (incoming neighbors). The slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Fans(u NodeID) []NodeID {
+	if !g.valid(u) {
+		return nil
+	}
+	return g.inEdges[g.inIndex[u]:g.inIndex[u+1]]
+}
+
+// OutDegree returns the number of friends of u (users u watches).
+func (g *Graph) OutDegree(u NodeID) int { return len(g.Friends(u)) }
+
+// InDegree returns the number of fans of u.
+func (g *Graph) InDegree(u NodeID) int { return len(g.Fans(u)) }
+
+// HasEdge reports whether the directed edge u -> v exists. Neighbor
+// lists are sorted, so this is a binary search.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if !g.valid(u) || !g.valid(v) {
+		return false
+	}
+	adj := g.Friends(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+func (g *Graph) valid(u NodeID) bool { return u >= 0 && int(u) < g.n }
+
+// Builder accumulates edges and produces an immutable Graph. The zero
+// value is ready to use; nodes are created implicitly by AddEdge or
+// explicitly by EnsureNodes.
+type Builder struct {
+	n     int
+	edges map[edgeKey]struct{}
+}
+
+type edgeKey struct{ from, to NodeID }
+
+// NewBuilder returns a Builder pre-sized for n nodes.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, edges: make(map[edgeKey]struct{})}
+}
+
+// EnsureNodes grows the node count to at least n.
+func (b *Builder) EnsureNodes(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// NumNodes returns the current node count.
+func (b *Builder) NumNodes() int { return b.n }
+
+// NumEdges returns the number of distinct edges added so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// AddEdge records the directed edge from -> to (from watches to).
+// Self-loops and duplicates are ignored. Negative IDs are an error.
+func (b *Builder) AddEdge(from, to NodeID) error {
+	if from < 0 || to < 0 {
+		return fmt.Errorf("graph: negative node id (%d -> %d)", from, to)
+	}
+	if from == to {
+		return nil
+	}
+	if b.edges == nil {
+		b.edges = make(map[edgeKey]struct{})
+	}
+	if int(from) >= b.n {
+		b.n = int(from) + 1
+	}
+	if int(to) >= b.n {
+		b.n = int(to) + 1
+	}
+	b.edges[edgeKey{from, to}] = struct{}{}
+	return nil
+}
+
+// HasEdge reports whether the edge has been added.
+func (b *Builder) HasEdge(from, to NodeID) bool {
+	_, ok := b.edges[edgeKey{from, to}]
+	return ok
+}
+
+// Build produces the immutable Graph. The Builder remains usable and
+// further edges can be added for a later Build.
+func (b *Builder) Build() *Graph {
+	g := &Graph{
+		n:        b.n,
+		outIndex: make([]int32, b.n+1),
+		inIndex:  make([]int32, b.n+1),
+		outEdges: make([]NodeID, 0, len(b.edges)),
+		inEdges:  make([]NodeID, 0, len(b.edges)),
+	}
+	type edge struct{ from, to NodeID }
+	edges := make([]edge, 0, len(b.edges))
+	for k := range b.edges {
+		edges = append(edges, edge(k))
+	}
+	// Out CSR.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		g.outIndex[e.from+1]++
+		g.outEdges = append(g.outEdges, e.to)
+	}
+	for i := 1; i <= b.n; i++ {
+		g.outIndex[i] += g.outIndex[i-1]
+	}
+	// In CSR.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].to != edges[j].to {
+			return edges[i].to < edges[j].to
+		}
+		return edges[i].from < edges[j].from
+	})
+	for _, e := range edges {
+		g.inIndex[e.to+1]++
+		g.inEdges = append(g.inEdges, e.from)
+	}
+	for i := 1; i <= b.n; i++ {
+		g.inIndex[i] += g.inIndex[i-1]
+	}
+	return g
+}
+
+// FromEdgeList builds a graph over n nodes from explicit (from, to)
+// pairs. It returns an error on negative IDs.
+func FromEdgeList(n int, edges [][2]NodeID) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Edges returns all directed edges in deterministic (from, to) order.
+func (g *Graph) Edges() [][2]NodeID {
+	out := make([][2]NodeID, 0, g.NumEdges())
+	for u := NodeID(0); int(u) < g.n; u++ {
+		for _, v := range g.Friends(u) {
+			out = append(out, [2]NodeID{u, v})
+		}
+	}
+	return out
+}
+
+// Reverse returns the graph with every edge direction flipped.
+func (g *Graph) Reverse() *Graph {
+	return &Graph{
+		n:        g.n,
+		outIndex: g.inIndex,
+		outEdges: g.inEdges,
+		inIndex:  g.outIndex,
+		inEdges:  g.outEdges,
+	}
+}
+
+// ErrNodeRange is returned when an operation references a node outside
+// [0, NumNodes).
+var ErrNodeRange = errors.New("graph: node id out of range")

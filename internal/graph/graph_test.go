@@ -1,0 +1,533 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"diggsim/internal/rng"
+)
+
+func mustGraph(t *testing.T, n int, edges [][2]NodeID) *Graph {
+	t.Helper()
+	g, err := FromEdgeList(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if g.Friends(0) != nil || g.Fans(0) != nil {
+		t.Error("out-of-range adjacency should be nil")
+	}
+}
+
+func TestBasicAdjacency(t *testing.T) {
+	// 0 watches 1 and 2; 1 watches 2. So 2's fans are {0, 1}.
+	g := mustGraph(t, 3, [][2]NodeID{{0, 1}, {0, 2}, {1, 2}})
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("graph: %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if got := g.Friends(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("Friends(0) = %v", got)
+	}
+	if got := g.Fans(2); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Fans(2) = %v", got)
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(2) != 2 || g.InDegree(0) != 0 {
+		t.Error("degree mismatch")
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := mustGraph(t, 4, [][2]NodeID{{0, 1}, {2, 3}})
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+		t.Error("existing edges not found")
+	}
+	if g.HasEdge(1, 0) {
+		t.Error("directionality violated")
+	}
+	if g.HasEdge(0, 3) || g.HasEdge(-1, 0) || g.HasEdge(0, 99) {
+		t.Error("phantom edges")
+	}
+}
+
+func TestBuilderDedupAndSelfLoop(t *testing.T) {
+	b := NewBuilder(2)
+	for i := 0; i < 5; i++ {
+		if err := b.AddEdge(0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddEdge(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d want 1 (dedup + self-loop drop)", g.NumEdges())
+	}
+}
+
+func TestBuilderImplicitGrowth(t *testing.T) {
+	b := &Builder{}
+	if err := b.AddEdge(5, 9); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	if g.NumNodes() != 10 {
+		t.Errorf("NumNodes = %d want 10", g.NumNodes())
+	}
+	if !g.HasEdge(5, 9) {
+		t.Error("edge lost")
+	}
+}
+
+func TestBuilderNegativeID(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddEdge(-1, 0); err == nil {
+		t.Error("negative id accepted")
+	}
+}
+
+func TestBuilderIncrementalBuilds(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	g1 := b.Build()
+	b.AddEdge(1, 2)
+	g2 := b.Build()
+	if g1.NumEdges() != 1 {
+		t.Errorf("first build mutated: %d edges", g1.NumEdges())
+	}
+	if g2.NumEdges() != 2 {
+		t.Errorf("second build = %d edges", g2.NumEdges())
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := mustGraph(t, 3, [][2]NodeID{{0, 1}, {1, 2}})
+	r := g.Reverse()
+	if !r.HasEdge(1, 0) || !r.HasEdge(2, 1) {
+		t.Error("reverse missing flipped edges")
+	}
+	if r.HasEdge(0, 1) {
+		t.Error("reverse kept original edge")
+	}
+	if r.NumEdges() != g.NumEdges() || r.NumNodes() != g.NumNodes() {
+		t.Error("reverse changed counts")
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	orig := [][2]NodeID{{0, 1}, {0, 2}, {2, 1}}
+	g := mustGraph(t, 3, orig)
+	edges := g.Edges()
+	if len(edges) != 3 {
+		t.Fatalf("Edges = %v", edges)
+	}
+	g2, err := FromEdgeList(3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range orig {
+		if !g2.HasEdge(e[0], e[1]) {
+			t.Errorf("round trip lost %v", e)
+		}
+	}
+}
+
+func TestBFS(t *testing.T) {
+	// Chain 0->1->2->3, plus isolated 4.
+	g := mustGraph(t, 5, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}})
+	dist := BFSFrom(g, 0)
+	want := []int{0, 1, 2, 3, -1}
+	for i, w := range want {
+		if dist[i] != w {
+			t.Fatalf("BFS dist = %v want %v", dist, want)
+		}
+	}
+	// BFS follows direction: from 3 nothing is reachable.
+	dist = BFSFrom(g, 3)
+	if dist[0] != -1 || dist[3] != 0 {
+		t.Errorf("directed BFS from sink: %v", dist)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	// Two weak components: {0,1,2} and {3,4}.
+	g := mustGraph(t, 5, [][2]NodeID{{0, 1}, {2, 1}, {3, 4}})
+	labels, count := WeaklyConnectedComponents(g)
+	if count != 2 {
+		t.Fatalf("components = %d want 2", count)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Error("first component split")
+	}
+	if labels[3] != labels[4] || labels[0] == labels[3] {
+		t.Error("second component wrong")
+	}
+	if LargestComponentSize(g) != 3 {
+		t.Errorf("largest = %d want 3", LargestComponentSize(g))
+	}
+}
+
+func TestClustering(t *testing.T) {
+	// Triangle 0-1-2 (directed cycle) clusters fully.
+	g := mustGraph(t, 3, [][2]NodeID{{0, 1}, {1, 2}, {2, 0}})
+	for u := NodeID(0); u < 3; u++ {
+		if c := ClusteringCoefficient(g, u); c != 1 {
+			t.Errorf("triangle node %d clustering = %v", u, c)
+		}
+	}
+	// Star: center 0 watches 1,2,3; leaves unconnected.
+	star := mustGraph(t, 4, [][2]NodeID{{0, 1}, {0, 2}, {0, 3}})
+	if c := ClusteringCoefficient(star, 0); c != 0 {
+		t.Errorf("star center clustering = %v", c)
+	}
+	if c := ClusteringCoefficient(star, 1); c != 0 {
+		t.Errorf("degree-1 node clustering = %v", c)
+	}
+	if m := MeanClustering(g); m != 1 {
+		t.Errorf("triangle mean clustering = %v", m)
+	}
+}
+
+func TestTopByInDegree(t *testing.T) {
+	// Node 2 has 2 fans, node 1 has 1 fan, rest 0.
+	g := mustGraph(t, 4, [][2]NodeID{{0, 2}, {1, 2}, {0, 1}})
+	top := TopByInDegree(g, 2)
+	if len(top) != 2 || top[0] != 2 || top[1] != 1 {
+		t.Errorf("TopByInDegree = %v", top)
+	}
+	if got := TopByInDegree(g, 100); len(got) != 4 {
+		t.Errorf("k > n should clamp, got %d", len(got))
+	}
+	if got := TopByInDegree(g, -1); len(got) != 0 {
+		t.Errorf("negative k should clamp to 0, got %d", len(got))
+	}
+}
+
+func TestKCore(t *testing.T) {
+	// Clique of 4 (0-3, all directed pairs one way) plus pendant 4.
+	edges := [][2]NodeID{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {4, 0}}
+	g := mustGraph(t, 5, edges)
+	core := KCore(g, 3)
+	if len(core) != 4 {
+		t.Fatalf("3-core = %v want nodes 0-3", core)
+	}
+	for i, u := range core {
+		if u != NodeID(i) {
+			t.Fatalf("3-core = %v", core)
+		}
+	}
+	if len(KCore(g, 10)) != 0 {
+		t.Error("10-core should be empty")
+	}
+	all := KCore(g, 0)
+	if len(all) != 5 {
+		t.Error("0-core should contain every node")
+	}
+}
+
+func TestDegreeDistributions(t *testing.T) {
+	g := mustGraph(t, 4, [][2]NodeID{{0, 3}, {1, 3}, {2, 3}})
+	in := InDegreeDistribution(g)
+	if in[3] != 1 || in[0] != 3 {
+		t.Errorf("in-degree dist = %v", in)
+	}
+	out := OutDegreeDistribution(g)
+	if out[1] != 3 || out[0] != 1 {
+		t.Errorf("out-degree dist = %v", out)
+	}
+	if MeanDegree(g) != 0.75 {
+		t.Errorf("mean degree = %v", MeanDegree(g))
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	r := rng.New(1)
+	const n, p = 400, 0.01
+	g, err := ErdosRenyi(r, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != n {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	want := float64(n) * float64(n-1) * p
+	got := float64(g.NumEdges())
+	if got < want*0.8 || got > want*1.2 {
+		t.Errorf("edges = %v want ~%v", got, want)
+	}
+}
+
+func TestErdosRenyiEdgeCases(t *testing.T) {
+	r := rng.New(2)
+	g, err := ErdosRenyi(r, 10, 0)
+	if err != nil || g.NumEdges() != 0 {
+		t.Error("p=0 should give empty graph")
+	}
+	g, err = ErdosRenyi(r, 5, 1)
+	if err != nil || g.NumEdges() != 20 {
+		t.Errorf("p=1 should give complete digraph, got %d edges", g.NumEdges())
+	}
+	if _, err := ErdosRenyi(r, -1, 0.5); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := ErdosRenyi(r, 5, 1.5); err == nil {
+		t.Error("p > 1 accepted")
+	}
+	g, err = ErdosRenyi(r, 0, 0.5)
+	if err != nil || g.NumNodes() != 0 {
+		t.Error("n=0 should give empty graph")
+	}
+	g, err = ErdosRenyi(r, 1, 0.5)
+	if err != nil || g.NumEdges() != 0 {
+		t.Error("n=1 has no possible edges")
+	}
+}
+
+func TestPreferentialAttachmentHeavyTail(t *testing.T) {
+	r := rng.New(3)
+	const n, m = 3000, 3
+	g, err := PreferentialAttachment(r, n, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != n {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Heavy tail: max in-degree far above the mean.
+	maxIn, sumIn := 0, 0
+	for u := NodeID(0); int(u) < n; u++ {
+		d := g.InDegree(u)
+		sumIn += d
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	mean := float64(sumIn) / n
+	if float64(maxIn) < 10*mean {
+		t.Errorf("max in-degree %d not heavy-tailed vs mean %.2f", maxIn, mean)
+	}
+	// Every non-seed node watches ~m others.
+	deficit := 0
+	for u := m + 1; u < n; u++ {
+		if g.OutDegree(NodeID(u)) < m {
+			deficit++
+		}
+	}
+	if deficit > 0 {
+		t.Errorf("%d nodes below out-degree %d", deficit, m)
+	}
+}
+
+func TestPreferentialAttachmentReciprocity(t *testing.T) {
+	r := rng.New(4)
+	g, err := PreferentialAttachment(r, 500, 2, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With reciprocity 1 every edge u->v from the growth step has v->u.
+	recip := 0
+	for _, e := range g.Edges() {
+		if g.HasEdge(e[1], e[0]) {
+			recip++
+		}
+	}
+	if frac := float64(recip) / float64(g.NumEdges()); frac < 0.95 {
+		t.Errorf("reciprocal fraction = %v want ~1", frac)
+	}
+}
+
+func TestPreferentialAttachmentErrors(t *testing.T) {
+	r := rng.New(5)
+	if _, err := PreferentialAttachment(r, 10, 0, 0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := PreferentialAttachment(r, 10, 1, 2); err == nil {
+		t.Error("reciprocity 2 accepted")
+	}
+	g, err := PreferentialAttachment(r, 1, 1, 0)
+	if err != nil || g.NumNodes() != 1 {
+		t.Error("n=1 should work")
+	}
+}
+
+func TestConfigurationModel(t *testing.T) {
+	r := rng.New(6)
+	degs := make([]int, 200)
+	for i := range degs {
+		degs[i] = 1 + i%5
+	}
+	g, err := ConfigurationModel(r, degs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 200 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Realized in-degree correlates strongly with requested degree.
+	var want, got []float64
+	for u, d := range degs {
+		want = append(want, float64(d))
+		got = append(got, float64(g.InDegree(NodeID(u))))
+	}
+	// Simple check: mean realized degree within 40% of requested mean
+	// (duplicates are dropped, so some loss is expected).
+	mw, mg := 0.0, 0.0
+	for i := range want {
+		mw += want[i]
+		mg += got[i]
+	}
+	if mg < 0.6*mw || mg > mw {
+		t.Errorf("realized degree mass %v vs requested %v", mg, mw)
+	}
+	if _, err := ConfigurationModel(r, []int{-1}); err == nil {
+		t.Error("negative degree accepted")
+	}
+}
+
+func TestModular(t *testing.T) {
+	r := rng.New(7)
+	cfg := ModularConfig{Communities: 4, NodesPerComm: 50, IntraDegree: 6, InterDegree: 0.5}
+	g, err := Modular(r, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 200 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	intra, inter := 0, 0
+	for _, e := range g.Edges() {
+		if cfg.CommunityOf(e[0]) == cfg.CommunityOf(e[1]) {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= 5*inter {
+		t.Errorf("modularity too weak: intra=%d inter=%d", intra, inter)
+	}
+	if _, err := Modular(r, ModularConfig{Communities: 0, NodesPerComm: 5}); err == nil {
+		t.Error("0 communities accepted")
+	}
+	if _, err := Modular(r, ModularConfig{Communities: 2, NodesPerComm: 5, IntraDegree: -1}); err == nil {
+		t.Error("negative degree accepted")
+	}
+}
+
+func TestQuickDegreeSumsMatchEdges(t *testing.T) {
+	f := func(seed uint64, rawEdges []uint16) bool {
+		b := NewBuilder(0)
+		for _, e := range rawEdges {
+			from := NodeID(e >> 8)
+			to := NodeID(e & 0xff)
+			if b.AddEdge(from, to) != nil {
+				return false
+			}
+		}
+		g := b.Build()
+		sumIn, sumOut := 0, 0
+		for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+			sumIn += g.InDegree(u)
+			sumOut += g.OutDegree(u)
+		}
+		return sumIn == g.NumEdges() && sumOut == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFansFriendsAreInverse(t *testing.T) {
+	f := func(rawEdges []uint16) bool {
+		b := NewBuilder(0)
+		for _, e := range rawEdges {
+			b.AddEdge(NodeID(e>>8), NodeID(e&0xff))
+		}
+		g := b.Build()
+		for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+			for _, v := range g.Friends(u) {
+				found := false
+				for _, w := range g.Fans(v) {
+					if w == u {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReverseTwiceIsIdentity(t *testing.T) {
+	f := func(rawEdges []uint16) bool {
+		b := NewBuilder(0)
+		for _, e := range rawEdges {
+			b.AddEdge(NodeID(e>>8), NodeID(e&0xff))
+		}
+		g := b.Build()
+		rr := g.Reverse().Reverse()
+		if rr.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !rr.HasEdge(e[0], e[1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDegreeAssortativityBounds(t *testing.T) {
+	r := rng.New(8)
+	g, err := ErdosRenyi(r, 300, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := DegreeAssortativity(g)
+	if a < -1 || a > 1 {
+		t.Errorf("assortativity %v out of [-1, 1]", a)
+	}
+	empty := NewBuilder(3).Build()
+	if DegreeAssortativity(empty) != 0 {
+		t.Error("empty graph assortativity should be 0")
+	}
+}
+
+func BenchmarkBuild10k(b *testing.B) {
+	r := rng.New(1)
+	bld := NewBuilder(10000)
+	for i := 0; i < 50000; i++ {
+		bld.AddEdge(NodeID(r.Intn(10000)), NodeID(r.Intn(10000)))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = bld.Build()
+	}
+}
+
+func BenchmarkBFS(b *testing.B) {
+	r := rng.New(2)
+	g, _ := PreferentialAttachment(r, 10000, 5, 0.2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = BFSFrom(g, 0)
+	}
+}

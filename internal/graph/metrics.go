@@ -1,0 +1,258 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// InDegreeDistribution returns the count of nodes having each fan count.
+func InDegreeDistribution(g *Graph) map[int]int {
+	out := make(map[int]int)
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		out[g.InDegree(u)]++
+	}
+	return out
+}
+
+// OutDegreeDistribution returns the count of nodes having each friend
+// count.
+func OutDegreeDistribution(g *Graph) map[int]int {
+	out := make(map[int]int)
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		out[g.OutDegree(u)]++
+	}
+	return out
+}
+
+// MeanDegree returns the mean out-degree (== mean in-degree).
+func MeanDegree(g *Graph) float64 {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(g.NumNodes())
+}
+
+// BFSFrom returns the hop distance from src to every reachable node
+// following outgoing edges; unreachable nodes map to -1.
+func BFSFrom(g *Graph, src NodeID) []int {
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if !g.valid(src) {
+		return dist
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Friends(u) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// WeaklyConnectedComponents labels each node with a component id
+// (ignoring edge direction) and returns the labels plus component count.
+func WeaklyConnectedComponents(g *Graph) (labels []int, count int) {
+	labels = make([]int, g.NumNodes())
+	for i := range labels {
+		labels[i] = -1
+	}
+	for start := NodeID(0); int(start) < g.NumNodes(); start++ {
+		if labels[start] >= 0 {
+			continue
+		}
+		labels[start] = count
+		stack := []NodeID{start}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.Friends(u) {
+				if labels[v] < 0 {
+					labels[v] = count
+					stack = append(stack, v)
+				}
+			}
+			for _, v := range g.Fans(u) {
+				if labels[v] < 0 {
+					labels[v] = count
+					stack = append(stack, v)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// LargestComponentSize returns the size of the largest weakly connected
+// component, or 0 for an empty graph.
+func LargestComponentSize(g *Graph) int {
+	labels, count := WeaklyConnectedComponents(g)
+	if count == 0 {
+		return 0
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for _, s := range sizes {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// ClusteringCoefficient returns the local clustering coefficient of u
+// treating the graph as undirected: the fraction of pairs of neighbors
+// of u that are themselves connected (in either direction). Nodes with
+// fewer than two neighbors have coefficient 0.
+func ClusteringCoefficient(g *Graph, u NodeID) float64 {
+	nbrs := undirectedNeighbors(g, u)
+	k := len(nbrs)
+	if k < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if g.HasEdge(nbrs[i], nbrs[j]) || g.HasEdge(nbrs[j], nbrs[i]) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / float64(k*(k-1))
+}
+
+// MeanClustering returns the average local clustering coefficient over
+// all nodes (0 for an empty graph).
+func MeanClustering(g *Graph) float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for u := NodeID(0); int(u) < n; u++ {
+		sum += ClusteringCoefficient(g, u)
+	}
+	return sum / float64(n)
+}
+
+func undirectedNeighbors(g *Graph, u NodeID) []NodeID {
+	seen := make(map[NodeID]struct{})
+	for _, v := range g.Friends(u) {
+		seen[v] = struct{}{}
+	}
+	for _, v := range g.Fans(u) {
+		seen[v] = struct{}{}
+	}
+	out := make([]NodeID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TopByInDegree returns up to k node IDs sorted by descending fan count
+// (ties broken by ascending ID). This is how the reproduction ranks "top
+// users" structurally.
+func TopByInDegree(g *Graph, k int) []NodeID {
+	ids := make([]NodeID, g.NumNodes())
+	for i := range ids {
+		ids[i] = NodeID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		da, db := g.InDegree(ids[a]), g.InDegree(ids[b])
+		if da != db {
+			return da > db
+		}
+		return ids[a] < ids[b]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return ids[:k]
+}
+
+// KCore returns the set of nodes in the k-core of the undirected version
+// of g: the maximal subgraph where every node has at least k undirected
+// neighbors within the subgraph.
+func KCore(g *Graph, k int) []NodeID {
+	n := g.NumNodes()
+	deg := make([]int, n)
+	for u := NodeID(0); int(u) < n; u++ {
+		deg[u] = len(undirectedNeighbors(g, u))
+	}
+	removed := make([]bool, n)
+	queue := []NodeID{}
+	for u := 0; u < n; u++ {
+		if deg[u] < k {
+			removed[u] = true
+			queue = append(queue, NodeID(u))
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range undirectedNeighbors(g, u) {
+			if removed[v] {
+				continue
+			}
+			deg[v]--
+			if deg[v] < k {
+				removed[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	var core []NodeID
+	for u := 0; u < n; u++ {
+		if !removed[u] {
+			core = append(core, NodeID(u))
+		}
+	}
+	return core
+}
+
+// DegreeAssortativity returns the Pearson correlation between the
+// out-degree of the source and in-degree of the target over all edges —
+// a quick structural fingerprint used in tests. Returns 0 when the
+// graph has no edges or zero variance on either side.
+func DegreeAssortativity(g *Graph) float64 {
+	m := g.NumEdges()
+	if m == 0 {
+		return 0
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		du := float64(g.OutDegree(u))
+		for _, v := range g.Friends(u) {
+			dv := float64(g.InDegree(v))
+			sx += du
+			sy += dv
+			sxx += du * du
+			syy += dv * dv
+			sxy += du * dv
+		}
+	}
+	fm := float64(m)
+	cov := sxy/fm - (sx/fm)*(sy/fm)
+	vx := sxx/fm - (sx/fm)*(sx/fm)
+	vy := syy/fm - (sy/fm)*(sy/fm)
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	return cov / (math.Sqrt(vx) * math.Sqrt(vy))
+}

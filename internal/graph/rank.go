@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"errors"
+	"math"
+)
+
+// PageRank computes the stationary influence of each node with damping
+// d, iterating until the L1 change drops below tol or maxIters passes
+// complete. Rank flows along the fan direction (from watcher to
+// watched): users watched by influential users become influential,
+// which matches how attention propagates through the Friends interface.
+// Dangling mass (users watching nobody) is redistributed uniformly.
+func PageRank(g *Graph, d float64, tol float64, maxIters int) ([]float64, error) {
+	if d < 0 || d >= 1 {
+		return nil, errors.New("graph: PageRank damping must be in [0, 1)")
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, nil
+	}
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < maxIters; iter++ {
+		base := (1 - d) / float64(n)
+		dangling := 0.0
+		for u := 0; u < n; u++ {
+			if g.OutDegree(NodeID(u)) == 0 {
+				dangling += rank[u]
+			}
+			next[u] = base
+		}
+		danglingShare := d * dangling / float64(n)
+		for u := 0; u < n; u++ {
+			next[u] += danglingShare
+		}
+		for u := 0; u < n; u++ {
+			out := g.Friends(NodeID(u))
+			if len(out) == 0 {
+				continue
+			}
+			share := d * rank[u] / float64(len(out))
+			for _, v := range out {
+				next[v] += share
+			}
+		}
+		delta := 0.0
+		for u := 0; u < n; u++ {
+			delta += math.Abs(next[u] - rank[u])
+		}
+		rank, next = next, rank
+		if delta < tol {
+			break
+		}
+	}
+	return rank, nil
+}
+
+// PathStats summarizes shortest-path structure sampled from a set of
+// source nodes.
+type PathStats struct {
+	// MeanDistance is the mean finite hop distance over sampled pairs.
+	MeanDistance float64
+	// MaxDistance is the largest finite distance seen (a lower bound on
+	// the directed diameter).
+	MaxDistance int
+	// ReachableFraction is the fraction of sampled (source, target)
+	// pairs with a finite directed path.
+	ReachableFraction float64
+}
+
+// SamplePathStats runs BFS from each source and aggregates distances to
+// all other nodes. Sources outside the graph are skipped; an empty or
+// single-node graph yields zeros.
+func SamplePathStats(g *Graph, sources []NodeID) PathStats {
+	var stats PathStats
+	totalPairs, reachable := 0, 0
+	sumDist := 0
+	for _, s := range sources {
+		if !g.valid(s) {
+			continue
+		}
+		dist := BFSFrom(g, s)
+		for v, d := range dist {
+			if NodeID(v) == s {
+				continue
+			}
+			totalPairs++
+			if d >= 0 {
+				reachable++
+				sumDist += d
+				if d > stats.MaxDistance {
+					stats.MaxDistance = d
+				}
+			}
+		}
+	}
+	if reachable > 0 {
+		stats.MeanDistance = float64(sumDist) / float64(reachable)
+	}
+	if totalPairs > 0 {
+		stats.ReachableFraction = float64(reachable) / float64(totalPairs)
+	}
+	return stats
+}
+
+// Subgraph returns the induced subgraph over keep (deduplicated), along
+// with the mapping from new ids to original ids. Edges with either
+// endpoint outside keep are dropped.
+func Subgraph(g *Graph, keep []NodeID) (*Graph, []NodeID) {
+	newID := make(map[NodeID]NodeID, len(keep))
+	var origOf []NodeID
+	for _, u := range keep {
+		if !g.valid(u) {
+			continue
+		}
+		if _, dup := newID[u]; dup {
+			continue
+		}
+		newID[u] = NodeID(len(origOf))
+		origOf = append(origOf, u)
+	}
+	b := NewBuilder(len(origOf))
+	for _, u := range origOf {
+		for _, v := range g.Friends(u) {
+			if nv, ok := newID[v]; ok {
+				// Errors impossible here: ids are dense and non-negative.
+				_ = b.AddEdge(newID[u], nv)
+			}
+		}
+	}
+	return b.Build(), origOf
+}

@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"diggsim/internal/rng"
+)
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	// Directed cycle: perfectly symmetric, ranks equal.
+	g := mustGraph(t, 4, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	ranks, err := PageRank(g, 0.85, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range ranks {
+		if math.Abs(r-0.25) > 1e-9 {
+			t.Errorf("rank[%d] = %v want 0.25", i, r)
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	r := rng.New(1)
+	g, err := PreferentialAttachment(r, 500, 3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks, err := PageRank(g, 0.85, 1e-10, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range ranks {
+		if v < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("ranks sum to %v", sum)
+	}
+}
+
+func TestPageRankFavorsWatched(t *testing.T) {
+	// Star: 1..9 all watch 0. Node 0 should dominate.
+	b := NewBuilder(10)
+	for i := 1; i < 10; i++ {
+		b.AddEdge(NodeID(i), 0)
+	}
+	g := b.Build()
+	ranks, err := PageRank(g, 0.85, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 10; i++ {
+		if ranks[0] <= ranks[i] {
+			t.Fatalf("hub rank %v not above leaf rank %v", ranks[0], ranks[i])
+		}
+	}
+}
+
+func TestPageRankDanglingMass(t *testing.T) {
+	// 0 -> 1; 1 dangles. Mass must still sum to 1.
+	g := mustGraph(t, 2, [][2]NodeID{{0, 1}})
+	ranks, err := PageRank(g, 0.85, 1e-12, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ranks[0]+ranks[1]-1) > 1e-6 {
+		t.Errorf("mass leak: %v", ranks)
+	}
+	if ranks[1] <= ranks[0] {
+		t.Error("watched node should outrank watcher")
+	}
+}
+
+func TestPageRankErrors(t *testing.T) {
+	g := mustGraph(t, 2, [][2]NodeID{{0, 1}})
+	if _, err := PageRank(g, 1.0, 0, 0); err == nil {
+		t.Error("d=1 accepted")
+	}
+	if _, err := PageRank(g, -0.1, 0, 0); err == nil {
+		t.Error("negative damping accepted")
+	}
+	empty := NewBuilder(0).Build()
+	ranks, err := PageRank(empty, 0.85, 0, 0)
+	if err != nil || ranks != nil {
+		t.Errorf("empty graph: %v, %v", ranks, err)
+	}
+}
+
+func TestSamplePathStats(t *testing.T) {
+	// Chain 0->1->2->3 plus isolated 4.
+	g := mustGraph(t, 5, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}})
+	st := SamplePathStats(g, []NodeID{0})
+	// From 0: distances 1,2,3 to nodes 1-3; node 4 unreachable.
+	if st.MaxDistance != 3 {
+		t.Errorf("MaxDistance = %d", st.MaxDistance)
+	}
+	if math.Abs(st.MeanDistance-2) > 1e-12 {
+		t.Errorf("MeanDistance = %v", st.MeanDistance)
+	}
+	if math.Abs(st.ReachableFraction-0.75) > 1e-12 {
+		t.Errorf("ReachableFraction = %v", st.ReachableFraction)
+	}
+	// Invalid sources are skipped.
+	st = SamplePathStats(g, []NodeID{-1, 99})
+	if st.ReachableFraction != 0 || st.MaxDistance != 0 {
+		t.Errorf("invalid sources: %+v", st)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := mustGraph(t, 5, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	sub, orig := Subgraph(g, []NodeID{1, 2, 3, 1, 99})
+	if sub.NumNodes() != 3 {
+		t.Fatalf("subgraph nodes = %d", sub.NumNodes())
+	}
+	if len(orig) != 3 || orig[0] != 1 || orig[1] != 2 || orig[2] != 3 {
+		t.Errorf("orig mapping = %v", orig)
+	}
+	// Edges 1->2 and 2->3 survive (as 0->1, 1->2); 0->1 and 3->4 dropped.
+	if sub.NumEdges() != 2 || !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) {
+		t.Errorf("subgraph edges wrong: %v", sub.Edges())
+	}
+}
+
+func TestSubgraphEmpty(t *testing.T) {
+	g := mustGraph(t, 3, [][2]NodeID{{0, 1}})
+	sub, orig := Subgraph(g, nil)
+	if sub.NumNodes() != 0 || len(orig) != 0 {
+		t.Error("empty keep set should give empty subgraph")
+	}
+}
+
+func BenchmarkPageRank(b *testing.B) {
+	r := rng.New(3)
+	g, _ := PreferentialAttachment(r, 10000, 4, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PageRank(g, 0.85, 1e-8, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

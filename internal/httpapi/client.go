@@ -1,0 +1,220 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"diggsim/internal/digg"
+)
+
+// Client is a typed HTTP client for a diggd server with bounded retries
+// and exponential backoff on transient failures (network errors and
+// 5xx responses).
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 10-second timeout.
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts per request (default 3).
+	MaxRetries int
+	// Backoff is the initial retry delay, doubled per attempt
+	// (default 100ms).
+	Backoff time.Duration
+}
+
+// NewClient returns a client with production defaults.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		HTTPClient: &http.Client{Timeout: 10 * time.Second},
+		MaxRetries: 3,
+		Backoff:    100 * time.Millisecond,
+	}
+}
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("httpapi: server returned %d: %s", e.StatusCode, e.Message)
+}
+
+// do performs one request with retries, decoding a JSON response into
+// out (which may be nil).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	httpClient := c.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	retries := c.MaxRetries
+	if retries < 0 {
+		retries = 0
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var bodyBytes []byte
+	if body != nil {
+		var err error
+		bodyBytes, err = json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("httpapi: encoding request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		var reader io.Reader
+		if bodyBytes != nil {
+			reader = bytes.NewReader(bodyBytes)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, reader)
+		if err != nil {
+			return fmt.Errorf("httpapi: building request: %w", err)
+		}
+		if bodyBytes != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := httpClient.Do(req)
+		if err != nil {
+			lastErr = err
+			continue // network error: retry
+		}
+		err = decodeResponse(resp, out)
+		var apiErr *APIError
+		if err == nil {
+			return nil
+		}
+		if asAPIError(err, &apiErr) &&
+			(apiErr.StatusCode >= 500 || apiErr.StatusCode == http.StatusTooManyRequests) {
+			lastErr = err
+			continue // server error or rate limit: retry with backoff
+		}
+		return err // client error or decode failure: do not retry
+	}
+	return fmt.Errorf("httpapi: %s %s failed after %d attempts: %w",
+		method, path, retries+1, lastErr)
+}
+
+func asAPIError(err error, target **APIError) bool {
+	if e, ok := err.(*APIError); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("httpapi: reading response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var e ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: string(data)}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("httpapi: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Health checks the /healthz endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// FrontPage fetches up to limit promoted stories, newest first.
+func (c *Client) FrontPage(ctx context.Context, limit int) ([]StorySummary, error) {
+	var out []StorySummary
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/frontpage?limit=%d", limit), nil, &out)
+	return out, err
+}
+
+// Upcoming fetches up to limit unpromoted stories, newest first.
+func (c *Client) Upcoming(ctx context.Context, limit int) ([]StorySummary, error) {
+	var out []StorySummary
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/upcoming?limit=%d", limit), nil, &out)
+	return out, err
+}
+
+// Stories fetches a page of the full story listing in submission
+// order.
+func (c *Client) Stories(ctx context.Context, offset, limit int) (StoryPage, error) {
+	var out StoryPage
+	err := c.do(ctx, http.MethodGet,
+		fmt.Sprintf("/api/stories?offset=%d&limit=%d", offset, limit), nil, &out)
+	return out, err
+}
+
+// Story fetches a story with its full chronological vote list.
+func (c *Client) Story(ctx context.Context, id digg.StoryID) (StoryDetail, error) {
+	var out StoryDetail
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/stories/%d", id), nil, &out)
+	return out, err
+}
+
+// User fetches a user's profile.
+func (c *Client) User(ctx context.Context, id digg.UserID) (UserInfo, error) {
+	var out UserInfo
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/users/%d", id), nil, &out)
+	return out, err
+}
+
+// Fans fetches the users watching id.
+func (c *Client) Fans(ctx context.Context, id digg.UserID) ([]digg.UserID, error) {
+	var out UserLinks
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/users/%d/fans", id), nil, &out)
+	return out.Users, err
+}
+
+// Friends fetches the users watched by id.
+func (c *Client) Friends(ctx context.Context, id digg.UserID) ([]digg.UserID, error) {
+	var out UserLinks
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/users/%d/friends", id), nil, &out)
+	return out.Users, err
+}
+
+// TopUsers fetches the reputation ranking.
+func (c *Client) TopUsers(ctx context.Context, limit int) ([]digg.UserID, error) {
+	var out []digg.UserID
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/topusers?limit=%d", limit), nil, &out)
+	return out, err
+}
+
+// Submit creates a story on a live server.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (StoryDetail, error) {
+	var out StoryDetail
+	err := c.do(ctx, http.MethodPost, "/api/stories", req, &out)
+	return out, err
+}
+
+// Digg casts a vote on a live server.
+func (c *Client) Digg(ctx context.Context, id digg.StoryID, req DiggRequest) (DiggResponse, error) {
+	var out DiggResponse
+	err := c.do(ctx, http.MethodPost, fmt.Sprintf("/api/stories/%d/digg", id), req, &out)
+	return out, err
+}

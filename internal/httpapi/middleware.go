@@ -1,0 +1,105 @@
+package httpapi
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// LoggingMiddleware writes one line per request (method, path, status,
+// duration) to w. It is safe for concurrent requests.
+func LoggingMiddleware(w io.Writer, next http.Handler) http.Handler {
+	var mu sync.Mutex
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: rw, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		mu.Lock()
+		fmt.Fprintf(w, "%s %s %d %s\n", r.Method, r.URL.Path, sw.status,
+			time.Since(start).Round(time.Microsecond))
+		mu.Unlock()
+	})
+}
+
+// statusWriter captures the response status code for logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status  int
+	written bool
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	if !s.written {
+		s.status = code
+		s.written = true
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusWriter) Write(b []byte) (int, error) {
+	s.written = true
+	return s.ResponseWriter.Write(b)
+}
+
+// RateLimiter is a token-bucket limiter shared across all requests —
+// the server-side politeness budget a real site would enforce against
+// scrapers. The zero value is unusable; construct with NewRateLimiter.
+type RateLimiter struct {
+	mu       sync.Mutex
+	tokens   float64
+	capacity float64
+	rate     float64 // tokens per second
+	last     time.Time
+	now      func() time.Time // injectable clock for tests
+}
+
+// NewRateLimiter allows rate requests per second with the given burst
+// capacity.
+func NewRateLimiter(rate float64, burst int) *RateLimiter {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{
+		tokens:   float64(burst),
+		capacity: float64(burst),
+		rate:     rate,
+		now:      time.Now,
+	}
+}
+
+// Allow consumes one token if available.
+func (l *RateLimiter) Allow() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	if !l.last.IsZero() {
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.capacity {
+			l.tokens = l.capacity
+		}
+	}
+	l.last = now
+	if l.tokens < 1 {
+		return false
+	}
+	l.tokens--
+	return true
+}
+
+// Middleware rejects requests above the limit with 429 and a
+// Retry-After hint.
+func (l *RateLimiter) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !l.Allow() {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

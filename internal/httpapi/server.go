@@ -1,0 +1,311 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"diggsim/internal/digg"
+)
+
+// Server serves a digg.Platform over HTTP/JSON. The platform is not
+// concurrency-safe, so every handler holds the server mutex; read-heavy
+// scraping workloads are still fast because handlers do little work
+// under the lock.
+type Server struct {
+	mu       sync.Mutex
+	platform *digg.Platform
+	now      digg.Minutes
+	rankOf   func(digg.UserID) int
+}
+
+// NewServer wraps the platform. now is the clock used for upcoming-
+// queue visibility and write operations; rankOf maps users to
+// reputation ranks for /api/users (nil means platform-derived ranks).
+func NewServer(p *digg.Platform, now digg.Minutes, rankOf func(digg.UserID) int) *Server {
+	if rankOf == nil {
+		rankOf = p.UserRank
+	}
+	return &Server{platform: p, now: now, rankOf: rankOf}
+}
+
+// SetNow advances the server clock.
+func (s *Server) SetNow(now digg.Minutes) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /api/frontpage", s.handleFrontPage)
+	mux.HandleFunc("GET /api/stories", s.handleStoryList)
+	mux.HandleFunc("GET /api/upcoming", s.handleUpcoming)
+	mux.HandleFunc("GET /api/stories/{id}", s.handleStory)
+	mux.HandleFunc("POST /api/stories", s.handleSubmit)
+	mux.HandleFunc("POST /api/stories/{id}/digg", s.handleDigg)
+	mux.HandleFunc("GET /api/users/{id}", s.handleUser)
+	mux.HandleFunc("GET /api/users/{id}/fans", s.handleFans)
+	mux.HandleFunc("GET /api/users/{id}/friends", s.handleFriends)
+	mux.HandleFunc("GET /api/topusers", s.handleTopUsers)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// queryInt parses an integer query parameter with a default.
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("invalid %s: %q", key, raw)
+	}
+	return v, nil
+}
+
+func pathID(r *http.Request) (int, error) {
+	raw := r.PathValue("id")
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("invalid id %q", raw)
+	}
+	return v, nil
+}
+
+func (s *Server) handleFrontPage(w http.ResponseWriter, r *http.Request) {
+	limit, err := queryInt(r, "limit", 15)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	stories := s.platform.FrontPage(limit)
+	out := make([]StorySummary, len(stories))
+	for i, st := range stories {
+		out[i] = summarize(st)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleUpcoming(w http.ResponseWriter, r *http.Request) {
+	limit, err := queryInt(r, "limit", 15)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	stories := s.platform.Upcoming(s.now, limit)
+	out := make([]StorySummary, len(stories))
+	for i, st := range stories {
+		out[i] = summarize(st)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleStoryList serves a paginated listing of every story in
+// submission order: GET /api/stories?offset=0&limit=50.
+func (s *Server) handleStoryList(w http.ResponseWriter, r *http.Request) {
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	limit, err := queryInt(r, "limit", 50)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if offset < 0 || limit < 0 {
+		writeError(w, http.StatusBadRequest, "offset and limit must be non-negative")
+		return
+	}
+	if limit > 1000 {
+		limit = 1000
+	}
+	s.mu.Lock()
+	all := s.platform.Stories()
+	var page StoryPage
+	page.Total = len(all)
+	page.Offset = offset
+	if offset < len(all) {
+		end := offset + limit
+		if end > len(all) {
+			end = len(all)
+		}
+		page.Stories = make([]StorySummary, 0, end-offset)
+		for _, st := range all[offset:end] {
+			page.Stories = append(page.Stories, summarize(st))
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, page)
+}
+
+func (s *Server) handleStory(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	st, err := s.platform.Story(digg.StoryID(id))
+	var out StoryDetail
+	if err == nil {
+		out = detail(st)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	s.mu.Lock()
+	at := digg.Minutes(req.At)
+	if at == 0 {
+		at = s.now
+	}
+	st, err := s.platform.Submit(req.Submitter, req.Title, req.Interest, at)
+	var out StoryDetail
+	if err == nil {
+		out = detail(st)
+	}
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, out)
+}
+
+func (s *Server) handleDigg(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var req DiggRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	s.mu.Lock()
+	at := digg.Minutes(req.At)
+	if at == 0 {
+		at = s.now
+	}
+	res, err := s.platform.Digg(digg.StoryID(id), req.Voter, at)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, DiggResponse{InNetwork: res.InNetwork, Promoted: res.Promoted})
+}
+
+func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	u := digg.UserID(id)
+	s.mu.Lock()
+	g := s.platform.Graph
+	if int(u) >= g.NumNodes() {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such user")
+		return
+	}
+	info := UserInfo{ID: u, Fans: g.InDegree(u), Friends: g.OutDegree(u), Rank: s.rankOf(u)}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleFans(w http.ResponseWriter, r *http.Request) {
+	s.handleLinks(w, r, true)
+}
+
+func (s *Server) handleFriends(w http.ResponseWriter, r *http.Request) {
+	s.handleLinks(w, r, false)
+}
+
+func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request, fans bool) {
+	id, err := pathID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	u := digg.UserID(id)
+	s.mu.Lock()
+	g := s.platform.Graph
+	if int(u) >= g.NumNodes() {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "no such user")
+		return
+	}
+	var links []digg.UserID
+	if fans {
+		links = append(links, g.Fans(u)...)
+	} else {
+		links = append(links, g.Friends(u)...)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, UserLinks{ID: u, Users: links})
+}
+
+func (s *Server) handleTopUsers(w http.ResponseWriter, r *http.Request) {
+	limit, err := queryInt(r, "limit", 100)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	users := s.platform.TopUsers(limit)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, users)
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, digg.ErrUnknownUser):
+		return http.StatusBadRequest
+	case errors.Is(err, digg.ErrAlreadyVoted):
+		return http.StatusConflict
+	case errors.Is(err, digg.ErrStoryCompacted):
+		return http.StatusGone
+	case strings.Contains(err.Error(), "no story"):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,107 @@
+// Package httpapi exposes the simulated Digg platform over HTTP/JSON
+// and provides a typed client plus a concurrent scraper. Together they
+// reproduce the paper's data-collection pipeline (a Fetch Technologies
+// scraper against digg.com) against the simulator: cmd/diggd serves the
+// corpus, cmd/diggscrape crawls it over TCP and writes the dataset
+// files the analysis loads.
+package httpapi
+
+import "diggsim/internal/digg"
+
+// StorySummary is the list-view representation of a story (front page
+// and upcoming queue).
+type StorySummary struct {
+	ID          digg.StoryID `json:"id"`
+	Title       string       `json:"title"`
+	Submitter   digg.UserID  `json:"submitter"`
+	SubmittedAt int64        `json:"submitted_at"`
+	Promoted    bool         `json:"promoted"`
+	PromotedAt  int64        `json:"promoted_at,omitempty"`
+	Votes       int          `json:"votes"`
+}
+
+// VoteRecord is one vote in a story detail response, in chronological
+// order with the submitter first — exactly the structure the paper
+// scraped.
+type VoteRecord struct {
+	Voter digg.UserID `json:"voter"`
+	At    int64       `json:"at"`
+}
+
+// StoryDetail is the full story view including its vote list.
+type StoryDetail struct {
+	StorySummary
+	VoteList []VoteRecord `json:"vote_list"`
+}
+
+// StoryPage is a paginated story listing.
+type StoryPage struct {
+	Total   int            `json:"total"`
+	Offset  int            `json:"offset"`
+	Stories []StorySummary `json:"stories"`
+}
+
+// UserInfo describes a user: fan/friend counts and reputation rank
+// (0 when unranked).
+type UserInfo struct {
+	ID      digg.UserID `json:"id"`
+	Fans    int         `json:"fans"`
+	Friends int         `json:"friends"`
+	Rank    int         `json:"rank"`
+}
+
+// UserLinks lists the users watching (fans) or watched by (friends) a
+// user.
+type UserLinks struct {
+	ID    digg.UserID   `json:"id"`
+	Users []digg.UserID `json:"users"`
+}
+
+// SubmitRequest creates a story on a live server.
+type SubmitRequest struct {
+	Submitter digg.UserID `json:"submitter"`
+	Title     string      `json:"title"`
+	Interest  float64     `json:"interest"`
+	At        int64       `json:"at"`
+}
+
+// DiggRequest casts a vote on a live server.
+type DiggRequest struct {
+	Voter digg.UserID `json:"voter"`
+	At    int64       `json:"at"`
+}
+
+// DiggResponse reports the outcome of a vote.
+type DiggResponse struct {
+	InNetwork bool `json:"in_network"`
+	Promoted  bool `json:"promoted"`
+}
+
+// ErrorResponse is the JSON error envelope.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+func summarize(s *digg.Story) StorySummary {
+	sum := StorySummary{
+		ID:          s.ID,
+		Title:       s.Title,
+		Submitter:   s.Submitter,
+		SubmittedAt: int64(s.SubmittedAt),
+		Promoted:    s.Promoted,
+		Votes:       s.VoteCount(),
+	}
+	if s.Promoted {
+		sum.PromotedAt = int64(s.PromotedAt)
+	}
+	return sum
+}
+
+func detail(s *digg.Story) StoryDetail {
+	d := StoryDetail{StorySummary: summarize(s)}
+	d.VoteList = make([]VoteRecord, len(s.Votes))
+	for i, v := range s.Votes {
+		d.VoteList[i] = VoteRecord{Voter: v.Voter, At: int64(v.At)}
+	}
+	return d
+}

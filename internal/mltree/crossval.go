@@ -1,0 +1,69 @@
+package mltree
+
+import (
+	"errors"
+
+	"diggsim/internal/rng"
+	"diggsim/internal/stats"
+)
+
+// CrossValidate runs stratified k-fold cross-validation and returns the
+// pooled confusion matrix over all held-out folds — the "10-fold
+// validation" the paper reports (174 of 207 correct). The shuffle is
+// driven by r for reproducibility.
+func CrossValidate(insts []Instance, attrNames []string, cfg Config, k int, r *rng.RNG) (stats.Confusion, error) {
+	if k < 2 {
+		return stats.Confusion{}, errors.New("mltree: k-fold requires k >= 2")
+	}
+	if len(insts) < k {
+		return stats.Confusion{}, errors.New("mltree: fewer instances than folds")
+	}
+	folds := stratifiedFolds(insts, k, r)
+	var pooled stats.Confusion
+	for i := 0; i < k; i++ {
+		var train, test []Instance
+		for j, fold := range folds {
+			if j == i {
+				test = append(test, fold...)
+			} else {
+				train = append(train, fold...)
+			}
+		}
+		if len(train) == 0 || len(test) == 0 {
+			continue
+		}
+		tree, err := Train(train, attrNames, cfg)
+		if err != nil {
+			return stats.Confusion{}, err
+		}
+		pooled = pooled.Merge(tree.Evaluate(test))
+	}
+	return pooled, nil
+}
+
+// stratifiedFolds splits the instances into k folds preserving the
+// class ratio in each fold.
+func stratifiedFolds(insts []Instance, k int, r *rng.RNG) [][]Instance {
+	var pos, neg []Instance
+	for _, in := range insts {
+		if in.Label {
+			pos = append(pos, in)
+		} else {
+			neg = append(neg, in)
+		}
+	}
+	shuffle := func(xs []Instance) {
+		r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	}
+	shuffle(pos)
+	shuffle(neg)
+	folds := make([][]Instance, k)
+	for i, in := range pos {
+		folds[i%k] = append(folds[i%k], in)
+	}
+	for i, in := range neg {
+		// Offset so folds get balanced totals when classes are skewed.
+		folds[(i+k/2)%k] = append(folds[(i+k/2)%k], in)
+	}
+	return folds
+}

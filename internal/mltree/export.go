@@ -1,0 +1,93 @@
+package mltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ClassifyProb returns the training-set probability of the positive
+// class at the leaf the attribute vector reaches — the standard way to
+// get a ranking score out of a decision tree. Laplace smoothing
+// ((pos+1)/(n+2)) keeps pure leaves off the 0/1 extremes so scores
+// remain comparable across leaf sizes.
+func (t *Tree) ClassifyProb(attrs []float64) float64 {
+	n := t.Root
+	for !n.Leaf {
+		if attrs[n.Attr] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	pos := n.N - n.Errors
+	if !n.Pred {
+		pos = n.Errors
+	}
+	return (float64(pos) + 1) / (float64(n.N) + 2)
+}
+
+// DOT renders the tree in Graphviz dot format for visualization.
+func (t *Tree) DOT(name string) string {
+	var sb strings.Builder
+	if name == "" {
+		name = "tree"
+	}
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	sb.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+	id := 0
+	var walk func(n *Node) int
+	walk = func(n *Node) int {
+		me := id
+		id++
+		if n.Leaf {
+			label := "no"
+			if n.Pred {
+				label = "yes"
+			}
+			fmt.Fprintf(&sb, "  n%d [label=\"%s\\n(%d/%d)\", style=filled, fillcolor=%q];\n",
+				me, label, n.N, n.Errors, leafColor(n.Pred))
+			return me
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s <= %g\"];\n", me, t.AttrNames[n.Attr], n.Threshold)
+		l := walk(n.Left)
+		r := walk(n.Right)
+		fmt.Fprintf(&sb, "  n%d -> n%d [label=\"true\"];\n", me, l)
+		fmt.Fprintf(&sb, "  n%d -> n%d [label=\"false\"];\n", me, r)
+		return me
+	}
+	walk(t.Root)
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func leafColor(pred bool) string {
+	if pred {
+		return "#c8e6c9"
+	}
+	return "#ffcdd2"
+}
+
+// FeatureImportance returns, per attribute index, the total training
+// instances routed through splits on that attribute, normalized to sum
+// to 1 — a simple split-frequency importance measure.
+func (t *Tree) FeatureImportance() []float64 {
+	imp := make([]float64, len(t.AttrNames))
+	total := 0.0
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || n.Leaf {
+			return
+		}
+		imp[n.Attr] += float64(n.N)
+		total += float64(n.N)
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.Root)
+	if total > 0 {
+		for i := range imp {
+			imp[i] /= total
+		}
+	}
+	return imp
+}

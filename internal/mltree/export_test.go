@@ -1,0 +1,117 @@
+package mltree
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"diggsim/internal/rng"
+)
+
+func TestClassifyProbOrdering(t *testing.T) {
+	tree, err := Train(thresholdData(100), []string{"x"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pLow := tree.ClassifyProb([]float64{1})  // positive region
+	pHigh := tree.ClassifyProb([]float64{9}) // negative region
+	if pLow <= pHigh {
+		t.Errorf("positive-leaf prob %v <= negative-leaf prob %v", pLow, pHigh)
+	}
+	if pLow <= 0.5 || pHigh >= 0.5 {
+		t.Errorf("probs on wrong sides of 0.5: %v %v", pLow, pHigh)
+	}
+	// Laplace smoothing keeps pure leaves off the extremes.
+	if pLow >= 1 || pHigh <= 0 {
+		t.Errorf("unsmoothed probabilities: %v %v", pLow, pHigh)
+	}
+}
+
+func TestClassifyProbConsistentWithClassify(t *testing.T) {
+	r := rng.New(1)
+	insts := make([]Instance, 300)
+	for i := range insts {
+		x := r.Float64() * 10
+		insts[i] = Instance{Attrs: []float64{x}, Label: x > 6 != r.Bool(0.1)}
+	}
+	tree, err := Train(insts, []string{"x"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x <= 10; x += 0.5 {
+		pred := tree.Classify([]float64{x})
+		prob := tree.ClassifyProb([]float64{x})
+		if pred && prob < 0.5 {
+			t.Errorf("x=%v: predicted true with prob %v", x, prob)
+		}
+		if !pred && prob > 0.5 {
+			t.Errorf("x=%v: predicted false with prob %v", x, prob)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	tree, err := Train(thresholdData(100), []string{"v10"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := tree.DOT("fig5")
+	for _, want := range []string{"digraph \"fig5\"", "v10 <= 4.5", "yes", "no", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if !strings.HasSuffix(dot, "}\n") {
+		t.Error("DOT not terminated")
+	}
+	// Default name.
+	if !strings.Contains(tree.DOT(""), "digraph \"tree\"") {
+		t.Error("default DOT name missing")
+	}
+}
+
+func TestDOTLeafOnly(t *testing.T) {
+	tree, err := Train([]Instance{{Attrs: []float64{1}, Label: true}}, []string{"x"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := tree.DOT("leaf")
+	if !strings.Contains(dot, "yes") || strings.Contains(dot, "->") {
+		t.Errorf("leaf-only DOT wrong:\n%s", dot)
+	}
+}
+
+func TestFeatureImportance(t *testing.T) {
+	r := rng.New(2)
+	insts := make([]Instance, 400)
+	for i := range insts {
+		noise, signal := r.Float64(), r.Float64()
+		insts[i] = Instance{Attrs: []float64{noise, signal}, Label: signal > 0.5}
+	}
+	tree, err := Train(insts, []string{"noise", "signal"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tree.FeatureImportance()
+	if len(imp) != 2 {
+		t.Fatalf("importance = %v", imp)
+	}
+	if imp[1] <= imp[0] {
+		t.Errorf("signal importance %v <= noise importance %v", imp[1], imp[0])
+	}
+	sum := imp[0] + imp[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %v", sum)
+	}
+}
+
+func TestFeatureImportanceLeafTree(t *testing.T) {
+	tree, err := Train([]Instance{{Attrs: []float64{1}, Label: true}}, []string{"x"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := tree.FeatureImportance()
+	if imp[0] != 0 {
+		t.Errorf("leaf-only importance = %v", imp)
+	}
+}

@@ -1,0 +1,420 @@
+// Package mltree implements a C4.5-style decision-tree learner for
+// binary classification over numeric attributes, reproducing the J48
+// classifier the paper trained (Fig. 5): gain-ratio splits with numeric
+// thresholds, minimum-leaf constraints, pessimistic-error pruning and
+// stratified k-fold cross-validation.
+package mltree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"diggsim/internal/stats"
+)
+
+// Instance is one training example: numeric attribute values plus a
+// boolean class label (the paper's "interesting" flag).
+type Instance struct {
+	Attrs []float64
+	Label bool
+}
+
+// Config controls tree induction.
+type Config struct {
+	// MinLeaf is the minimum number of instances in a leaf (J48's -M,
+	// default 2).
+	MinLeaf int
+	// MaxDepth caps tree depth; 0 means unlimited.
+	MaxDepth int
+	// Prune enables C4.5 pessimistic-error pruning with Confidence
+	// (J48's -C, default 0.25).
+	Prune      bool
+	Confidence float64
+}
+
+// DefaultConfig mirrors Weka J48 defaults.
+func DefaultConfig() Config {
+	return Config{MinLeaf: 2, Prune: true, Confidence: 0.25}
+}
+
+// Node is a decision-tree node. Leaves have Leaf == true; internal
+// nodes test Attrs[Attr] <= Threshold, descending to Left when the test
+// holds and Right otherwise.
+type Node struct {
+	Leaf      bool
+	Pred      bool    // leaf prediction
+	N         int     // training instances reaching the node
+	Errors    int     // training instances misclassified by Pred
+	Attr      int     // split attribute (internal nodes)
+	Threshold float64 // split threshold (internal nodes)
+	Left      *Node   // Attrs[Attr] <= Threshold
+	Right     *Node   // Attrs[Attr] >  Threshold
+}
+
+// Tree is a trained classifier.
+type Tree struct {
+	Root      *Node
+	AttrNames []string
+}
+
+// ErrNoData is returned when training with no instances.
+var ErrNoData = errors.New("mltree: no training instances")
+
+// Train builds a decision tree over the instances. attrNames labels the
+// attribute columns for rendering; every instance must have
+// len(attrNames) attributes.
+func Train(instances []Instance, attrNames []string, cfg Config) (*Tree, error) {
+	if len(instances) == 0 {
+		return nil, ErrNoData
+	}
+	if cfg.MinLeaf < 1 {
+		cfg.MinLeaf = 1
+	}
+	if cfg.Confidence <= 0 || cfg.Confidence >= 1 {
+		cfg.Confidence = 0.25
+	}
+	for i, inst := range instances {
+		if len(inst.Attrs) != len(attrNames) {
+			return nil, fmt.Errorf("mltree: instance %d has %d attrs, want %d",
+				i, len(inst.Attrs), len(attrNames))
+		}
+	}
+	root := grow(instances, cfg, 0)
+	if cfg.Prune {
+		prune(root, cfg.Confidence)
+	}
+	return &Tree{Root: root, AttrNames: attrNames}, nil
+}
+
+// grow recursively builds the subtree for the given instances.
+func grow(insts []Instance, cfg Config, depth int) *Node {
+	pos := countPos(insts)
+	node := &Node{N: len(insts)}
+	node.Pred = pos*2 >= len(insts)
+	node.Errors = missed(len(insts), pos, node.Pred)
+	if pos == 0 || pos == len(insts) ||
+		len(insts) < 2*cfg.MinLeaf ||
+		(cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) {
+		node.Leaf = true
+		return node
+	}
+	attr, threshold, ok := bestSplit(insts, cfg.MinLeaf)
+	if !ok {
+		node.Leaf = true
+		return node
+	}
+	var left, right []Instance
+	for _, in := range insts {
+		if in.Attrs[attr] <= threshold {
+			left = append(left, in)
+		} else {
+			right = append(right, in)
+		}
+	}
+	node.Attr = attr
+	node.Threshold = threshold
+	node.Left = grow(left, cfg, depth+1)
+	node.Right = grow(right, cfg, depth+1)
+	return node
+}
+
+// bestSplit finds the (attribute, threshold) pair with the highest gain
+// ratio among splits whose information gain is at least the mean gain
+// of viable candidates (C4.5's heuristic to stop the gain ratio from
+// favouring unbalanced splits).
+func bestSplit(insts []Instance, minLeaf int) (attr int, threshold float64, ok bool) {
+	if len(insts) == 0 {
+		return 0, 0, false
+	}
+	type candidate struct {
+		attr      int
+		threshold float64
+		gain      float64
+		ratio     float64
+	}
+	var cands []candidate
+	baseEntropy := entropy(countPos(insts), len(insts))
+	nAttrs := len(insts[0].Attrs)
+	values := make([]float64, 0, len(insts))
+	for a := 0; a < nAttrs; a++ {
+		values = values[:0]
+		for _, in := range insts {
+			values = append(values, in.Attrs[a])
+		}
+		sort.Float64s(values)
+		prev := values[0]
+		for _, v := range values[1:] {
+			if v == prev {
+				continue
+			}
+			t := (prev + v) / 2
+			prev = v
+			nl, pl, nr, pr := 0, 0, 0, 0
+			for _, in := range insts {
+				if in.Attrs[a] <= t {
+					nl++
+					if in.Label {
+						pl++
+					}
+				} else {
+					nr++
+					if in.Label {
+						pr++
+					}
+				}
+			}
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			fl := float64(nl) / float64(len(insts))
+			fr := float64(nr) / float64(len(insts))
+			gain := baseEntropy - fl*entropy(pl, nl) - fr*entropy(pr, nr)
+			if gain <= 1e-12 {
+				continue
+			}
+			splitInfo := -fl*math.Log2(fl) - fr*math.Log2(fr)
+			if splitInfo <= 1e-12 {
+				continue
+			}
+			cands = append(cands, candidate{a, t, gain, gain / splitInfo})
+		}
+	}
+	if len(cands) == 0 {
+		return 0, 0, false
+	}
+	meanGain := 0.0
+	for _, c := range cands {
+		meanGain += c.gain
+	}
+	meanGain /= float64(len(cands))
+	best := -1
+	for i, c := range cands {
+		if c.gain+1e-12 < meanGain {
+			continue
+		}
+		if best < 0 || c.ratio > cands[best].ratio {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, 0, false
+	}
+	return cands[best].attr, cands[best].threshold, true
+}
+
+// prune applies C4.5 pessimistic subtree-replacement pruning: a subtree
+// is replaced by a leaf when the leaf's estimated error is no worse
+// than the subtree's.
+func prune(n *Node, confidence float64) (estimatedErrors float64) {
+	if n.Leaf {
+		return pessimisticErrors(n.N, n.Errors, confidence)
+	}
+	subtree := prune(n.Left, confidence) + prune(n.Right, confidence)
+	leaf := pessimisticErrors(n.N, n.Errors, confidence)
+	if leaf <= subtree+1e-9 {
+		n.Leaf = true
+		n.Left, n.Right = nil, nil
+		return leaf
+	}
+	return subtree
+}
+
+// pessimisticErrors is C4.5's upper confidence bound on the number of
+// errors at a node: n * U_cf(e, n), where U_cf is the exact binomial
+// upper confidence limit — the p solving P(X <= e | n, p) = confidence.
+func pessimisticErrors(n, e int, confidence float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if e >= n {
+		return float64(n)
+	}
+	if e == 0 {
+		// Closed form: P(X = 0) = (1-p)^n = confidence.
+		return float64(n) * (1 - math.Pow(confidence, 1/float64(n)))
+	}
+	lo, hi := float64(e)/float64(n), 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if binomCDF(e, n, mid) > confidence {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return float64(n) * (lo + hi) / 2
+}
+
+// binomCDF returns P(X <= e) for X ~ Binomial(n, p), computed in log
+// space for stability.
+func binomCDF(e, n int, p float64) float64 {
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 0
+	}
+	logP, log1P := math.Log(p), math.Log(1-p)
+	sum := 0.0
+	for k := 0; k <= e; k++ {
+		logTerm := logChoose(n, k) + float64(k)*logP + float64(n-k)*log1P
+		sum += math.Exp(logTerm)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// logChoose returns log C(n, k) via log-gamma.
+func logChoose(n, k int) float64 {
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return lg - lk - lnk
+}
+
+// normalQuantile approximates the standard normal quantile via
+// Acklam's rational approximation (sufficient accuracy for pruning).
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for the central region.
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p > phigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// Classify returns the tree's prediction for the attribute vector.
+func (t *Tree) Classify(attrs []float64) bool {
+	n := t.Root
+	for !n.Leaf {
+		if attrs[n.Attr] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Pred
+}
+
+// Evaluate classifies every instance and returns the confusion matrix.
+func (t *Tree) Evaluate(insts []Instance) stats.Confusion {
+	var c stats.Confusion
+	for _, in := range insts {
+		c.Add(t.Classify(in.Attrs), in.Label)
+	}
+	return c
+}
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int { return nodeCount(t.Root) }
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int { return leafCount(t.Root) }
+
+func nodeCount(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	return 1 + nodeCount(n.Left) + nodeCount(n.Right)
+}
+
+func leafCount(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	return leafCount(n.Left) + leafCount(n.Right)
+}
+
+// String renders the tree in the J48 text style used by Fig. 5:
+//
+//	v10 <= 4: yes (130/5)
+//	v10 > 4
+//	|   fans1 <= 85: no (29/13)
+//	...
+func (t *Tree) String() string {
+	var sb strings.Builder
+	t.render(&sb, t.Root, 0, "")
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+func (t *Tree) render(sb *strings.Builder, n *Node, depth int, prefix string) {
+	indent := strings.Repeat("|   ", depth)
+	if n.Leaf {
+		label := "no"
+		if n.Pred {
+			label = "yes"
+		}
+		fmt.Fprintf(sb, "%s%s: %s (%d/%d)\n", indent, prefix, label, n.N, n.Errors)
+		return
+	}
+	name := t.AttrNames[n.Attr]
+	if prefix != "" {
+		fmt.Fprintf(sb, "%s%s\n", indent, prefix)
+		depth++
+		indent = strings.Repeat("|   ", depth)
+		_ = indent
+	}
+	t.render(sb, n.Left, depth, fmt.Sprintf("%s <= %g", name, n.Threshold))
+	t.render(sb, n.Right, depth, fmt.Sprintf("%s > %g", name, n.Threshold))
+}
+
+func countPos(insts []Instance) int {
+	p := 0
+	for _, in := range insts {
+		if in.Label {
+			p++
+		}
+	}
+	return p
+}
+
+func missed(n, pos int, pred bool) int {
+	if pred {
+		return n - pos
+	}
+	return pos
+}
+
+func entropy(pos, n int) float64 {
+	if n == 0 || pos == 0 || pos == n {
+		return 0
+	}
+	p := float64(pos) / float64(n)
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}

@@ -1,0 +1,329 @@
+package mltree
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"diggsim/internal/rng"
+)
+
+// xorish builds a dataset separable by the threshold x <= 5.
+func thresholdData(n int) []Instance {
+	out := make([]Instance, 0, n)
+	for i := 0; i < n; i++ {
+		x := float64(i % 10)
+		out = append(out, Instance{Attrs: []float64{x}, Label: x <= 4})
+	}
+	return out
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, []string{"x"}, DefaultConfig()); err != ErrNoData {
+		t.Errorf("err = %v", err)
+	}
+	bad := []Instance{{Attrs: []float64{1, 2}, Label: true}}
+	if _, err := Train(bad, []string{"x"}, DefaultConfig()); err == nil {
+		t.Error("attribute arity mismatch accepted")
+	}
+}
+
+func TestPerfectSplit(t *testing.T) {
+	tree, err := Train(thresholdData(100), []string{"x"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x < 10; x++ {
+		if got := tree.Classify([]float64{x}); got != (x <= 4) {
+			t.Errorf("Classify(%v) = %v", x, got)
+		}
+	}
+	c := tree.Evaluate(thresholdData(100))
+	if c.Accuracy() != 1 {
+		t.Errorf("training accuracy = %v", c.Accuracy())
+	}
+	if tree.Size() != 3 || tree.Leaves() != 2 {
+		t.Errorf("tree size/leaves = %d/%d want 3/2", tree.Size(), tree.Leaves())
+	}
+	if tree.Root.Leaf || math.Abs(tree.Root.Threshold-4.5) > 1e-9 {
+		t.Errorf("root split = %+v", tree.Root)
+	}
+}
+
+func TestPureClassGivesLeaf(t *testing.T) {
+	insts := []Instance{
+		{Attrs: []float64{1}, Label: true},
+		{Attrs: []float64{2}, Label: true},
+		{Attrs: []float64{3}, Label: true},
+	}
+	tree, err := Train(insts, []string{"x"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root.Leaf || !tree.Root.Pred {
+		t.Errorf("pure-class tree = %+v", tree.Root)
+	}
+}
+
+func TestMinLeafRespected(t *testing.T) {
+	// 10 instances, MinLeaf 6: no split can satisfy both sides.
+	insts := thresholdData(10)
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 6
+	tree, err := Train(insts, []string{"x"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.Root.Leaf {
+		t.Error("split created leaves smaller than MinLeaf")
+	}
+}
+
+func TestMaxDepth(t *testing.T) {
+	r := rng.New(1)
+	insts := make([]Instance, 300)
+	for i := range insts {
+		x, y := r.Float64()*10, r.Float64()*10
+		insts[i] = Instance{Attrs: []float64{x, y}, Label: x+y > 10}
+	}
+	cfg := DefaultConfig()
+	cfg.MaxDepth = 1
+	cfg.Prune = false
+	tree, err := Train(insts, []string{"x", "y"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Size() > 3 {
+		t.Errorf("depth-1 tree has %d nodes", tree.Size())
+	}
+}
+
+func TestTwoAttributeSelection(t *testing.T) {
+	// Only attribute 1 is informative; the learner must pick it.
+	r := rng.New(2)
+	insts := make([]Instance, 400)
+	for i := range insts {
+		noise := r.Float64()
+		signal := r.Float64()
+		insts[i] = Instance{Attrs: []float64{noise, signal}, Label: signal > 0.5}
+	}
+	tree, err := Train(insts, []string{"noise", "signal"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.Leaf || tree.Root.Attr != 1 {
+		t.Errorf("root = %+v; want split on attr 1", tree.Root)
+	}
+	if math.Abs(tree.Root.Threshold-0.5) > 0.05 {
+		t.Errorf("threshold = %v want ~0.5", tree.Root.Threshold)
+	}
+}
+
+func TestPruningShrinksNoisyTree(t *testing.T) {
+	// Pure noise: an unpruned tree overfits; pruning should collapse
+	// it substantially.
+	r := rng.New(3)
+	insts := make([]Instance, 300)
+	for i := range insts {
+		insts[i] = Instance{Attrs: []float64{r.Float64()}, Label: r.Bool(0.5)}
+	}
+	cfgNoPrune := DefaultConfig()
+	cfgNoPrune.Prune = false
+	unpruned, err := Train(insts, []string{"x"}, cfgNoPrune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Train(insts, []string{"x"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Size() > unpruned.Size() {
+		t.Errorf("pruned %d > unpruned %d nodes", pruned.Size(), unpruned.Size())
+	}
+	if pruned.Size() > unpruned.Size()/2 && pruned.Size() > 5 {
+		t.Errorf("pruning too weak: %d vs %d", pruned.Size(), unpruned.Size())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tree, err := Train(thresholdData(100), []string{"v10"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tree.String()
+	if !strings.Contains(s, "v10 <= 4.5: yes") {
+		t.Errorf("rendering missing left leaf:\n%s", s)
+	}
+	if !strings.Contains(s, "v10 > 4.5: no") {
+		t.Errorf("rendering missing right leaf:\n%s", s)
+	}
+}
+
+func TestStringLeafOnly(t *testing.T) {
+	tree, err := Train([]Instance{{Attrs: []float64{1}, Label: true}}, []string{"x"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := tree.String(); !strings.Contains(s, "yes (1/0)") {
+		t.Errorf("leaf rendering = %q", s)
+	}
+}
+
+func TestEvaluateConfusion(t *testing.T) {
+	tree, err := Train(thresholdData(100), []string{"x"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := []Instance{
+		{Attrs: []float64{0}, Label: true},  // TP
+		{Attrs: []float64{9}, Label: false}, // TN
+		{Attrs: []float64{9}, Label: true},  // FN
+		{Attrs: []float64{0}, Label: false}, // FP
+	}
+	c := tree.Evaluate(test)
+	if c.TP != 1 || c.TN != 1 || c.FN != 1 || c.FP != 1 {
+		t.Errorf("confusion = %+v", c)
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	r := rng.New(4)
+	insts := make([]Instance, 200)
+	for i := range insts {
+		x := r.Float64() * 10
+		label := x <= 5
+		if r.Bool(0.05) { // 5% label noise
+			label = !label
+		}
+		insts[i] = Instance{Attrs: []float64{x}, Label: label}
+	}
+	c, err := CrossValidate(insts, []string{"x"}, DefaultConfig(), 10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != len(insts) {
+		t.Errorf("CV total = %d want %d", c.Total(), len(insts))
+	}
+	if c.Accuracy() < 0.85 {
+		t.Errorf("CV accuracy = %v; separable data should score high", c.Accuracy())
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	r := rng.New(5)
+	insts := thresholdData(10)
+	if _, err := CrossValidate(insts, []string{"x"}, DefaultConfig(), 1, r); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := CrossValidate(insts[:3], []string{"x"}, DefaultConfig(), 10, r); err == nil {
+		t.Error("fewer instances than folds accepted")
+	}
+}
+
+func TestStratifiedFoldsPreserveAll(t *testing.T) {
+	r := rng.New(6)
+	insts := thresholdData(103)
+	folds := stratifiedFolds(insts, 10, r)
+	total := 0
+	for _, f := range folds {
+		total += len(f)
+	}
+	if total != len(insts) {
+		t.Errorf("folds lost instances: %d != %d", total, len(insts))
+	}
+	// Class balance per fold within slack.
+	for i, f := range folds {
+		pos := 0
+		for _, in := range f {
+			if in.Label {
+				pos++
+			}
+		}
+		frac := float64(pos) / float64(len(f))
+		if frac < 0.2 || frac > 0.8 {
+			t.Errorf("fold %d class fraction %v badly skewed", i, frac)
+		}
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0}, {0.75, 0.6745}, {0.975, 1.9600}, {0.25, -0.6745}, {0.01, -2.3263},
+	}
+	for _, c := range cases {
+		if got := normalQuantile(c.p); math.Abs(got-c.want) > 1e-3 {
+			t.Errorf("normalQuantile(%v) = %v want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(normalQuantile(0), -1) || !math.IsInf(normalQuantile(1), 1) {
+		t.Error("edge quantiles should be infinite")
+	}
+}
+
+func TestPessimisticErrorsMonotone(t *testing.T) {
+	// More observed errors -> more estimated errors; estimate >= observed.
+	prev := 0.0
+	for e := 0; e <= 10; e++ {
+		est := pessimisticErrors(20, e, 0.25)
+		if est < float64(e) {
+			t.Errorf("estimate %v below observed %d", est, e)
+		}
+		if est < prev {
+			t.Errorf("estimate not monotone at e=%d", e)
+		}
+		prev = est
+	}
+	if pessimisticErrors(0, 0, 0.25) != 0 {
+		t.Error("empty node estimate should be 0")
+	}
+}
+
+func TestQuickClassifyTotal(t *testing.T) {
+	// Property: a trained tree classifies every vector without panic and
+	// training accuracy is at least the majority-class rate.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 10
+		r := rng.New(seed)
+		insts := make([]Instance, n)
+		pos := 0
+		for i := range insts {
+			insts[i] = Instance{
+				Attrs: []float64{r.Float64(), r.Float64()},
+				Label: r.Bool(0.4),
+			}
+			if insts[i].Label {
+				pos++
+			}
+		}
+		tree, err := Train(insts, []string{"a", "b"}, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		c := tree.Evaluate(insts)
+		majority := pos
+		if n-pos > majority {
+			majority = n - pos
+		}
+		return c.Correct() >= majority-1 // allow pruning slack of one
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTrain200x2(b *testing.B) {
+	r := rng.New(7)
+	insts := make([]Instance, 200)
+	for i := range insts {
+		x, y := r.Float64()*20, r.Float64()*100
+		insts[i] = Instance{Attrs: []float64{x, y}, Label: x < 5 || y > 80}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(insts, []string{"v10", "fans1"}, DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical draws", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("zero seed produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(9)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: got %d want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of uniforms = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(5)
+	const draws = 100000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	if p := float64(hits) / draws; math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", p)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const draws = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < draws; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(17)
+	const draws = 200000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		sum += r.ExpFloat64()
+	}
+	if mean := sum / draws; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %v", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(19)
+	for _, mean := range []float64{0.5, 3, 20, 100} {
+		const draws = 50000
+		sum := 0.0
+		for i := 0; i < draws; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / draws
+		if math.Abs(got-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	r := New(23)
+	for i := 0; i < 10000; i++ {
+		if r.Poisson(70) < 0 {
+			t.Fatal("Poisson returned negative value")
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Fatal("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	r := New(29)
+	const xmin, alpha, draws = 1.0, 2.0, 200000
+	exceed := 0
+	for i := 0; i < draws; i++ {
+		v := r.Pareto(xmin, alpha)
+		if v < xmin {
+			t.Fatalf("Pareto variate %v below xmin", v)
+		}
+		if v > 10 {
+			exceed++
+		}
+	}
+	// P(X > 10) = 10^-2 = 0.01.
+	if p := float64(exceed) / draws; math.Abs(p-0.01) > 0.003 {
+		t.Errorf("Pareto tail P(X>10) = %v, want ~0.01", p)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(31)
+	const p, draws = 0.25, 100000
+	sum := 0.0
+	for i := 0; i < draws; i++ {
+		sum += float64(r.Geometric(p))
+	}
+	want := (1 - p) / p // mean failures before success
+	if got := sum / draws; math.Abs(got-want) > 0.1 {
+		t.Errorf("Geometric(%v) mean = %v want %v", p, got, want)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(37)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestZipfRanks(t *testing.T) {
+	r := New(41)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 101)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		k := z.Draw()
+		if k < 1 || k > 100 {
+			t.Fatalf("Zipf rank %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Rank 1 must dominate rank 10 roughly 10:1 for s=1.
+	if counts[1] < 5*counts[10] {
+		t.Errorf("Zipf skew too weak: rank1=%d rank10=%d", counts[1], counts[10])
+	}
+	if counts[1] < counts[2] {
+		t.Errorf("Zipf not monotone: rank1=%d rank2=%d", counts[1], counts[2])
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := New(43)
+	w := []float64{0, 1, 3, 0, 6}
+	counts := make([]int, len(w))
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		idx := r.WeightedChoice(w)
+		if idx < 0 || idx >= len(w) {
+			t.Fatalf("WeightedChoice index %d", idx)
+		}
+		counts[idx]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Errorf("zero-weight entries chosen: %v", counts)
+	}
+	if math.Abs(float64(counts[4])/float64(counts[2])-2) > 0.2 {
+		t.Errorf("weight ratio off: %v", counts)
+	}
+}
+
+func TestWeightedChoiceDegenerate(t *testing.T) {
+	r := New(47)
+	if got := r.WeightedChoice(nil); got != -1 {
+		t.Errorf("empty weights: got %d want -1", got)
+	}
+	if got := r.WeightedChoice([]float64{0, 0}); got != -1 {
+		t.Errorf("all-zero weights: got %d want -1", got)
+	}
+	if got := r.WeightedChoice([]float64{-1, 2}); got != 1 {
+		t.Errorf("negative weight treated as positive: got %d", got)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(53)
+	for _, tc := range []struct{ n, k int }{{10, 0}, {10, 1}, {10, 10}, {100, 17}} {
+		s := r.SampleWithoutReplacement(tc.n, tc.k)
+		if len(s) != tc.k {
+			t.Fatalf("n=%d k=%d: got %d elems", tc.n, tc.k, len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= tc.n || seen[v] {
+				t.Fatalf("n=%d k=%d: invalid sample %v", tc.n, tc.k, s)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	r := New(59)
+	counts := make([]int, 5)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		for _, v := range r.SampleWithoutReplacement(5, 2) {
+			counts[v]++
+		}
+	}
+	want := float64(draws) * 2 / 5
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("element %d drawn %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(61)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams overlap: %d/100 identical", same)
+	}
+}
+
+func TestQuickIntnAlwaysInRange(t *testing.T) {
+	r := New(67)
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFloat64InUnitInterval(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 10; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPermPreservesElements(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := New(seed).Perm(n)
+		sum := 0
+		for _, v := range p {
+			sum += v
+		}
+		return sum == n*(n-1)/2 && len(p) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkIntn(b *testing.B) {
+	r := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(1000)
+	}
+}

@@ -1,0 +1,75 @@
+package stats
+
+import "fmt"
+
+// Confusion is a binary-classification confusion matrix using the
+// paper's TP/TN/FP/FN notation.
+type Confusion struct {
+	TP, TN, FP, FN int
+}
+
+// Add records one prediction against its true label.
+func (c *Confusion) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && actual:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Total returns the number of recorded examples.
+func (c Confusion) Total() int { return c.TP + c.TN + c.FP + c.FN }
+
+// Correct returns the number of correctly classified examples.
+func (c Confusion) Correct() int { return c.TP + c.TN }
+
+// Accuracy returns (TP+TN)/total, or 0 for an empty matrix.
+func (c Confusion) Accuracy() float64 {
+	if t := c.Total(); t > 0 {
+		return float64(c.Correct()) / float64(t)
+	}
+	return 0
+}
+
+// Precision returns TP/(TP+FP), or 0 when no positives were predicted.
+func (c Confusion) Precision() float64 {
+	if d := c.TP + c.FP; d > 0 {
+		return float64(c.TP) / float64(d)
+	}
+	return 0
+}
+
+// Recall returns TP/(TP+FN), or 0 when no positives exist.
+func (c Confusion) Recall() float64 {
+	if d := c.TP + c.FN; d > 0 {
+		return float64(c.TP) / float64(d)
+	}
+	return 0
+}
+
+// F1 returns the harmonic mean of precision and recall, or 0 when both
+// are zero.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Merge returns the element-wise sum of two confusion matrices, used to
+// pool cross-validation folds.
+func (c Confusion) Merge(o Confusion) Confusion {
+	return Confusion{TP: c.TP + o.TP, TN: c.TN + o.TN, FP: c.FP + o.FP, FN: c.FN + o.FN}
+}
+
+// String renders the matrix in the paper's notation.
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d TN=%d FP=%d FN=%d (acc=%.3f prec=%.3f rec=%.3f)",
+		c.TP, c.TN, c.FP, c.FN, c.Accuracy(), c.Precision(), c.Recall())
+}

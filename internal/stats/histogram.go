@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Histogram is a binned count of samples. Bins are half-open [Lo, Hi)
+// except the final bin, which is closed on the right so that Max lands
+// in-range.
+type Histogram struct {
+	Bins []Bin
+}
+
+// Bin is one histogram bucket.
+type Bin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// NewHistogram bins xs into nbins equal-width bins spanning [lo, hi].
+// Samples outside the range are clamped into the edge bins. It returns
+// an error if nbins <= 0 or hi <= lo.
+func NewHistogram(xs []float64, lo, hi float64, nbins int) (*Histogram, error) {
+	if nbins <= 0 {
+		return nil, errors.New("stats: NewHistogram requires nbins > 0")
+	}
+	if hi <= lo {
+		return nil, errors.New("stats: NewHistogram requires hi > lo")
+	}
+	h := &Histogram{Bins: make([]Bin, nbins)}
+	width := (hi - lo) / float64(nbins)
+	for i := range h.Bins {
+		h.Bins[i].Lo = lo + float64(i)*width
+		h.Bins[i].Hi = lo + float64(i+1)*width
+	}
+	h.Bins[nbins-1].Hi = hi
+	for _, x := range xs {
+		idx := int((x - lo) / width)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		h.Bins[idx].Count++
+	}
+	return h, nil
+}
+
+// AutoHistogram bins xs into nbins bins spanning the sample range. It
+// returns an error for an empty sample, nbins <= 0, or a degenerate
+// (constant) sample.
+func AutoHistogram(xs []float64, nbins int) (*Histogram, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	lo, hi := Min(xs), Max(xs)
+	if lo == hi {
+		hi = lo + 1
+	}
+	return NewHistogram(xs, lo, hi, nbins)
+}
+
+// Total returns the total number of binned samples.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, b := range h.Bins {
+		n += b.Count
+	}
+	return n
+}
+
+// MaxCount returns the count of the fullest bin.
+func (h *Histogram) MaxCount() int {
+	m := 0
+	for _, b := range h.Bins {
+		if b.Count > m {
+			m = b.Count
+		}
+	}
+	return m
+}
+
+// FractionBelow returns the fraction of binned samples that fall in bins
+// entirely below x. Useful for statements like "20% of stories received
+// fewer than 500 votes".
+func (h *Histogram) FractionBelow(x float64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	below := 0
+	for _, b := range h.Bins {
+		if b.Hi <= x {
+			below += b.Count
+		}
+	}
+	return float64(below) / float64(total)
+}
+
+// LogHistogram bins positive samples into logarithmically spaced bins,
+// the standard presentation for heavy-tailed count data (paper Fig 2b).
+type LogHistogram struct {
+	Bins []Bin
+	// Dropped counts samples <= 0 that cannot be log-binned.
+	Dropped int
+}
+
+// NewLogHistogram bins xs into binsPerDecade log-spaced bins covering
+// the positive sample range. Non-positive samples are counted in
+// Dropped. It returns an error if binsPerDecade <= 0 or no positive
+// samples exist.
+func NewLogHistogram(xs []float64, binsPerDecade int) (*LogHistogram, error) {
+	if binsPerDecade <= 0 {
+		return nil, errors.New("stats: NewLogHistogram requires binsPerDecade > 0")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	dropped := 0
+	for _, x := range xs {
+		if x <= 0 {
+			dropped++
+			continue
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return nil, ErrEmpty
+	}
+	logLo := math.Floor(math.Log10(lo) * float64(binsPerDecade))
+	logHi := math.Ceil(math.Log10(hi)*float64(binsPerDecade)) + 1
+	n := int(logHi - logLo)
+	if n < 1 {
+		n = 1
+	}
+	h := &LogHistogram{Bins: make([]Bin, n), Dropped: dropped}
+	for i := range h.Bins {
+		h.Bins[i].Lo = math.Pow(10, (logLo+float64(i))/float64(binsPerDecade))
+		h.Bins[i].Hi = math.Pow(10, (logLo+float64(i+1))/float64(binsPerDecade))
+	}
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		idx := int(math.Log10(x)*float64(binsPerDecade) - logLo)
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
+		h.Bins[idx].Count++
+	}
+	return h, nil
+}
+
+// Densities returns per-bin counts normalized by bin width, which is the
+// quantity to plot on log-log axes for heavy-tailed data.
+func (h *LogHistogram) Densities() []float64 {
+	out := make([]float64, len(h.Bins))
+	for i, b := range h.Bins {
+		if w := b.Hi - b.Lo; w > 0 {
+			out[i] = float64(b.Count) / w
+		}
+	}
+	return out
+}
+
+// CCDF returns the empirical complementary CDF of xs as parallel slices
+// (values ascending, P(X >= value)). Duplicate values are collapsed.
+func CCDF(xs []float64) (values, probs []float64) {
+	if len(xs) == 0 {
+		return nil, nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); {
+		j := i
+		for j+1 < len(sorted) && sorted[j+1] == sorted[i] {
+			j++
+		}
+		values = append(values, sorted[i])
+		probs = append(probs, float64(len(sorted)-i)/n)
+		i = j + 1
+	}
+	return values, probs
+}
+
+// CountHistogram counts occurrences of each integer value, the natural
+// representation for "number of users making x votes" style data.
+func CountHistogram(xs []int) map[int]int {
+	out := make(map[int]int)
+	for _, x := range xs {
+		out[x]++
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic: the
+// maximum absolute difference between the empirical CDFs of xs and ys.
+// It returns NaN when either sample is empty.
+func KSStatistic(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(ys) == 0 {
+		return math.NaN()
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	na, nb := float64(len(a)), float64(len(b))
+	i, j := 0, 0
+	maxD := 0.0
+	for i < len(a) && j < len(b) {
+		var v float64
+		if a[i] <= b[j] {
+			v = a[i]
+		} else {
+			v = b[j]
+		}
+		for i < len(a) && a[i] <= v {
+			i++
+		}
+		for j < len(b) && b[j] <= v {
+			j++
+		}
+		if d := math.Abs(float64(i)/na - float64(j)/nb); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// KSPValue approximates the p-value of the two-sample KS statistic via
+// the asymptotic Kolmogorov distribution Q(λ) = 2 Σ (-1)^(k-1)
+// exp(-2k²λ²); adequate for sample sizes in the dozens and above.
+func KSPValue(d float64, nx, ny int) float64 {
+	if nx == 0 || ny == 0 || math.IsNaN(d) {
+		return math.NaN()
+	}
+	if d <= 0 {
+		return 1
+	}
+	ne := float64(nx) * float64(ny) / float64(nx+ny)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	sum := 0.0
+	for k := 1; k <= 100; k++ {
+		term := 2 * math.Pow(-1, float64(k-1)) * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+	}
+	if sum < 0 {
+		return 0
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// SameDistribution reports whether the two samples are consistent with
+// a common distribution at the given significance level (e.g. 0.05).
+func SameDistribution(xs, ys []float64, alpha float64) bool {
+	p := KSPValue(KSStatistic(xs, ys), len(xs), len(ys))
+	if math.IsNaN(p) {
+		return false
+	}
+	return p > alpha
+}

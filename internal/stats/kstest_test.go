@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"diggsim/internal/rng"
+)
+
+func TestKSStatisticIdentical(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if d := KSStatistic(xs, xs); d != 0 {
+		t.Errorf("identical samples D = %v", d)
+	}
+}
+
+func TestKSStatisticDisjoint(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	ys := []float64{10, 11, 12}
+	if d := KSStatistic(xs, ys); d != 1 {
+		t.Errorf("disjoint samples D = %v want 1", d)
+	}
+}
+
+func TestKSStatisticKnownValue(t *testing.T) {
+	// xs = {1,2}, ys = {1.5, 2.5}: CDFs cross with max gap 0.5 at 1<=v<1.5
+	// and again between 2 and 2.5.
+	xs := []float64{1, 2}
+	ys := []float64{1.5, 2.5}
+	if d := KSStatistic(xs, ys); !almostEq(d, 0.5, 1e-12) {
+		t.Errorf("D = %v want 0.5", d)
+	}
+}
+
+func TestKSStatisticEmpty(t *testing.T) {
+	if !math.IsNaN(KSStatistic(nil, []float64{1})) {
+		t.Error("empty sample should give NaN")
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+		ys[i] = r.NormFloat64()
+	}
+	if !SameDistribution(xs, ys, 0.01) {
+		t.Error("same-distribution samples rejected at alpha=0.01")
+	}
+	// Shifted distribution should be rejected.
+	for i := range ys {
+		ys[i] += 1.0
+	}
+	if SameDistribution(xs, ys, 0.05) {
+		t.Error("shifted distribution accepted")
+	}
+}
+
+func TestKSPValueBounds(t *testing.T) {
+	for _, d := range []float64{0, 0.1, 0.5, 1} {
+		p := KSPValue(d, 100, 100)
+		if p < 0 || p > 1 {
+			t.Errorf("p(%v) = %v out of [0,1]", d, p)
+		}
+	}
+	if p := KSPValue(0, 50, 50); p != 1 {
+		t.Errorf("p(0) = %v want 1", p)
+	}
+	if p := KSPValue(1, 100, 100); p > 1e-6 {
+		t.Errorf("p(1) = %v want ~0", p)
+	}
+	if !math.IsNaN(KSPValue(0.5, 0, 10)) {
+		t.Error("empty-sample p-value not NaN")
+	}
+}
+
+func TestKSPValueMonotone(t *testing.T) {
+	prev := 1.1
+	for d := 0.0; d <= 1.0; d += 0.05 {
+		p := KSPValue(d, 200, 200)
+		if p > prev+1e-12 {
+			t.Fatalf("p-value not non-increasing at D=%v", d)
+		}
+		prev = p
+	}
+}
+
+func TestKSUniformVsPareto(t *testing.T) {
+	r := rng.New(2)
+	unif := make([]float64, 300)
+	pareto := make([]float64, 300)
+	for i := range unif {
+		unif[i] = r.Float64() * 10
+		pareto[i] = r.Pareto(1, 1.5)
+	}
+	if SameDistribution(unif, pareto, 0.05) {
+		t.Error("uniform and Pareto samples judged identical")
+	}
+}

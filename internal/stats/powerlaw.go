@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// PowerLawFit is the result of a maximum-likelihood power-law fit
+// P(x) ∝ x^-Alpha for x >= XMin.
+type PowerLawFit struct {
+	Alpha float64 // estimated exponent
+	XMin  float64 // lower cutoff used for the fit
+	N     int     // samples at or above XMin
+	// StdErr is the asymptotic standard error of Alpha,
+	// (Alpha-1)/sqrt(N) for the continuous MLE.
+	StdErr float64
+}
+
+// FitPowerLaw estimates the tail exponent of xs for the given xmin using
+// the continuous maximum-likelihood estimator of Clauset, Shalizi &
+// Newman: alpha = 1 + n / Σ ln(x_i/xmin). Samples below xmin are
+// ignored. It returns an error if xmin <= 0 or fewer than two samples
+// reach the tail.
+func FitPowerLaw(xs []float64, xmin float64) (PowerLawFit, error) {
+	if xmin <= 0 {
+		return PowerLawFit{}, errors.New("stats: FitPowerLaw requires xmin > 0")
+	}
+	var sumLog float64
+	n := 0
+	for _, x := range xs {
+		if x >= xmin {
+			sumLog += math.Log(x / xmin)
+			n++
+		}
+	}
+	if n < 2 || sumLog == 0 {
+		return PowerLawFit{}, errors.New("stats: FitPowerLaw needs >= 2 tail samples")
+	}
+	alpha := 1 + float64(n)/sumLog
+	return PowerLawFit{
+		Alpha:  alpha,
+		XMin:   xmin,
+		N:      n,
+		StdErr: (alpha - 1) / math.Sqrt(float64(n)),
+	}, nil
+}
+
+// FitPowerLawAuto scans candidate xmin values (the distinct sample
+// values) and returns the fit minimizing the Kolmogorov–Smirnov distance
+// between the empirical tail and the fitted power law, the standard
+// xmin-selection heuristic. To bound the work it examines at most 50
+// log-spaced candidates.
+func FitPowerLawAuto(xs []float64) (PowerLawFit, error) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x <= 0 {
+			continue
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if math.IsInf(lo, 1) || lo == hi {
+		return PowerLawFit{}, ErrEmpty
+	}
+	best := PowerLawFit{}
+	bestKS := math.Inf(1)
+	found := false
+	const candidates = 50
+	for i := 0; i < candidates; i++ {
+		frac := float64(i) / float64(candidates)
+		xmin := lo * math.Pow(hi/lo/2, frac) // scan lower half of range
+		fit, err := FitPowerLaw(xs, xmin)
+		if err != nil || fit.N < 10 {
+			continue
+		}
+		ks := powerLawKS(xs, fit)
+		if ks < bestKS {
+			bestKS = ks
+			best = fit
+			found = true
+		}
+	}
+	if !found {
+		return PowerLawFit{}, errors.New("stats: FitPowerLawAuto found no viable xmin")
+	}
+	return best, nil
+}
+
+// powerLawKS returns the KS distance between the empirical distribution
+// of tail samples and the fitted continuous power law.
+func powerLawKS(xs []float64, fit PowerLawFit) float64 {
+	var tail []float64
+	for _, x := range xs {
+		if x >= fit.XMin {
+			tail = append(tail, x)
+		}
+	}
+	values, probs := CCDF(tail)
+	maxD := 0.0
+	for i, v := range values {
+		model := math.Pow(v/fit.XMin, 1-fit.Alpha) // P(X >= v)
+		if d := math.Abs(probs[i] - model); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// LinearRegression fits y = Slope*x + Intercept by least squares and
+// reports R². It returns an error on mismatched lengths or n < 2, and
+// NaN slope if x has zero variance.
+func LinearRegression(xs, ys []float64) (slope, intercept, r2 float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, errors.New("stats: LinearRegression length mismatch")
+	}
+	if len(xs) < 2 {
+		return 0, 0, 0, ErrEmpty
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return math.NaN(), math.NaN(), 0, nil
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1, nil
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return slope, intercept, r2, nil
+}

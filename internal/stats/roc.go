@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ROCPoint is one operating point on a receiver operating
+// characteristic curve.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64 // true-positive rate (recall)
+	FPR       float64 // false-positive rate
+}
+
+// ROC computes the ROC curve of scores against boolean labels, sweeping
+// the decision threshold over every distinct score (predict positive
+// when score >= threshold). Points are ordered by increasing FPR. It
+// returns nil when either class is absent.
+func ROC(scores []float64, labels []bool) []ROCPoint {
+	if len(scores) != len(labels) || len(scores) == 0 {
+		return nil
+	}
+	pos, neg := 0, 0
+	for _, l := range labels {
+		if l {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	var out []ROCPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(idx); {
+		// Consume ties together so every point is a valid threshold.
+		s := scores[idx[i]]
+		for i < len(idx) && scores[idx[i]] == s {
+			if labels[idx[i]] {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		out = append(out, ROCPoint{
+			Threshold: s,
+			TPR:       float64(tp) / float64(pos),
+			FPR:       float64(fp) / float64(neg),
+		})
+	}
+	return out
+}
+
+// AUC returns the area under the ROC curve via the trapezoid rule over
+// the curve from (0,0) to (1,1), or NaN when the curve is undefined.
+func AUC(scores []float64, labels []bool) float64 {
+	curve := ROC(scores, labels)
+	if curve == nil {
+		return math.NaN()
+	}
+	area := 0.0
+	prevFPR, prevTPR := 0.0, 0.0
+	for _, p := range curve {
+		area += (p.FPR - prevFPR) * (p.TPR + prevTPR) / 2
+		prevFPR, prevTPR = p.FPR, p.TPR
+	}
+	area += (1 - prevFPR) * (1 + prevTPR) / 2
+	return area
+}

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"diggsim/internal/rng"
+)
+
+func TestROCPerfectClassifier(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	curve := ROC(scores, labels)
+	if curve == nil {
+		t.Fatal("nil curve")
+	}
+	// First point: highest threshold captures one TP, zero FP.
+	if curve[0].TPR != 0.5 || curve[0].FPR != 0 {
+		t.Errorf("first point = %+v", curve[0])
+	}
+	if auc := AUC(scores, labels); !almostEq(auc, 1, 1e-12) {
+		t.Errorf("perfect AUC = %v", auc)
+	}
+}
+
+func TestROCAntiClassifier(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	if auc := AUC(scores, labels); !almostEq(auc, 0, 1e-12) {
+		t.Errorf("inverted AUC = %v", auc)
+	}
+}
+
+func TestROCRandomScoresNearHalf(t *testing.T) {
+	r := rng.New(1)
+	n := 5000
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+		labels[i] = r.Bool(0.4)
+	}
+	if auc := AUC(scores, labels); math.Abs(auc-0.5) > 0.03 {
+		t.Errorf("random AUC = %v want ~0.5", auc)
+	}
+}
+
+func TestROCTiesGroupedTogether(t *testing.T) {
+	// All scores identical: a single operating point at (1,1); AUC 0.5.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	curve := ROC(scores, labels)
+	if len(curve) != 1 || curve[0].TPR != 1 || curve[0].FPR != 1 {
+		t.Errorf("tied curve = %+v", curve)
+	}
+	if auc := AUC(scores, labels); !almostEq(auc, 0.5, 1e-12) {
+		t.Errorf("tied AUC = %v", auc)
+	}
+}
+
+func TestROCDegenerate(t *testing.T) {
+	if ROC(nil, nil) != nil {
+		t.Error("empty input produced a curve")
+	}
+	if ROC([]float64{1}, []bool{true, false}) != nil {
+		t.Error("length mismatch produced a curve")
+	}
+	if ROC([]float64{1, 2}, []bool{true, true}) != nil {
+		t.Error("single-class input produced a curve")
+	}
+	if !math.IsNaN(AUC([]float64{1, 2}, []bool{false, false})) {
+		t.Error("single-class AUC not NaN")
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	r := rng.New(2)
+	n := 500
+	scores := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range scores {
+		scores[i] = r.Float64()
+		labels[i] = r.Bool(0.5)
+	}
+	curve := ROC(scores, labels)
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR {
+			t.Fatal("ROC curve not monotone")
+		}
+	}
+	last := curve[len(curve)-1]
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Errorf("curve does not end at (1,1): %+v", last)
+	}
+}
+
+func TestAUCOrderingInvariance(t *testing.T) {
+	// AUC must not depend on input order.
+	scores := []float64{0.3, 0.9, 0.5, 0.1, 0.7}
+	labels := []bool{false, true, true, false, true}
+	want := AUC(scores, labels)
+	perm := []int{4, 2, 0, 3, 1}
+	ps := make([]float64, len(perm))
+	pl := make([]bool, len(perm))
+	for i, j := range perm {
+		ps[i], pl[i] = scores[j], labels[j]
+	}
+	if got := AUC(ps, pl); !almostEq(got, want, 1e-12) {
+		t.Errorf("AUC changed under permutation: %v vs %v", got, want)
+	}
+}

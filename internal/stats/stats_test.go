@@ -1,0 +1,478 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"diggsim/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestSumKahan(t *testing.T) {
+	xs := make([]float64, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		xs = append(xs, 0.1)
+	}
+	if got := Sum(xs); !almostEq(got, 1000, 1e-9) {
+		t.Errorf("Sum = %v want 1000", got)
+	}
+	if Sum(nil) != 0 {
+		t.Error("Sum(nil) != 0")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almostEq(got, 5, 1e-12) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Variance(xs); !almostEq(got, 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance([]float64{1})) {
+		t.Error("degenerate inputs should be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty Min/Max should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{42}, 0.7); got != 42 {
+		t.Errorf("single-sample quantile = %v", got)
+	}
+	if got := Quantile(xs, -1); got != 1 {
+		t.Errorf("clamped low quantile = %v", got)
+	}
+	if got := Quantile(xs, 2); got != 5 {
+		t.Errorf("clamped high quantile = %v", got)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("Quantile mutated input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Median != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summary = %+v", s)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almostEq(r, 1, 1e-12) {
+		t.Errorf("perfect corr = %v, %v", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if !almostEq(r, -1, 1e-12) {
+		t.Errorf("perfect anticorr = %v", r)
+	}
+	if _, err := Pearson(xs, xs[:2]); err == nil {
+		t.Error("length mismatch not detected")
+	}
+	r, err = Pearson([]float64{1, 1, 1}, []float64{1, 2, 3})
+	if err != nil || !math.IsNaN(r) {
+		t.Errorf("zero variance should give NaN, got %v", r)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 4, 9, 16, 25} // monotone but nonlinear
+	r, err := Spearman(xs, ys)
+	if err != nil || !almostEq(r, 1, 1e-12) {
+		t.Errorf("Spearman = %v, %v", r, err)
+	}
+}
+
+func TestRanksTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v want %v", got, want)
+		}
+	}
+}
+
+func TestBootstrapCoversMean(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = r.NormFloat64() + 10
+	}
+	lo, hi, err := Bootstrap(xs, 500, 0.95, r.Intn, Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > 10 || hi < 10 {
+		t.Errorf("bootstrap CI [%v, %v] misses true mean 10", lo, hi)
+	}
+	if hi <= lo {
+		t.Errorf("degenerate CI [%v, %v]", lo, hi)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	r := rng.New(2)
+	if _, _, err := Bootstrap(nil, 10, 0.9, r.Intn, Mean); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, _, err := Bootstrap([]float64{1}, 0, 0.9, r.Intn, Mean); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, _, err := Bootstrap([]float64{1}, 10, 1.5, r.Intn, Mean); err == nil {
+		t.Error("bad conf accepted")
+	}
+}
+
+func TestNewHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 9.99, 10}
+	h, err := NewHistogram(xs, 0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Bins) != 5 {
+		t.Fatalf("bins = %d", len(h.Bins))
+	}
+	if h.Total() != len(xs) {
+		t.Errorf("Total = %d want %d", h.Total(), len(xs))
+	}
+	// Final bin is closed: both 9.99 and 10 land there.
+	if h.Bins[4].Count != 2 {
+		t.Errorf("last bin = %d want 2", h.Bins[4].Count)
+	}
+	if h.Bins[0].Count != 2 { // 0 and 1
+		t.Errorf("first bin = %d want 2", h.Bins[0].Count)
+	}
+}
+
+func TestHistogramClampsOutliers(t *testing.T) {
+	h, err := NewHistogram([]float64{-5, 15}, 0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Bins[0].Count != 1 || h.Bins[1].Count != 1 {
+		t.Errorf("outliers not clamped: %+v", h.Bins)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, 0, 10, 0); err == nil {
+		t.Error("nbins=0 accepted")
+	}
+	if _, err := NewHistogram(nil, 10, 10, 5); err == nil {
+		t.Error("hi==lo accepted")
+	}
+}
+
+func TestAutoHistogram(t *testing.T) {
+	h, err := AutoHistogram([]float64{1, 2, 3}, 3)
+	if err != nil || h.Total() != 3 {
+		t.Fatalf("AutoHistogram: %v %v", h, err)
+	}
+	if _, err := AutoHistogram(nil, 3); err == nil {
+		t.Error("empty accepted")
+	}
+	// Constant sample must not error.
+	if _, err := AutoHistogram([]float64{5, 5, 5}, 2); err != nil {
+		t.Errorf("constant sample rejected: %v", err)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i * 10) // 0..990
+	}
+	h, _ := NewHistogram(xs, 0, 1000, 100)
+	if got := h.FractionBelow(500); !almostEq(got, 0.5, 1e-12) {
+		t.Errorf("FractionBelow(500) = %v", got)
+	}
+}
+
+func TestLogHistogram(t *testing.T) {
+	xs := []float64{1, 2, 5, 10, 20, 100, 1000, 0, -3}
+	h, err := NewLogHistogram(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Dropped != 2 {
+		t.Errorf("Dropped = %d want 2", h.Dropped)
+	}
+	total := 0
+	for _, b := range h.Bins {
+		if b.Hi <= b.Lo {
+			t.Errorf("bad bin bounds %+v", b)
+		}
+		total += b.Count
+	}
+	if total != 7 {
+		t.Errorf("binned %d want 7", total)
+	}
+	for _, d := range h.Densities() {
+		if d < 0 {
+			t.Error("negative density")
+		}
+	}
+}
+
+func TestLogHistogramErrors(t *testing.T) {
+	if _, err := NewLogHistogram([]float64{1}, 0); err == nil {
+		t.Error("binsPerDecade=0 accepted")
+	}
+	if _, err := NewLogHistogram([]float64{0, -1}, 2); err == nil {
+		t.Error("no positive samples accepted")
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	values, probs := CCDF([]float64{1, 1, 2, 4})
+	wantV := []float64{1, 2, 4}
+	wantP := []float64{1, 0.5, 0.25}
+	if len(values) != 3 {
+		t.Fatalf("values = %v", values)
+	}
+	for i := range wantV {
+		if values[i] != wantV[i] || !almostEq(probs[i], wantP[i], 1e-12) {
+			t.Errorf("CCDF = %v %v", values, probs)
+		}
+	}
+	if v, p := CCDF(nil); v != nil || p != nil {
+		t.Error("empty CCDF should be nil")
+	}
+}
+
+func TestCCDFMonotone(t *testing.T) {
+	r := rng.New(3)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = r.Pareto(1, 1.5)
+	}
+	values, probs := CCDF(xs)
+	if !sort.Float64sAreSorted(values) {
+		t.Error("CCDF values not sorted")
+	}
+	for i := 1; i < len(probs); i++ {
+		if probs[i] > probs[i-1] {
+			t.Fatal("CCDF probs not non-increasing")
+		}
+	}
+}
+
+func TestCountHistogram(t *testing.T) {
+	h := CountHistogram([]int{1, 1, 2, 5, 5, 5})
+	if h[1] != 2 || h[2] != 1 || h[5] != 3 {
+		t.Errorf("CountHistogram = %v", h)
+	}
+}
+
+func TestFitPowerLawRecoversExponent(t *testing.T) {
+	r := rng.New(4)
+	const alpha = 2.5
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.Pareto(1, alpha-1) // Pareto tail exp a ⇒ density exp a+1
+	}
+	fit, err := FitPowerLaw(xs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-alpha) > 0.05 {
+		t.Errorf("Alpha = %v want ~%v", fit.Alpha, alpha)
+	}
+	if fit.N != len(xs) {
+		t.Errorf("N = %d", fit.N)
+	}
+	if fit.StdErr <= 0 || fit.StdErr > 0.1 {
+		t.Errorf("StdErr = %v", fit.StdErr)
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, err := FitPowerLaw([]float64{1, 2}, 0); err == nil {
+		t.Error("xmin=0 accepted")
+	}
+	if _, err := FitPowerLaw([]float64{0.5}, 1); err == nil {
+		t.Error("empty tail accepted")
+	}
+}
+
+func TestFitPowerLawAuto(t *testing.T) {
+	r := rng.New(5)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = r.Pareto(1, 1.5)
+	}
+	fit, err := FitPowerLawAuto(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-2.5) > 0.2 {
+		t.Errorf("auto Alpha = %v want ~2.5", fit.Alpha)
+	}
+	if _, err := FitPowerLawAuto([]float64{1, 1, 1}); err == nil {
+		t.Error("degenerate sample accepted")
+	}
+}
+
+func TestLinearRegression(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	slope, intercept, r2, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(slope, 2, 1e-12) || !almostEq(intercept, 1, 1e-12) || !almostEq(r2, 1, 1e-12) {
+		t.Errorf("fit = %v %v %v", slope, intercept, r2)
+	}
+	if _, _, _, err := LinearRegression(xs, ys[:2]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	s, _, _, _ := LinearRegression([]float64{1, 1}, []float64{2, 3})
+	if !math.IsNaN(s) {
+		t.Errorf("zero-variance x slope = %v", s)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FP
+	c.Add(false, true)  // FN
+	c.Add(false, false) // TN
+	c.Add(true, true)   // TP
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Total() != 5 || c.Correct() != 3 {
+		t.Errorf("Total/Correct = %d/%d", c.Total(), c.Correct())
+	}
+	if !almostEq(c.Accuracy(), 0.6, 1e-12) {
+		t.Errorf("Accuracy = %v", c.Accuracy())
+	}
+	if !almostEq(c.Precision(), 2.0/3, 1e-12) {
+		t.Errorf("Precision = %v", c.Precision())
+	}
+	if !almostEq(c.Recall(), 2.0/3, 1e-12) {
+		t.Errorf("Recall = %v", c.Recall())
+	}
+	if !almostEq(c.F1(), 2.0/3, 1e-12) {
+		t.Errorf("F1 = %v", c.F1())
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Error("empty confusion metrics should be 0")
+	}
+}
+
+func TestConfusionMerge(t *testing.T) {
+	a := Confusion{TP: 1, TN: 2, FP: 3, FN: 4}
+	b := Confusion{TP: 10, TN: 20, FP: 30, FN: 40}
+	m := a.Merge(b)
+	if m.TP != 11 || m.TN != 22 || m.FP != 33 || m.FN != 44 {
+		t.Errorf("Merge = %+v", m)
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c := Confusion{TP: 4, TN: 32, FP: 11, FN: 1}
+	s := c.String()
+	if s == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestQuickQuantileWithinRange(t *testing.T) {
+	f := func(raw []float64, qRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q := float64(qRaw) / 255
+		got := Quantile(xs, q)
+		return got >= Min(xs) && got <= Max(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHistogramConservesMass(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		h, err := NewHistogram(xs, -1000, 1000, 7)
+		if err != nil {
+			return false
+		}
+		return h.Total() == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCCDFStartsAtOne(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		_, probs := CCDF(xs)
+		return almostEq(probs[0], 1, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

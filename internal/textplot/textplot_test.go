@@ -1,0 +1,141 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasic(t *testing.T) {
+	out := Plot(Config{Title: "demo", Width: 40, Height: 10},
+		Series{Name: "line", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}})
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing markers")
+	}
+	if !strings.Contains(out, "legend: * line") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 12 {
+		t.Errorf("too few lines: %d", len(lines))
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	out := Plot(Config{}, Series{})
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty plot = %q", out)
+	}
+}
+
+func TestPlotSkipsNonFinite(t *testing.T) {
+	out := Plot(Config{},
+		Series{X: []float64{math.NaN(), 1, 2}, Y: []float64{1, math.Inf(1), 5}})
+	// Only (2,5) is drawable... a single point plots fine.
+	if strings.Contains(out, "(no data)") {
+		t.Error("finite point dropped")
+	}
+}
+
+func TestPlotLogAxes(t *testing.T) {
+	out := Plot(Config{LogX: true, LogY: true},
+		Series{X: []float64{1, 10, 100, -5, 0}, Y: []float64{1, 100, 10000, 3, 9}})
+	if strings.Contains(out, "(no data)") {
+		t.Error("log plot dropped positive data")
+	}
+	// Non-positive points are skipped silently — output still renders.
+	if !strings.Contains(out, "|") {
+		t.Error("missing axis")
+	}
+}
+
+func TestPlotSinglePoint(t *testing.T) {
+	out := Plot(Config{}, Series{X: []float64{5}, Y: []float64{5}})
+	if strings.Contains(out, "(no data)") {
+		t.Error("single point dropped")
+	}
+}
+
+func TestPlotMismatchedLengths(t *testing.T) {
+	out := Plot(Config{}, Series{X: []float64{1, 2, 3}, Y: []float64{1}})
+	if strings.Contains(out, "(no data)") {
+		t.Error("truncated series dropped entirely")
+	}
+}
+
+func TestPlotMultipleSeriesMarkers(t *testing.T) {
+	out := Plot(Config{},
+		Series{Name: "a", X: []float64{1}, Y: []float64{1}},
+		Series{Name: "b", X: []float64{2}, Y: []float64{2}})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("distinct markers missing:\n%s", out)
+	}
+}
+
+func TestPlotCustomMarker(t *testing.T) {
+	out := Plot(Config{}, Series{Marker: '%', X: []float64{1, 2}, Y: []float64{1, 2}})
+	if !strings.Contains(out, "%") {
+		t.Error("custom marker ignored")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("bars", 20, []Bar{
+		{Label: "a", Value: 10},
+		{Label: "bb", Value: 5},
+		{Label: "c", Value: 0},
+	})
+	if !strings.Contains(out, "bars") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Largest bar has full width, zero bar has none.
+	if strings.Count(lines[1], "#") != 20 {
+		t.Errorf("max bar width = %d", strings.Count(lines[1], "#"))
+	}
+	if strings.Count(lines[3], "#") != 0 {
+		t.Error("zero bar drawn")
+	}
+	// Small nonzero values still visible.
+	out = BarChart("", 20, []Bar{{Label: "big", Value: 1000}, {Label: "tiny", Value: 1}})
+	if !strings.Contains(out, "tiny |#") {
+		t.Errorf("tiny bar invisible:\n%s", out)
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	if out := BarChart("t", 10, nil); !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart = %q", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("h", 30, []float64{0, 10}, []float64{10, 20}, []int{3, 7})
+	if !strings.Contains(out, "[0, 10)") || !strings.Contains(out, "[10, 20)") {
+		t.Errorf("bin labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "7") {
+		t.Error("count missing")
+	}
+}
+
+func TestHistogramTruncatesToShortest(t *testing.T) {
+	out := Histogram("h", 30, []float64{0}, []float64{10, 20}, []int{3, 7, 9})
+	if strings.Count(out, "[") != 1 {
+		t.Errorf("expected a single bin:\n%s", out)
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	// Constant x or y must not divide by zero.
+	out := Plot(Config{}, Series{X: []float64{1, 1, 1}, Y: []float64{2, 2, 2}})
+	if strings.Contains(out, "(no data)") || strings.Contains(out, "NaN") {
+		t.Errorf("constant series broke plot:\n%s", out)
+	}
+}

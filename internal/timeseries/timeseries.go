@@ -1,0 +1,140 @@
+// Package timeseries provides the vote-dynamics analysis behind Fig. 1
+// and the Wu & Huberman novelty-decay comparison the paper draws on:
+// cumulative vote curves, arrival-rate estimation, exponential-decay
+// (half-life) fitting and saturation detection.
+package timeseries
+
+import (
+	"errors"
+	"math"
+
+	"diggsim/internal/digg"
+	"diggsim/internal/stats"
+)
+
+// Cumulative samples a story's cumulative vote count every step minutes
+// from submission through horizon, returning parallel (minutes, votes)
+// slices. It returns an error if step or horizon is non-positive.
+func Cumulative(s *digg.Story, step, horizon digg.Minutes) (ts []float64, votes []float64, err error) {
+	if step <= 0 || horizon <= 0 {
+		return nil, nil, errors.New("timeseries: step and horizon must be > 0")
+	}
+	for t := digg.Minutes(0); t <= horizon; t += step {
+		ts = append(ts, float64(t))
+		votes = append(votes, float64(s.VotedAtOrBefore(s.SubmittedAt+t)))
+	}
+	return ts, votes, nil
+}
+
+// Rates returns per-bin vote arrival rates (votes per minute) for bins
+// of the given width starting at the story's submission.
+func Rates(s *digg.Story, binWidth digg.Minutes, horizon digg.Minutes) ([]float64, error) {
+	if binWidth <= 0 || horizon <= 0 {
+		return nil, errors.New("timeseries: binWidth and horizon must be > 0")
+	}
+	n := int(horizon / binWidth)
+	if n == 0 {
+		n = 1
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := s.SubmittedAt + digg.Minutes(i)*binWidth
+		hi := lo + binWidth
+		count := s.VotedAtOrBefore(hi) - s.VotedAtOrBefore(lo)
+		out[i] = float64(count) / float64(binWidth)
+	}
+	return out, nil
+}
+
+// DecayFit is the result of fitting an exponential decay rate(t) =
+// A * 2^(-t/HalfLife) to post-promotion vote rates.
+type DecayFit struct {
+	// HalfLife is the fitted decay half-life in minutes (Wu & Huberman
+	// measured roughly one day on Digg).
+	HalfLife float64
+	// InitialRate is the fitted votes/minute at promotion.
+	InitialRate float64
+	// R2 is the goodness of fit of the log-linear regression.
+	R2 float64
+	// Bins is the number of rate bins used.
+	Bins int
+}
+
+// FitNoveltyDecay estimates the post-promotion decay half-life of a
+// promoted story by regressing log2(rate) on time since promotion over
+// bins of binWidth up to horizon past promotion. Bins with zero votes
+// are skipped. It returns an error for unpromoted stories or when
+// fewer than three non-empty bins exist.
+func FitNoveltyDecay(s *digg.Story, binWidth, horizon digg.Minutes) (DecayFit, error) {
+	if !s.Promoted {
+		return DecayFit{}, errors.New("timeseries: story was never promoted")
+	}
+	if binWidth <= 0 || horizon <= 0 {
+		return DecayFit{}, errors.New("timeseries: binWidth and horizon must be > 0")
+	}
+	var xs, ys []float64
+	for lo := s.PromotedAt; lo < s.PromotedAt+horizon; lo += binWidth {
+		hi := lo + binWidth
+		count := s.VotedAtOrBefore(hi) - s.VotedAtOrBefore(lo)
+		if count <= 0 {
+			continue
+		}
+		rate := float64(count) / float64(binWidth)
+		mid := float64(lo-s.PromotedAt) + float64(binWidth)/2
+		xs = append(xs, mid)
+		ys = append(ys, math.Log2(rate))
+	}
+	if len(xs) < 3 {
+		return DecayFit{}, errors.New("timeseries: too few non-empty bins to fit")
+	}
+	slope, intercept, r2, err := stats.LinearRegression(xs, ys)
+	if err != nil {
+		return DecayFit{}, err
+	}
+	if slope >= 0 {
+		return DecayFit{}, errors.New("timeseries: rate is not decaying")
+	}
+	return DecayFit{
+		HalfLife:    -1 / slope,
+		InitialRate: math.Exp2(intercept),
+		R2:          r2,
+		Bins:        len(xs),
+	}, nil
+}
+
+// SaturationTime returns the minutes from submission until the story
+// reached the given fraction (0 < frac <= 1) of its final vote count,
+// or an error for invalid fractions or empty stories.
+func SaturationTime(s *digg.Story, frac float64) (digg.Minutes, error) {
+	if frac <= 0 || frac > 1 {
+		return 0, errors.New("timeseries: frac must be in (0, 1]")
+	}
+	total := s.VoteCount()
+	if total == 0 {
+		return 0, errors.New("timeseries: story has no votes")
+	}
+	need := int(math.Ceil(frac * float64(total)))
+	if need < 1 {
+		need = 1
+	}
+	// Votes are chronological: the need-th vote's time is the answer.
+	return s.Votes[need-1].At - s.SubmittedAt, nil
+}
+
+// MedianHalfLife fits the novelty decay over each promoted story and
+// returns the median half-life, along with the number of stories that
+// produced a valid fit.
+func MedianHalfLife(stories []*digg.Story, binWidth, horizon digg.Minutes) (float64, int) {
+	var fits []float64
+	for _, s := range stories {
+		fit, err := FitNoveltyDecay(s, binWidth, horizon)
+		if err != nil {
+			continue
+		}
+		fits = append(fits, fit.HalfLife)
+	}
+	if len(fits) == 0 {
+		return math.NaN(), 0
+	}
+	return stats.Median(fits), len(fits)
+}

@@ -1,0 +1,183 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+
+	"diggsim/internal/digg"
+	"diggsim/internal/rng"
+)
+
+// syntheticStory builds a promoted story whose post-promotion votes
+// arrive at an exactly exponentially decaying rate with the given
+// half-life (minutes).
+func syntheticStory(t *testing.T, halfLife float64) *digg.Story {
+	t.Helper()
+	s := &digg.Story{Submitter: 0, SubmittedAt: 0, Promoted: true, PromotedAt: 100}
+	s.Votes = append(s.Votes, digg.Vote{Voter: 0, At: 0})
+	// Queue phase: one vote every 10 minutes.
+	voter := digg.UserID(1)
+	for at := digg.Minutes(10); at < 100; at += 10 {
+		s.Votes = append(s.Votes, digg.Vote{Voter: voter, At: at})
+		voter++
+	}
+	// Front-page phase: per-minute votes = floor(rate) plus a Bernoulli
+	// draw on the fractional part, so the expected count tracks
+	// A * 2^(-t/HL) exactly even while the rate exceeds one.
+	r := rng.New(1)
+	const initialRate = 2.0
+	for dt := 0.0; dt < 4000; dt++ {
+		rate := initialRate * math.Exp2(-dt/halfLife)
+		n := int(rate)
+		if r.Bool(rate - float64(n)) {
+			n++
+		}
+		for k := 0; k < n; k++ {
+			s.Votes = append(s.Votes, digg.Vote{Voter: voter, At: 100 + digg.Minutes(dt)})
+			voter++
+		}
+	}
+	return s
+}
+
+func TestCumulative(t *testing.T) {
+	s := &digg.Story{SubmittedAt: 50}
+	s.Votes = []digg.Vote{{At: 50}, {At: 60}, {At: 120}}
+	ts, votes, err := Cumulative(s, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 11 {
+		t.Fatalf("samples = %d", len(ts))
+	}
+	if votes[0] != 1 { // submitter vote at t=0
+		t.Errorf("votes[0] = %v", votes[0])
+	}
+	if votes[1] != 2 { // second vote 10 minutes in
+		t.Errorf("votes[1] = %v", votes[1])
+	}
+	if votes[10] != 3 {
+		t.Errorf("votes[10] = %v", votes[10])
+	}
+	if _, _, err := Cumulative(s, 0, 100); err == nil {
+		t.Error("step=0 accepted")
+	}
+}
+
+func TestRates(t *testing.T) {
+	s := &digg.Story{SubmittedAt: 0}
+	for i := 0; i < 60; i++ {
+		s.Votes = append(s.Votes, digg.Vote{At: digg.Minutes(i)})
+	}
+	rates, err := Rates(s, 30, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 3 {
+		t.Fatalf("bins = %d", len(rates))
+	}
+	// One vote per minute for the first 60 minutes...
+	if !almost(rates[0], 1, 0.05) || !almost(rates[1], 1, 0.05) {
+		t.Errorf("early rates = %v", rates)
+	}
+	if rates[2] != 0 {
+		t.Errorf("late rate = %v", rates[2])
+	}
+	if _, err := Rates(s, -1, 10); err == nil {
+		t.Error("negative binWidth accepted")
+	}
+}
+
+func TestFitNoveltyDecayRecoversHalfLife(t *testing.T) {
+	const halfLife = 1440 // one day, Wu & Huberman's value
+	s := syntheticStory(t, halfLife)
+	fit, err := FitNoveltyDecay(s, 240, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.HalfLife-halfLife) > 0.25*halfLife {
+		t.Errorf("HalfLife = %v want ~%v", fit.HalfLife, halfLife)
+	}
+	if fit.R2 < 0.5 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+	if fit.InitialRate <= 0 {
+		t.Errorf("InitialRate = %v", fit.InitialRate)
+	}
+	if fit.Bins < 3 {
+		t.Errorf("Bins = %d", fit.Bins)
+	}
+}
+
+func TestFitNoveltyDecayErrors(t *testing.T) {
+	unpromoted := &digg.Story{}
+	if _, err := FitNoveltyDecay(unpromoted, 60, 1000); err == nil {
+		t.Error("unpromoted story accepted")
+	}
+	s := syntheticStory(t, 1440)
+	if _, err := FitNoveltyDecay(s, 0, 1000); err == nil {
+		t.Error("binWidth=0 accepted")
+	}
+	// Too few bins.
+	sparse := &digg.Story{Promoted: true, PromotedAt: 0,
+		Votes: []digg.Vote{{At: 0}, {At: 1}}}
+	if _, err := FitNoveltyDecay(sparse, 60, 120); err == nil {
+		t.Error("sparse story accepted")
+	}
+	// Growing rate must be rejected.
+	growing := &digg.Story{Promoted: true, PromotedAt: 0}
+	voter := digg.UserID(0)
+	for bin := 0; bin < 5; bin++ {
+		for k := 0; k < (bin+1)*(bin+1); k++ {
+			growing.Votes = append(growing.Votes, digg.Vote{Voter: voter, At: digg.Minutes(bin*100 + k%100)})
+			voter++
+		}
+	}
+	if _, err := FitNoveltyDecay(growing, 100, 500); err == nil {
+		t.Error("growing rate accepted as decay")
+	}
+}
+
+func TestSaturationTime(t *testing.T) {
+	s := &digg.Story{SubmittedAt: 100}
+	for i := 0; i < 10; i++ {
+		s.Votes = append(s.Votes, digg.Vote{At: digg.Minutes(100 + i*10)})
+	}
+	half, err := SaturationTime(s, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half != 40 { // 5th vote at minute 140
+		t.Errorf("half-saturation = %v want 40", half)
+	}
+	full, err := SaturationTime(s, 1)
+	if err != nil || full != 90 {
+		t.Errorf("full saturation = %v, %v", full, err)
+	}
+	if _, err := SaturationTime(s, 0); err == nil {
+		t.Error("frac=0 accepted")
+	}
+	if _, err := SaturationTime(&digg.Story{}, 0.5); err == nil {
+		t.Error("empty story accepted")
+	}
+}
+
+func TestMedianHalfLife(t *testing.T) {
+	stories := []*digg.Story{
+		syntheticStory(t, 1000),
+		syntheticStory(t, 2000),
+		{}, // unpromoted: skipped
+	}
+	med, n := MedianHalfLife(stories, 240, 4000)
+	if n != 2 {
+		t.Fatalf("fits = %d", n)
+	}
+	if med < 800 || med > 2600 {
+		t.Errorf("median half-life = %v", med)
+	}
+	if med, n := MedianHalfLife(nil, 240, 4000); n != 0 || !math.IsNaN(med) {
+		t.Errorf("empty input: %v, %d", med, n)
+	}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
