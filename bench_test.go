@@ -52,10 +52,29 @@ func benchExperiment(b *testing.B, id string) {
 
 // BenchmarkCorpusGeneration measures the full synthetic-corpus pipeline
 // (graph generation + simulating every story's lifetime), the substrate
-// behind every other benchmark.
+// behind every other benchmark. Workers is pinned to 1 so the number
+// tracks the single-core event-driven scheduler; see
+// BenchmarkCorpusGenerationParallel for the pooled path.
 func BenchmarkCorpusGeneration(b *testing.B) {
 	cfg := dataset.SmallConfig()
 	cfg.Submissions = 100
+	cfg.Workers = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorpusGenerationParallel measures the same pipeline with
+// the worker pool sized to the machine (Workers=0). The corpus it
+// produces is bit-identical to the sequential one; the delta against
+// BenchmarkCorpusGeneration is pure scheduling win.
+func BenchmarkCorpusGenerationParallel(b *testing.B) {
+	cfg := dataset.SmallConfig()
+	cfg.Submissions = 100
+	cfg.Workers = 0
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := dataset.Generate(cfg); err != nil {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	diggsim -out DIR [-small] [-seed N] [-submissions N] [-users N] [-diversity]
+//	diggsim -out DIR [-small] [-seed N] [-submissions N] [-users N] [-diversity] [-workers N]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 	users := flag.Int("users", 0, "override user count")
 	submissions := flag.Int("submissions", 0, "override submission count")
 	diversity := flag.Bool("diversity", false, "use the post-2006 diversity promotion rule")
+	workers := flag.Int("workers", 0, "story-simulation workers (0 = one per CPU; output is identical for any value)")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "diggsim: -out is required")
@@ -46,6 +47,7 @@ func main() {
 	if *diversity {
 		cfg.Policy = digg.NewDiversityPromotion()
 	}
+	cfg.Workers = *workers
 
 	start := time.Now()
 	ds, err := dataset.Generate(cfg)

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-run id[,id...]] [-small] [-seed N] [-list]
+//	experiments [-run id[,id...]] [-small] [-seed N] [-workers N] [-list]
 //
 // With no -run flag every registered experiment runs. -small switches
 // to the reduced corpus (fast; use for smoke tests), -list prints the
@@ -26,6 +26,7 @@ func main() {
 	small := flag.Bool("small", false, "use the reduced corpus for a fast run")
 	seed := flag.Uint64("seed", 20060630, "corpus seed")
 	expSeed := flag.Uint64("expseed", 99, "experiment-local seed (CV shuffles, extensions)")
+	workers := flag.Int("workers", 0, "story-simulation workers (0 = one per CPU; corpus is identical for any value)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func main() {
 		cfg = dataset.SmallConfig()
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	fmt.Fprintf(os.Stderr, "generating corpus (%d users, %d submissions)...\n",
 		cfg.Users, cfg.Submissions)
 	start := time.Now()

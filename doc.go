@@ -4,6 +4,21 @@
 // analysis, a C4.5 interestingness predictor, an HTTP scrape pipeline,
 // and a harness regenerating every table and figure of the paper.
 //
+// Corpus generation — the substrate behind every experiment — runs on
+// an event-driven scheduler (internal/agent): instead of stepping each
+// story minute-by-minute over a multi-day horizon, the simulator jumps
+// between pending Friends-interface exposures (a minute-bucketed timing
+// wheel) and interest-based discovery votes (sampled exponential
+// inter-arrival gaps, thinned against the decaying novelty rate), with
+// per-story voter and audience sets held in epoch-stamped dense buffers
+// reused across stories. Stories are statistically independent given
+// the graph, so internal/dataset fans them out across a worker pool;
+// each story draws from a random substream keyed by (Seed, story
+// index), which makes the corpus bit-identical for every worker count —
+// determinism is the API contract, parallelism is just scheduling (see
+// Config.Workers and the -workers flag on cmd/diggsim and
+// cmd/experiments).
+//
 // See README.md for the package map, DESIGN.md for the system inventory
 // and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
 // results. The benchmarks in bench_test.go regenerate one experiment

@@ -1,0 +1,3 @@
+module diggsim
+
+go 1.24

@@ -17,18 +17,39 @@
 // cascade sizes of Fig. 3(b), instead of letting every fan vote with
 // probability one given enough time.
 //
-// The simulator advances stories minute by minute. While a story sits
-// in the upcoming queue it gathers votes slowly; once promoted to the
-// front page it is exposed to the whole audience and gathers votes
-// quickly, with the rate decaying with a half-life of about a day
-// following Wu & Huberman's novelty decay — reproducing the vote time
-// series of Fig. 1.
+// While a story sits in the upcoming queue it gathers votes slowly;
+// once promoted to the front page it is exposed to the whole audience
+// and gathers votes quickly, with the rate decaying with a half-life of
+// about a day following Wu & Huberman's novelty decay — reproducing the
+// vote time series of Fig. 1.
+//
+// # Event-driven scheduler
+//
+// The simulator is event-driven rather than time-stepped: instead of
+// visiting every minute of the multi-day horizon it jumps directly
+// between the events that can change a story's state. Pending
+// Friends-interface exposures sit in a minute-bucketed timing wheel
+// (one bucket per minute offset from submission, with a bitmap over
+// occupied slots), and interest-based discovery votes are drawn by
+// sampling exponential inter-arrival gaps — a homogeneous process with
+// the quadratic-interest rate while the story is in the queue, and a
+// thinned process against the decaying novelty envelope after
+// promotion. Both match the arrival intensity of the per-minute
+// Poisson model they replace. Per-story voter and audience sets are
+// epoch-stamped dense buffers reused across stories (see engine.go),
+// so simulating a story allocates no per-story maps.
+//
+// Two front-ends share the engine: Simulator drives a digg.Platform
+// (votes flow through Platform.Digg, so promotion and visibility stay
+// authoritative), while Runner simulates a story against the bare
+// graph and a promotion policy with no platform at all — the
+// allocation-free path that corpus generation fans out across workers
+// (see internal/dataset).
 package agent
 
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"diggsim/internal/digg"
 	"diggsim/internal/rng"
@@ -179,7 +200,7 @@ func (c Config) FanVoteProb(interest float64) float64 {
 type Simulator struct {
 	cfg      Config
 	platform *digg.Platform
-	rng      *rng.RNG
+	eng      *engine
 }
 
 // NewSimulator creates a simulator over the platform. It returns an
@@ -188,7 +209,7 @@ func NewSimulator(p *digg.Platform, cfg Config, r *rng.RNG) (*Simulator, error) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Simulator{cfg: cfg, platform: p, rng: r}, nil
+	return &Simulator{cfg: cfg, platform: p, eng: newEngine(p.Graph, cfg, r)}, nil
 }
 
 // Platform returns the platform the simulator drives.
@@ -197,53 +218,25 @@ func (s *Simulator) Platform() *digg.Platform { return s.platform }
 // Config returns the simulator's behaviour parameters.
 func (s *Simulator) Config() Config { return s.cfg }
 
-// storyState tracks the per-story bookkeeping the behaviour model needs
-// beyond what the platform stores.
-type storyState struct {
-	id digg.StoryID
-	// pending maps a minute offset to audience members whose one-shot
-	// Friends-interface exposure fires at that minute.
-	pending map[digg.Minutes][]digg.UserID
-	inAud   map[digg.UserID]bool // ever added to the audience
-	voted   map[digg.UserID]bool
-	// queueDeadline bounds exposures while the story is unpromoted;
-	// horizonDeadline bounds them afterwards.
-	queueDeadline   digg.Minutes
-	horizonDeadline digg.Minutes
+// platformSink routes engine votes through Platform.Digg, keeping the
+// platform's visibility and promotion state authoritative.
+type platformSink struct {
+	p  *digg.Platform
+	st *digg.Story
 }
 
-// exposureDeadline returns the latest time a newly scheduled exposure
-// may fire given the story's promotion state.
-func (ss *storyState) exposureDeadline(st *digg.Story) digg.Minutes {
-	if st.Promoted {
-		return ss.horizonDeadline
+func (ps platformSink) castVote(u digg.UserID, t digg.Minutes) (bool, error) {
+	res, err := ps.p.Digg(ps.st.ID, u, t)
+	if err != nil {
+		return false, fmt.Errorf("agent: vote by %d on story %d: %w", u, ps.st.ID, err)
 	}
-	return ss.queueDeadline
-}
-
-// absorbFans schedules exposures for the fans of voter that have not
-// been in the audience before.
-func (s *Simulator) absorbFans(ss *storyState, voter digg.UserID, now, deadline digg.Minutes) {
-	for _, fan := range s.platform.Graph.Fans(voter) {
-		if ss.inAud[fan] {
-			continue
-		}
-		ss.inAud[fan] = true
-		if ss.voted[fan] {
-			continue
-		}
-		delay := digg.Minutes(s.rng.ExpFloat64()*s.cfg.ExposureDelayMean) + 1
-		at := now + delay
-		if at > deadline {
-			continue // never browses in time
-		}
-		ss.pending[at] = append(ss.pending[at], fan)
-	}
+	return res.InNetwork, nil
 }
 
 // RunStory submits one story by submitter at submitTime with the given
-// intrinsic interest and simulates its lifetime. It returns the story
-// and the full event log (the submitter's implicit vote is event 0).
+// intrinsic interest and simulates its lifetime with the event-driven
+// scheduler. It returns the story and the full event log (the
+// submitter's implicit vote is event 0).
 func (s *Simulator) RunStory(submitter digg.UserID, title string, interest float64, submitTime digg.Minutes) (*digg.Story, []VoteEvent, error) {
 	if interest < 0 || interest > 1 {
 		return nil, nil, errors.New("agent: interest must be in [0, 1]")
@@ -252,108 +245,12 @@ func (s *Simulator) RunStory(submitter digg.UserID, title string, interest float
 	if err != nil {
 		return nil, nil, err
 	}
-	ss := &storyState{
-		id:      st.ID,
-		pending: make(map[digg.Minutes][]digg.UserID),
-		inAud:   make(map[digg.UserID]bool),
-		voted:   map[digg.UserID]bool{submitter: true},
-	}
-	deadline := submitTime + s.cfg.Horizon
-	queueDeadline := submitTime + s.cfg.QueueLifetime
-	if queueDeadline > deadline {
-		queueDeadline = deadline
-	}
-	// Until the story is promoted its audience can only act while the
-	// story is still in the queue; once it scrolls out, unpromoted
-	// stories are frozen (this is what bounds upcoming stories at 42
-	// votes in the paper's data).
-	ss.queueDeadline = queueDeadline
-	ss.horizonDeadline = deadline
-	s.absorbFans(ss, submitter, submitTime, ss.exposureDeadline(st))
 	events := []VoteEvent{{
 		Story: st.ID, Voter: submitter, At: submitTime,
 		Mechanism: MechanismSubmit, InNetwork: false,
 	}}
-
-	pVote := s.cfg.FanVoteProb(interest)
-	queueRate := s.cfg.QueueDiscoveryRate * interest * interest
-	n := s.platform.Graph.NumNodes()
-
-	for now := submitTime + 1; now <= deadline; now++ {
-		if s.cfg.MaxVotes > 0 && st.VoteCount() >= s.cfg.MaxVotes {
-			break
-		}
-		if !st.Promoted && now > queueDeadline {
-			break // scrolled out of the queue unpromoted: frozen
-		}
-		// Network-based spread: due one-shot exposures.
-		if due := ss.pending[now]; len(due) > 0 {
-			delete(ss.pending, now)
-			for _, u := range due {
-				if ss.voted[u] || !s.rng.Bool(pVote) {
-					continue
-				}
-				ev, err := s.vote(st, ss, u, now, MechanismNetwork)
-				if err != nil {
-					return nil, nil, err
-				}
-				events = append(events, ev)
-			}
-		}
-		// Interest-based spread.
-		var rate float64
-		var mech Mechanism
-		if st.Promoted {
-			age := float64(now - st.PromotedAt)
-			rate = s.cfg.FrontPageRate * interest * math.Exp2(-age/float64(s.cfg.NoveltyHalfLife))
-			mech = MechanismFrontPage
-		} else {
-			rate = queueRate
-			mech = MechanismQueue
-		}
-		for k := s.rng.Poisson(rate); k > 0; k-- {
-			u, ok := s.randomNonVoter(ss, n)
-			if !ok {
-				break
-			}
-			ev, err := s.vote(st, ss, u, now, mech)
-			if err != nil {
-				return nil, nil, err
-			}
-			events = append(events, ev)
-		}
+	if err := s.eng.run(st, platformSink{p: s.platform, st: st}, interest, &events); err != nil {
+		return nil, nil, err
 	}
 	return st, events, nil
-}
-
-// vote records a vote through the platform and updates local state. The
-// exposure deadline for the voter's fans is computed after the platform
-// call so that the vote that triggers promotion already exposes fans
-// under the longer post-promotion deadline.
-func (s *Simulator) vote(st *digg.Story, ss *storyState, u digg.UserID, now digg.Minutes, mech Mechanism) (VoteEvent, error) {
-	res, err := s.platform.Digg(st.ID, u, now)
-	if err != nil {
-		return VoteEvent{}, fmt.Errorf("agent: vote by %d on story %d: %w", u, st.ID, err)
-	}
-	ss.voted[u] = true
-	s.absorbFans(ss, u, now, ss.exposureDeadline(st))
-	return VoteEvent{
-		Story: st.ID, Voter: u, At: now, Mechanism: mech, InNetwork: res.InNetwork,
-	}, nil
-}
-
-// randomNonVoter picks a uniformly random user who has not voted on the
-// story, giving up after a bounded number of rejections (which only
-// happens when nearly everyone voted).
-func (s *Simulator) randomNonVoter(ss *storyState, n int) (digg.UserID, bool) {
-	if n <= 0 || len(ss.voted) >= n {
-		return 0, false
-	}
-	for tries := 0; tries < 64; tries++ {
-		u := digg.UserID(s.rng.Intn(n))
-		if !ss.voted[u] {
-			return u, true
-		}
-	}
-	return 0, false
 }

@@ -1,0 +1,88 @@
+package agent
+
+import (
+	"errors"
+
+	"diggsim/internal/digg"
+	"diggsim/internal/graph"
+	"diggsim/internal/rng"
+)
+
+// Runner simulates story lifetimes against the bare social graph and a
+// promotion policy, with no digg.Platform behind it. It produces
+// exactly the votes, in-network flags and promotion decisions that the
+// platform-backed Simulator would (the Friends-interface audience is
+// the fans of the submitter and of every prior voter in both), but
+// skips all shared-platform bookkeeping — which makes it safe and
+// cheap to run one Runner per worker when generating a corpus in
+// parallel.
+//
+// Stories produced by a Runner are statistically independent given the
+// graph; the promotion policy sees only the story being simulated (the
+// PromotionPolicy interface takes nothing else), so per-story runs
+// cannot observe each other. A Runner is not safe for concurrent use;
+// its scratch buffers are reused across sequential Run calls.
+type Runner struct {
+	eng    *engine
+	policy digg.PromotionPolicy
+}
+
+// NewRunner creates a runner over the graph using the supplied
+// promotion policy (ClassicPromotion with default settings if nil). It
+// returns an error if the configuration is invalid.
+func NewRunner(g *graph.Graph, cfg Config, policy digg.PromotionPolicy) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		policy = digg.NewClassicPromotion()
+	}
+	return &Runner{eng: newEngine(g, cfg, nil), policy: policy}, nil
+}
+
+// localSink appends votes directly to the story and applies the
+// promotion policy, mirroring Platform.Digg for a single story.
+type localSink struct {
+	eng    *engine
+	st     *digg.Story
+	policy digg.PromotionPolicy
+}
+
+func (ls localSink) castVote(u digg.UserID, t digg.Minutes) (bool, error) {
+	// In-network iff u is in the Friends-interface audience (a fan of
+	// the submitter or of a prior voter) at voting time; u's own fans
+	// join the audience afterwards, in the engine's absorbFans.
+	inNet := ls.eng.inAudience(u)
+	ls.st.Votes = append(ls.st.Votes, digg.Vote{Voter: u, At: t, InNetwork: inNet})
+	if !ls.st.Promoted && ls.policy.ShouldPromote(ls.st, t) {
+		ls.st.Promoted = true
+		ls.st.PromotedAt = t
+	}
+	return inNet, nil
+}
+
+// Run simulates one story's full lifetime using r as its dedicated
+// random stream (derive one per story with rng.Substream for
+// order-independent determinism). The returned story carries the vote
+// history, in-network flags and promotion outcome; id is stamped as-is.
+func (rn *Runner) Run(r *rng.RNG, id digg.StoryID, submitter digg.UserID, title string, interest float64, submitTime digg.Minutes) (*digg.Story, error) {
+	if interest < 0 || interest > 1 {
+		return nil, errors.New("agent: interest must be in [0, 1]")
+	}
+	if submitter < 0 || int(submitter) >= rn.eng.g.NumNodes() {
+		return nil, digg.ErrUnknownUser
+	}
+	st := &digg.Story{
+		ID:          id,
+		Title:       title,
+		Submitter:   submitter,
+		SubmittedAt: submitTime,
+		Interest:    interest,
+		Votes:       []digg.Vote{{Voter: submitter, At: submitTime, InNetwork: false}},
+	}
+	rn.eng.rng = r
+	if err := rn.eng.run(st, localSink{eng: rn.eng, st: st, policy: rn.policy}, interest, nil); err != nil {
+		return nil, err
+	}
+	return st, nil
+}

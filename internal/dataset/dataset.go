@@ -78,9 +78,18 @@ type Config struct {
 	FrontPageSample int
 
 	// Agent is the behaviour model; Policy the promotion policy
-	// (nil = classic 43-vote threshold).
+	// (nil = classic 43-vote threshold). A non-nil Policy must be safe
+	// for concurrent read-only use when Workers != 1 (the built-in
+	// policies are).
 	Agent  agent.Config
 	Policy digg.PromotionPolicy
+
+	// Workers is the number of story-simulation workers (0 = one per
+	// available CPU). Stories are statistically independent given the
+	// graph, and each draws from a substream keyed by (Seed, story
+	// index), so the corpus is bit-identical for every worker count:
+	// determinism is the contract, parallelism is just scheduling.
+	Workers int
 }
 
 // DefaultConfig returns the calibrated generation parameters.
@@ -196,6 +205,8 @@ func (c Config) Validate() error {
 		return errors.New("dataset: TopUserListSize must be >= 1")
 	case c.FrontPageSample < 1:
 		return errors.New("dataset: FrontPageSample must be >= 1")
+	case c.Workers < 0:
+		return errors.New("dataset: Workers must be >= 0")
 	}
 	return c.Agent.Validate()
 }
@@ -223,7 +234,19 @@ type Dataset struct {
 	rankOf map[digg.UserID]int
 }
 
-// Generate builds the corpus. It is deterministic for a given Config.
+// storyJob carries the pre-drawn inputs of one story simulation. All
+// jobs are drawn from the master stream in story order before any
+// simulation starts, so the fan-out below cannot perturb them.
+type storyJob struct {
+	submitter digg.UserID
+	interest  float64
+	at        digg.Minutes
+}
+
+// Generate builds the corpus. It is deterministic for a given Config,
+// including Workers: every story is simulated on its own random
+// substream keyed by (Seed, story index), so sequential and parallel
+// generation produce bit-identical corpora.
 func Generate(cfg Config) (*Dataset, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -234,10 +257,9 @@ func Generate(cfg Config) (*Dataset, error) {
 		return nil, err
 	}
 	platform := digg.NewPlatform(g, cfg.Policy)
-	sim, err := agent.NewSimulator(platform, cfg.Agent, r.Split())
-	if err != nil {
-		return nil, err
-	}
+	// One draw reserved for the simulation streams, in the same master-
+	// stream position the sequential simulator's Split used to occupy.
+	simSeed := r.Uint64()
 
 	// Submitters: Zipf rank over users ordered by fan count.
 	byFans := graph.TopByInDegree(g, g.NumNodes())
@@ -251,17 +273,25 @@ func Generate(cfg Config) (*Dataset, error) {
 	}
 	sortMinutes(times)
 
-	ds := &Dataset{Config: cfg, Graph: g, Platform: platform}
-	for i := 0; i < cfg.Submissions; i++ {
-		submitter := byFans[zipf.Draw()-1]
-		interest := math.Pow(r.Float64(), cfg.InterestExponent)
-		title := fmt.Sprintf("story-%04d", i)
-		st, _, err := sim.RunStory(submitter, title, interest, times[i])
-		if err != nil {
-			return nil, fmt.Errorf("dataset: story %d: %w", i, err)
+	jobs := make([]storyJob, cfg.Submissions)
+	for i := range jobs {
+		jobs[i] = storyJob{
+			submitter: byFans[zipf.Draw()-1],
+			interest:  math.Pow(r.Float64(), cfg.InterestExponent),
+			at:        times[i],
 		}
-		ds.Stories = append(ds.Stories, st)
-		if err := platform.CompactStory(st.ID); err != nil {
+	}
+
+	stories, err := simulateStories(cfg, g, simSeed, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	ds := &Dataset{Config: cfg, Graph: g, Platform: platform, Stories: stories}
+	for _, st := range stories {
+		// Installed stories arrive compacted: live voter/audience state
+		// is never materialized for them, bounding generation memory.
+		if err := platform.InstallStory(st); err != nil {
 			return nil, err
 		}
 	}

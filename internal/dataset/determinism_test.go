@@ -1,0 +1,126 @@
+package dataset
+
+import (
+	"testing"
+	"time"
+
+	"diggsim/internal/digg"
+)
+
+// identicalCorpora fails the test unless a and b carry bit-identical
+// vote histories, promotion outcomes and samples.
+func identicalCorpora(t *testing.T, label string, a, b *Dataset) {
+	t.Helper()
+	if len(a.Stories) != len(b.Stories) {
+		t.Fatalf("%s: story counts differ: %d vs %d", label, len(a.Stories), len(b.Stories))
+	}
+	for i := range a.Stories {
+		sa, sb := a.Stories[i], b.Stories[i]
+		if sa.ID != sb.ID || sa.Title != sb.Title || sa.Submitter != sb.Submitter ||
+			sa.SubmittedAt != sb.SubmittedAt || sa.Interest != sb.Interest ||
+			sa.Promoted != sb.Promoted {
+			t.Fatalf("%s: story %d metadata differs: %+v vs %+v", label, i, sa, sb)
+		}
+		if sa.Promoted && sa.PromotedAt != sb.PromotedAt {
+			t.Fatalf("%s: story %d promotion time differs: %d vs %d", label, i, sa.PromotedAt, sb.PromotedAt)
+		}
+		if len(sa.Votes) != len(sb.Votes) {
+			t.Fatalf("%s: story %d vote counts differ: %d vs %d", label, i, len(sa.Votes), len(sb.Votes))
+		}
+		for j := range sa.Votes {
+			if sa.Votes[j] != sb.Votes[j] {
+				t.Fatalf("%s: story %d vote %d differs: %+v vs %+v", label, i, j, sa.Votes[j], sb.Votes[j])
+			}
+		}
+	}
+	if len(a.TopUsers) != len(b.TopUsers) {
+		t.Fatalf("%s: top-user list sizes differ", label)
+	}
+	for i := range a.TopUsers {
+		if a.TopUsers[i] != b.TopUsers[i] {
+			t.Fatalf("%s: top-user rank %d differs: %d vs %d", label, i+1, a.TopUsers[i], b.TopUsers[i])
+		}
+	}
+	if len(a.FrontPage) != len(b.FrontPage) {
+		t.Fatalf("%s: front-page sample sizes differ", label)
+	}
+	if len(a.UpcomingAtSnapshot) != len(b.UpcomingAtSnapshot) {
+		t.Fatalf("%s: upcoming snapshot sizes differ", label)
+	}
+}
+
+// TestGenerateBitIdenticalAcrossRuns is the determinism regression
+// test: the same Config must yield byte-for-byte identical vote
+// histories on every run.
+func TestGenerateBitIdenticalAcrossRuns(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Submissions = 80
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalCorpora(t, "rerun", a, b)
+}
+
+// TestParallelMatchesSequential pins the API contract of the parallel
+// generation path: determinism is the contract, parallelism is just
+// scheduling. Every worker count must reproduce the sequential corpus
+// exactly, because each story draws only from its (Seed, index)-keyed
+// substream.
+func TestParallelMatchesSequential(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Submissions = 80
+	cfg.Workers = 1
+	seq, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{4, 8} {
+		cfg.Workers = workers
+		par, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		identicalCorpora(t, "workers=4/8 vs sequential", seq, par)
+	}
+}
+
+// TestParallelMatchesSequentialDiversityPolicy repeats the contract
+// check under the non-default promotion policy, which reads the whole
+// vote history on every decision.
+func TestParallelMatchesSequentialDiversityPolicy(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.Submissions = 40
+	cfg.Policy = digg.NewDiversityPromotion()
+	cfg.Workers = 1
+	seq, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	par, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalCorpora(t, "diversity policy", seq, par)
+}
+
+// TestGenerationWallClockGuard is a coarse performance tripwire (not a
+// benchmark): SmallConfig corpus generation must finish well inside a
+// bound that even slow CI hardware meets comfortably, so a gross
+// regression in the event-driven scheduler fails tier-1 instead of
+// silently making every experiment crawl. The bound is ~50x the
+// measured time on one 2.7 GHz core.
+func TestGenerationWallClockGuard(t *testing.T) {
+	start := time.Now()
+	if _, err := Generate(SmallConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("SmallConfig generation took %v; the event-driven path has grossly regressed", elapsed)
+	}
+}

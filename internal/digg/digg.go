@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 
+	"diggsim/internal/dense"
 	"diggsim/internal/graph"
 )
 
@@ -93,19 +94,43 @@ func (s *Story) HasVoted(u UserID) bool {
 
 // Platform is the simulated Digg site. It is not safe for concurrent
 // mutation; the discrete-event simulator drives it from one goroutine.
+//
+// Per-story voter and audience membership is held in pooled
+// epoch-stamped dense sets (internal/dense) rather than per-story
+// maps: CompactStory returns a story's sets to the pool and the next
+// Submit reuses them with an O(1) reset, so sequential generate-and-
+// compact workloads allocate no per-story membership state.
 type Platform struct {
 	Graph  *graph.Graph
 	Policy PromotionPolicy
 
 	stories  []*Story
-	voted    []map[UserID]struct{} // per-story voter sets
-	visible  []map[UserID]struct{} // per-story Friends-interface audience
-	promoted []StoryID             // promotion order
+	voted    []*dense.Set // per-story voter sets (nil once compacted)
+	visible  []*dense.Set // per-story Friends-interface audience
+	setPool  []*dense.Set // compacted sets awaiting reuse
+	promoted []StoryID    // promotion order
 	// promotedBySubmitter counts front-page stories per user, the basis
 	// of the reputation ("top users") ranking.
 	promotedBySubmitter map[UserID]int
+	// rankCache memoizes the TopUsers ranking for UserRank; it is
+	// dropped whenever a promotion changes the ranking.
+	rankCache map[UserID]int
 	// comments holds all comments in insertion order (see comments.go).
 	comments []Comment
+}
+
+// acquireSet returns an empty set covering the platform's users,
+// reusing a pooled one when available.
+func (p *Platform) acquireSet() *dense.Set {
+	var m *dense.Set
+	if k := len(p.setPool); k > 0 {
+		m = p.setPool[k-1]
+		p.setPool = p.setPool[:k-1]
+	} else {
+		m = &dense.Set{}
+	}
+	m.Reset(p.Graph.NumNodes())
+	return m
 }
 
 // NewPlatform creates a platform over the given social graph using the
@@ -165,13 +190,45 @@ func (p *Platform) Submit(u UserID, title string, interest float64, t Minutes) (
 	}
 	s.Votes = append(s.Votes, Vote{Voter: u, At: t, InNetwork: false})
 	p.stories = append(p.stories, s)
-	p.voted = append(p.voted, map[UserID]struct{}{u: {}})
-	aud := make(map[UserID]struct{})
+	voted := p.acquireSet()
+	voted.Add(int(u))
+	p.voted = append(p.voted, voted)
+	aud := p.acquireSet()
 	for _, fan := range p.Graph.Fans(u) {
-		aud[fan] = struct{}{}
+		aud.Add(int(fan))
 	}
 	p.visible = append(p.visible, aud)
 	return s, nil
+}
+
+// InstallStory adopts a fully simulated story (e.g. from an
+// agent.Runner) as the next story on the platform. The story's ID must
+// equal the next story index, its votes must be chronological with the
+// submitter first, and its promotion outcome is taken as-is. Installed
+// stories arrive in the compacted state: their live voter and audience
+// bookkeeping was never materialized, so further Digg calls are
+// rejected just as after CompactStory. Corpus generation installs
+// pre-simulated stories in submission order instead of replaying every
+// vote through Digg.
+func (p *Platform) InstallStory(s *Story) error {
+	if int(s.ID) != len(p.stories) {
+		return fmt.Errorf("digg: InstallStory out of order: story %d, next index %d", s.ID, len(p.stories))
+	}
+	if s.Submitter < 0 || int(s.Submitter) >= p.Graph.NumNodes() {
+		return ErrUnknownUser
+	}
+	if len(s.Votes) == 0 || s.Votes[0].Voter != s.Submitter {
+		return fmt.Errorf("digg: InstallStory: story %d missing submitter's implicit vote", s.ID)
+	}
+	p.stories = append(p.stories, s)
+	p.voted = append(p.voted, nil)
+	p.visible = append(p.visible, nil)
+	if s.Promoted {
+		p.promoted = append(p.promoted, s.ID)
+		p.promotedBySubmitter[s.Submitter]++
+		p.rankCache = nil
+	}
+	return nil
 }
 
 // DiggResult reports the consequences of a vote.
@@ -195,14 +252,14 @@ func (p *Platform) Digg(id StoryID, u UserID, t Minutes) (DiggResult, error) {
 	if p.voted[id] == nil {
 		return DiggResult{}, ErrStoryCompacted
 	}
-	if _, dup := p.voted[id][u]; dup {
+	if p.voted[id].Contains(int(u)) {
 		return DiggResult{}, ErrAlreadyVoted
 	}
-	_, inNet := p.visible[id][u]
+	inNet := p.visible[id].Contains(int(u))
 	s.Votes = append(s.Votes, Vote{Voter: u, At: t, InNetwork: inNet})
-	p.voted[id][u] = struct{}{}
+	p.voted[id].Add(int(u))
 	for _, fan := range p.Graph.Fans(u) {
-		p.visible[id][fan] = struct{}{}
+		p.visible[id].Add(int(fan))
 	}
 	res := DiggResult{InNetwork: inNet}
 	if !s.Promoted && p.Policy.ShouldPromote(s, t) {
@@ -210,6 +267,7 @@ func (p *Platform) Digg(id StoryID, u UserID, t Minutes) (DiggResult, error) {
 		s.PromotedAt = t
 		p.promoted = append(p.promoted, id)
 		p.promotedBySubmitter[s.Submitter]++
+		p.rankCache = nil
 		res.Promoted = true
 	}
 	return res, nil
@@ -220,20 +278,19 @@ func (p *Platform) Digg(id StoryID, u UserID, t Minutes) (DiggResult, error) {
 // terms). The submitter and voters themselves are not counted unless
 // they are also fans of a voter.
 func (p *Platform) Audience(id StoryID) int {
-	if id < 0 || int(id) >= len(p.visible) {
+	if id < 0 || int(id) >= len(p.visible) || p.visible[id] == nil {
 		return 0
 	}
-	return len(p.visible[id])
+	return p.visible[id].Len()
 }
 
 // CanSee reports whether user u currently sees story id through the
 // Friends interface.
 func (p *Platform) CanSee(id StoryID, u UserID) bool {
-	if id < 0 || int(id) >= len(p.visible) {
+	if id < 0 || int(id) >= len(p.visible) || p.visible[id] == nil || u < 0 {
 		return false
 	}
-	_, ok := p.visible[id][u]
-	return ok
+	return p.visible[id].Contains(int(u))
 }
 
 // CompactStory releases the per-story voter and audience bookkeeping
@@ -245,8 +302,11 @@ func (p *Platform) CompactStory(id StoryID) error {
 	if _, err := p.Story(id); err != nil {
 		return err
 	}
-	p.voted[id] = nil
-	p.visible[id] = nil
+	if p.voted[id] != nil {
+		p.setPool = append(p.setPool, p.voted[id], p.visible[id])
+		p.voted[id] = nil
+		p.visible[id] = nil
+	}
 	return nil
 }
 
@@ -367,13 +427,17 @@ func (p *Platform) TopUsers(k int) []UserID {
 }
 
 // UserRank returns the 1-based reputation rank of u (1 = most promoted
-// submissions) or 0 if u has no promoted stories.
+// submissions) or 0 if u has no promoted stories. The full ranking is
+// computed once and cached; promotions invalidate the cache, so
+// repeated lookups (e.g. the HTTP API's per-story rank annotations) do
+// not re-sort the ranked-user list.
 func (p *Platform) UserRank(u UserID) int {
-	top := p.TopUsers(len(p.promotedBySubmitter))
-	for i, t := range top {
-		if t == u {
-			return i + 1
+	if p.rankCache == nil {
+		top := p.TopUsers(len(p.promotedBySubmitter))
+		p.rankCache = make(map[UserID]int, len(top))
+		for i, t := range top {
+			p.rankCache[t] = i + 1
 		}
 	}
-	return 0
+	return p.rankCache[u]
 }

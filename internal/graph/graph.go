@@ -17,6 +17,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -82,16 +83,23 @@ func (g *Graph) valid(u NodeID) bool { return u >= 0 && int(u) < g.n }
 // Builder accumulates edges and produces an immutable Graph. The zero
 // value is ready to use; nodes are created implicitly by AddEdge or
 // explicitly by EnsureNodes.
+//
+// Edges are stored as an append-only slice — AddEdge is a few
+// nanoseconds and allocation-free once the slice has grown — and
+// duplicates are removed during Build, which constructs both CSR
+// directions by counting sort. Graph generators add tens of thousands
+// of edges per corpus, so builder throughput is on the corpus
+// generation hot path.
 type Builder struct {
 	n     int
-	edges map[edgeKey]struct{}
+	edges []edgeKey
 }
 
 type edgeKey struct{ from, to NodeID }
 
 // NewBuilder returns a Builder pre-sized for n nodes.
 func NewBuilder(n int) *Builder {
-	return &Builder{n: n, edges: make(map[edgeKey]struct{})}
+	return &Builder{n: n}
 }
 
 // EnsureNodes grows the node count to at least n.
@@ -104,8 +112,23 @@ func (b *Builder) EnsureNodes(n int) {
 // NumNodes returns the current node count.
 func (b *Builder) NumNodes() int { return b.n }
 
-// NumEdges returns the number of distinct edges added so far.
-func (b *Builder) NumEdges() int { return len(b.edges) }
+// NumEdges returns the number of distinct edges added so far. It
+// dedups a sorted copy, so it is O(E log E) — fine for tests and
+// tools; the generation hot path never calls it.
+func (b *Builder) NumEdges() int {
+	if len(b.edges) == 0 {
+		return 0
+	}
+	tmp := append([]edgeKey(nil), b.edges...)
+	sortEdges(tmp)
+	count := 1
+	for i := 1; i < len(tmp); i++ {
+		if tmp[i] != tmp[i-1] {
+			count++
+		}
+	}
+	return count
+}
 
 // AddEdge records the directed edge from -> to (from watches to).
 // Self-loops and duplicates are ignored. Negative IDs are an error.
@@ -116,68 +139,102 @@ func (b *Builder) AddEdge(from, to NodeID) error {
 	if from == to {
 		return nil
 	}
-	if b.edges == nil {
-		b.edges = make(map[edgeKey]struct{})
-	}
 	if int(from) >= b.n {
 		b.n = int(from) + 1
 	}
 	if int(to) >= b.n {
 		b.n = int(to) + 1
 	}
-	b.edges[edgeKey{from, to}] = struct{}{}
+	b.edges = append(b.edges, edgeKey{from, to})
 	return nil
 }
 
-// HasEdge reports whether the edge has been added.
+// HasEdge reports whether the edge has been added. Linear in the number
+// of edges; for fast lookups Build the Graph and use Graph.HasEdge.
 func (b *Builder) HasEdge(from, to NodeID) bool {
-	_, ok := b.edges[edgeKey{from, to}]
-	return ok
+	for _, e := range b.edges {
+		if e.from == from && e.to == to {
+			return true
+		}
+	}
+	return false
 }
 
-// Build produces the immutable Graph. The Builder remains usable and
-// further edges can be added for a later Build.
-func (b *Builder) Build() *Graph {
-	g := &Graph{
-		n:        b.n,
-		outIndex: make([]int32, b.n+1),
-		inIndex:  make([]int32, b.n+1),
-		outEdges: make([]NodeID, 0, len(b.edges)),
-		inEdges:  make([]NodeID, 0, len(b.edges)),
-	}
-	type edge struct{ from, to NodeID }
-	edges := make([]edge, 0, len(b.edges))
-	for k := range b.edges {
-		edges = append(edges, edge(k))
-	}
-	// Out CSR.
+// sortEdges orders edges by (from, to).
+func sortEdges(edges []edgeKey) {
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].from != edges[j].from {
 			return edges[i].from < edges[j].from
 		}
 		return edges[i].to < edges[j].to
 	})
-	for _, e := range edges {
-		g.outIndex[e.from+1]++
-		g.outEdges = append(g.outEdges, e.to)
+}
+
+// Build produces the immutable Graph. The Builder remains usable and
+// further edges can be added for a later Build.
+//
+// The out-CSR is built by counting sort over the edge endpoints with a
+// per-adjacency sort and in-place dedup; the in-CSR is then scattered
+// from the deduped out-CSR, which visits edges in (from, to) order so
+// every fan list comes out sorted with no comparison sort at all.
+func (b *Builder) Build() *Graph {
+	n := b.n
+	g := &Graph{
+		n:        n,
+		outIndex: make([]int32, n+1),
+		inIndex:  make([]int32, n+1),
 	}
-	for i := 1; i <= b.n; i++ {
-		g.outIndex[i] += g.outIndex[i-1]
+	m := len(b.edges)
+	out := make([]NodeID, m)
+	start := make([]int32, n+1)
+	for _, e := range b.edges {
+		start[e.from+1]++
 	}
-	// In CSR.
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].to != edges[j].to {
-			return edges[i].to < edges[j].to
+	for i := 1; i <= n; i++ {
+		start[i] += start[i-1]
+	}
+	pos := make([]int32, n)
+	copy(pos, start[:n])
+	for _, e := range b.edges {
+		out[pos[e.from]] = e.to
+		pos[e.from]++
+	}
+	// Sort each adjacency and compact duplicates. The write cursor w
+	// never passes the read position, so compaction is in place.
+	w := int32(0)
+	for u := 0; u < n; u++ {
+		adj := out[start[u]:start[u+1]]
+		slices.Sort(adj)
+		g.outIndex[u] = w
+		prev := NodeID(-1)
+		for _, v := range adj {
+			if v == prev {
+				continue
+			}
+			out[w] = v
+			w++
+			prev = v
 		}
-		return edges[i].from < edges[j].from
-	})
-	for _, e := range edges {
-		g.inIndex[e.to+1]++
-		g.inEdges = append(g.inEdges, e.from)
 	}
-	for i := 1; i <= b.n; i++ {
+	g.outIndex[n] = w
+	g.outEdges = out[:w]
+	// In-CSR from the deduped out-CSR.
+	for _, v := range g.outEdges {
+		g.inIndex[v+1]++
+	}
+	for i := 1; i <= n; i++ {
 		g.inIndex[i] += g.inIndex[i-1]
 	}
+	in := make([]NodeID, w)
+	inPos := pos // reuse: same length n
+	copy(inPos, g.inIndex[:n])
+	for u := NodeID(0); int(u) < n; u++ {
+		for _, v := range g.Friends(u) {
+			in[inPos[v]] = u
+			inPos[v]++
+		}
+	}
+	g.inEdges = in
 	return g
 }
 

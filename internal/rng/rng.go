@@ -61,6 +61,18 @@ func (r *RNG) Split() *RNG {
 	return New(r.Uint64())
 }
 
+// Substream returns a generator for the index-th substream of the given
+// seed. Unlike Split, the derivation is a pure function of (seed, index)
+// — independent of call order — so work items can be fanned out across
+// any number of workers while each item sees exactly the stream it would
+// have seen sequentially. Seed and index are mixed through two rounds of
+// splitmix64 so that neighbouring indices yield uncorrelated states.
+func Substream(seed, index uint64) *RNG {
+	_, h := splitmix64(seed)
+	_, h = splitmix64(h ^ (index+1)*0x9e3779b97f4a7c15)
+	return New(h)
+}
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
@@ -131,6 +143,16 @@ func (r *RNG) ExpFloat64() float64 {
 			return -math.Log(u)
 		}
 	}
+}
+
+// ExpGap returns an exponential inter-arrival gap for a Poisson process
+// with the given rate (events per unit time): -ln(U)/rate. A rate of
+// zero or less means the process never fires; the gap is +Inf.
+func (r *RNG) ExpGap(rate float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return r.ExpFloat64() / rate
 }
 
 // Poisson returns a Poisson variate with the given mean. For large means

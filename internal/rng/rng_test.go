@@ -385,3 +385,48 @@ func BenchmarkIntn(b *testing.B) {
 		_ = r.Intn(1000)
 	}
 }
+
+func TestSubstreamDeterministicAndOrderFree(t *testing.T) {
+	// Same (seed, index) yields the same stream regardless of how many
+	// other substreams were derived first.
+	a := Substream(42, 7)
+	Substream(42, 3) // unrelated derivation must not disturb anything
+	b := Substream(42, 7)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("substream depends on derivation order")
+		}
+	}
+}
+
+func TestSubstreamIndicesIndependent(t *testing.T) {
+	// Neighbouring indices and neighbouring seeds must give different,
+	// uncorrelated-looking streams.
+	seen := map[uint64]bool{}
+	for seed := uint64(0); seed < 4; seed++ {
+		for idx := uint64(0); idx < 64; idx++ {
+			v := Substream(seed, idx).Uint64()
+			if seen[v] {
+				t.Fatalf("collision at seed=%d idx=%d", seed, idx)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestExpGapMeanAndInf(t *testing.T) {
+	r := New(11)
+	const rate = 0.25
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.ExpGap(rate)
+	}
+	mean := sum / n
+	if mean < 3.6 || mean > 4.4 { // true mean 1/rate = 4
+		t.Errorf("ExpGap mean = %.3f want ~4", mean)
+	}
+	if !math.IsInf(r.ExpGap(0), 1) || !math.IsInf(r.ExpGap(-1), 1) {
+		t.Error("non-positive rate should give +Inf gap")
+	}
+}
