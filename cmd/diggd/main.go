@@ -4,11 +4,24 @@
 //
 // Usage:
 //
-//	diggd [-addr :8080] [-small] [-seed N]
+//	diggd [-addr :8080] [-small] [-seed N] [-live] [-speedup 600]
+//	      [-submissions-per-hour 60] [-export DIR]
 //
-// The server generates a corpus at startup and then serves it
-// read-mostly; live submissions and votes are also accepted (POST
-// /api/stories, POST /api/stories/{id}/digg).
+// The server generates a corpus at startup. In the default static mode
+// it then serves the corpus read-mostly (live submissions and votes are
+// still accepted: POST /api/stories, POST /api/stories/{id}/digg), with
+// the site clock advancing in real time from the snapshot instant so
+// the upcoming-queue view does not go stale.
+//
+// With -live the site keeps evolving on its own: a real-time simulation
+// clock maps wall time to sim minutes at -speedup sim-minutes per
+// wall-minute, new stories arrive as a Poisson process over the
+// calibrated submitter mix (-submissions-per-hour, per sim-hour), and
+// the behaviour model keeps casting votes and promoting stories while
+// the server runs. Live platform events stream over SSE at
+// GET /api/stream and live metrics at GET /api/stats. On shutdown,
+// -export DIR flushes the final platform state — pregenerated corpus
+// plus everything that happened live — to dataset CSV files.
 package main
 
 import (
@@ -23,7 +36,9 @@ import (
 	"time"
 
 	"diggsim/internal/dataset"
+	"diggsim/internal/digg"
 	"diggsim/internal/httpapi"
+	"diggsim/internal/live"
 )
 
 func main() {
@@ -32,6 +47,10 @@ func main() {
 	seed := flag.Uint64("seed", 20060630, "corpus seed")
 	rate := flag.Float64("rate", 0, "rate limit in requests/second (0 = unlimited)")
 	verbose := flag.Bool("v", false, "log every request")
+	liveMode := flag.Bool("live", false, "keep simulating in real time: new submissions, votes and promotions while serving")
+	speedup := flag.Float64("speedup", 600, "live mode: simulation minutes per wall-clock minute")
+	subsPerHour := flag.Float64("submissions-per-hour", 60, "live mode: mean story submissions per simulation hour")
+	exportDir := flag.String("export", "", "live mode: flush the final platform state to dataset CSVs in this directory on shutdown")
 	flag.Parse()
 
 	cfg := dataset.DefaultConfig()
@@ -45,7 +64,45 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := httpapi.NewServer(ds.Platform, cfg.SnapshotAt, ds.RankOf)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var svc *live.Service
+	var srv *httpapi.Server
+	liveErr := make(chan error, 1)
+	if *liveMode {
+		// Live ranks must reflect live promotions, so rank lookups go to
+		// the platform instead of the frozen generation-time snapshot.
+		srv = httpapi.NewServer(ds.Platform, cfg.SnapshotAt, nil)
+		svc, err = live.NewService(ds.Platform, live.Config{
+			Speedup:            *speedup,
+			SubmissionsPerHour: *subsPerHour,
+			Seed:               *seed + 1,
+			StartAt:            cfg.SnapshotAt,
+			Agent:              cfg.Agent,
+			SubmitterZipfS:     cfg.SubmitterZipfS,
+			InterestExponent:   cfg.InterestExponent,
+			TopUserListSize:    cfg.TopUserListSize,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		srv.AttachLive(svc)
+		go func() { liveErr <- svc.Run(ctx) }()
+		fmt.Fprintf(os.Stderr, "diggd: live mode, speedup %.0fx, %.0f submissions/sim-hour\n",
+			*speedup, *subsPerHour)
+	} else {
+		srv = httpapi.NewServer(ds.Platform, cfg.SnapshotAt, ds.RankOf)
+		// Static mode: the corpus is frozen but the site clock still
+		// advances in real time from the snapshot, so the upcoming-queue
+		// view (and default timestamps for manual posts) never go stale.
+		clock := live.NewClock(time.Now(), cfg.SnapshotAt, 1)
+		srv.SetNowFunc(func() digg.Minutes { return clock.Now(time.Now()) })
+	}
+
+	metrics := httpapi.NewMetrics()
+	srv.AttachMetrics(metrics)
 	handler := http.Handler(srv.Handler())
 	if *verbose {
 		handler = httpapi.LoggingMiddleware(os.Stderr, handler)
@@ -54,32 +111,56 @@ func main() {
 		limiter := httpapi.NewRateLimiter(*rate, int(*rate)+1)
 		handler = limiter.Middleware(handler)
 	}
+	handler = metrics.Middleware(handler)
 	httpServer := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Fprintf(os.Stderr, "diggd: serving %d stories on %s\n", len(ds.Stories), *addr)
 		errCh <- httpServer.ListenAndServe()
 	}()
+	// On a signal, both ctx.Done and the live goroutine's nil send race
+	// to wake this select; either way the graceful path below must run,
+	// so the liveErr case falls through to it too.
+	liveDrained := false
 	select {
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := httpServer.Shutdown(shutdownCtx); err != nil {
+	case err := <-liveErr:
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintln(os.Stderr, "diggd: shut down cleanly")
+		liveDrained = true // Run returned nil: ctx was cancelled
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			fatal(err)
 		}
+		return
 	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpServer.Shutdown(shutdownCtx); err != nil {
+		fatal(err)
+	}
+	if svc != nil {
+		if !liveDrained {
+			if err := <-liveErr; err != nil {
+				fatal(err)
+			}
+		}
+		if *exportDir != "" {
+			out := svc.Export()
+			if err := out.Save(*exportDir); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "diggd: exported %d stories (%d promoted) to %s\n",
+				len(out.Stories), len(out.FrontPage), *exportDir)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "diggd: shut down cleanly")
 }
 
 func fatal(err error) {

@@ -19,6 +19,19 @@
 // Config.Workers and the -workers flag on cmd/diggsim and
 // cmd/experiments).
 //
+// The platform also runs as a live service (internal/live): cmd/diggd
+// -live maps wall-clock time to simulation minutes at a configurable
+// speedup, keeps submitting stories as a Poisson process over the
+// calibrated submitter mix, and steps every live story's pending votes
+// through the same event engine (agent.Stepper) while the HTTP API
+// serves concurrent readers under a shared RWMutex — so scrapes race a
+// genuinely evolving site, the situation the paper's crawler actually
+// faced. Typed platform events (submit, digg, promote, rank-change)
+// stream over Server-Sent Events at /api/stream through a bounded
+// fan-out bus that slow subscribers cannot stall, live metrics are at
+// /api/stats, and a graceful shutdown can flush the whole run to the
+// same dataset files a batch generation produces.
+//
 // See README.md for the package map, DESIGN.md for the system inventory
 // and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
 // results. The benchmarks in bench_test.go regenerate one experiment

@@ -1,0 +1,58 @@
+// Command live-stream tails a live diggd server's event feed and
+// prints promotions as they happen — the event-driven counterpart of
+// polling the front page the way the paper's scraper had to.
+//
+// Start a live server in one terminal:
+//
+//	go run ./cmd/diggd -live -speedup 600
+//
+// then tail it in another:
+//
+//	go run ./examples/live-stream            # promotions only
+//	go run ./examples/live-stream -all       # every event
+//
+// Stop with Ctrl-C.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"diggsim/internal/httpapi"
+	"diggsim/internal/live"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "diggd server base URL")
+	all := flag.Bool("all", false, "print every event, not just promotions")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	c := httpapi.NewClient(*addr)
+	fmt.Printf("tailing %s/api/stream (Ctrl-C to stop)\n", *addr)
+	err := c.Stream(ctx, func(ev live.Event) error {
+		switch ev.Type {
+		case live.EventPromote:
+			fmt.Printf("[sim %6dm] PROMOTED  story %d %q by user %d with %d votes\n",
+				ev.At, ev.Story, ev.Title, ev.User, ev.Votes)
+		case live.EventLag:
+			fmt.Printf("[sim %6dm] (stream lagged: %d events dropped)\n", ev.At, ev.Dropped)
+		default:
+			if *all {
+				fmt.Printf("[sim %6dm] %-11s story %d user %d\n", ev.At, ev.Type, ev.Story, ev.User)
+			}
+		}
+		return nil
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "live-stream:", err)
+		os.Exit(1)
+	}
+}

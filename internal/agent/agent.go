@@ -94,6 +94,13 @@ type VoteEvent struct {
 	At        digg.Minutes
 	Mechanism Mechanism
 	InNetwork bool
+	// Promoted records whether this vote triggered the story's
+	// promotion to the front page.
+	Promoted bool
+	// VoteCount is the story's vote count including this vote — the
+	// authoritative running count even when an external live vote
+	// interleaves with the engine's.
+	VoteCount int
 }
 
 // Config holds the behaviour-model parameters. All rates are per
@@ -225,12 +232,12 @@ type platformSink struct {
 	st *digg.Story
 }
 
-func (ps platformSink) castVote(u digg.UserID, t digg.Minutes) (bool, error) {
+func (ps platformSink) castVote(u digg.UserID, t digg.Minutes) (digg.DiggResult, error) {
 	res, err := ps.p.Digg(ps.st.ID, u, t)
 	if err != nil {
-		return false, fmt.Errorf("agent: vote by %d on story %d: %w", u, ps.st.ID, err)
+		return digg.DiggResult{}, fmt.Errorf("agent: vote by %d on story %d: %w", u, ps.st.ID, err)
 	}
-	return res.InNetwork, nil
+	return res, nil
 }
 
 // RunStory submits one story by submitter at submitTime with the given

@@ -19,6 +19,7 @@ package agent
 // performs no per-story map work at all.
 
 import (
+	"errors"
 	"math"
 	"math/bits"
 
@@ -30,9 +31,10 @@ import (
 
 // voteSink records a vote produced by the engine. Implementations
 // append the vote to the story (directly or through the platform),
-// report whether it was in-network, and apply the promotion policy.
+// apply the promotion policy, and report whether the vote was
+// in-network and whether it triggered promotion.
 type voteSink interface {
-	castVote(u digg.UserID, t digg.Minutes) (inNetwork bool, err error)
+	castVote(u digg.UserID, t digg.Minutes) (digg.DiggResult, error)
 }
 
 // engine holds the scheduler state and the scratch buffers reused
@@ -56,6 +58,17 @@ type engine struct {
 	occupied  []uint64
 	scanPos   int // lowest offset that may hold a pending exposure
 	pending   int
+
+	// Resume state for incremental stepping, valid between begin and
+	// the stepUntil call that reports the story done. Keeping it on the
+	// engine lets a live Stepper advance a story's lifetime in slices
+	// (one engine per live story) while run replays the exact same
+	// draw sequence in a single call.
+	interest      float64
+	pVote         float64
+	nextDisc      float64
+	queueDeadline digg.Minutes
+	deadline      digg.Minutes
 }
 
 func newEngine(g *graph.Graph, cfg Config, r *rng.RNG) *engine {
@@ -239,37 +252,47 @@ func (e *engine) randomNonVoter(n int) (digg.UserID, bool) {
 	return 0, false
 }
 
-// run simulates st's lifetime with the next-event loop. The submitter's
-// implicit vote must already be recorded on st; events, when non-nil,
-// receives one VoteEvent per additional vote.
-func (e *engine) run(st *digg.Story, sink voteSink, interest float64, events *[]VoteEvent) error {
+// begin prepares the engine to simulate st: scratch buffers are reset,
+// the submitter's fans are exposed, and the first discovery arrival is
+// sampled. The submitter's implicit vote must already be recorded on
+// st. After begin, stepUntil advances the lifetime; call endStory when
+// the story is done or abandoned.
+func (e *engine) begin(st *digg.Story, interest float64) {
 	submitTime := st.SubmittedAt
-	deadline := submitTime + e.cfg.Horizon
-	queueDeadline := submitTime + e.cfg.QueueLifetime
-	if queueDeadline > deadline {
-		queueDeadline = deadline
+	e.deadline = submitTime + e.cfg.Horizon
+	e.queueDeadline = submitTime + e.cfg.QueueLifetime
+	if e.queueDeadline > e.deadline {
+		e.queueDeadline = e.deadline
 	}
 
-	e.beginStory(submitTime, int(deadline-submitTime))
-	defer e.endStory()
+	e.beginStory(submitTime, int(e.deadline-submitTime))
 	e.markVoted(st.Submitter)
-	e.absorbFans(st.Submitter, submitTime, exposureDeadline(st, queueDeadline, deadline))
+	e.absorbFans(st.Submitter, submitTime, exposureDeadline(st, e.queueDeadline, e.deadline))
 
-	pVote := e.cfg.FanVoteProb(interest)
+	e.interest = interest
+	e.pVote = e.cfg.FanVoteProb(interest)
+	e.nextDisc = e.nextDiscovery(st, interest, float64(submitTime), float64(e.deadline))
+}
+
+// stepUntil processes every pending event at or before until, in event
+// order, and reports whether the story's lifetime is complete (no
+// further event can ever produce a vote). Stopping at until consumes no
+// randomness: the next exposure is a peek and the next discovery
+// arrival is already sampled, so advancing to the horizon in one call
+// or in many slices yields the identical vote history.
+func (e *engine) stepUntil(st *digg.Story, sink voteSink, until digg.Minutes, events *[]VoteEvent) (bool, error) {
 	n := e.g.NumNodes()
-	limit := float64(deadline)
-	nextDisc := e.nextDiscovery(st, interest, float64(submitTime), limit)
-
+	limit := float64(e.deadline)
 	for {
 		if e.cfg.MaxVotes > 0 && st.VoteCount() >= e.cfg.MaxVotes {
-			break
+			return true, nil
 		}
 		if e.voted.Len() >= n {
-			break // population exhausted: no event can produce a vote
+			return true, nil // population exhausted: no event can produce a vote
 		}
 		// Unpromoted stories freeze at the queue deadline; promoted ones
 		// run to the horizon.
-		phaseEnd := exposureDeadline(st, queueDeadline, deadline)
+		phaseEnd := exposureDeadline(st, e.queueDeadline, e.deadline)
 		expAt, hasExp := e.nextExposure()
 		// An arrival during minute interval (m-1, m] is stamped m, the
 		// minute boundary where the per-minute model counted it. The
@@ -277,33 +300,39 @@ func (e *engine) run(st *digg.Story, sink voteSink, interest float64, events *[]
 		// stamp (conversion would overflow); only in-range arrivals are
 		// converted. floor(t)+1 <= phaseEnd is exactly t < phaseEnd.
 		var discAt digg.Minutes
-		hasDisc := nextDisc < float64(phaseEnd)
+		hasDisc := e.nextDisc < float64(phaseEnd)
 		if hasDisc {
-			discAt = digg.Minutes(nextDisc) + 1
+			discAt = digg.Minutes(e.nextDisc) + 1
 		}
 		if !hasExp && !hasDisc {
-			break
+			return true, nil
 		}
 
 		if hasExp && (!hasDisc || expAt <= discAt) {
+			if expAt > until {
+				return false, nil
+			}
 			// Network-based spread: the due one-shot exposures.
 			wasPromoted := st.Promoted
 			for _, u := range e.takeBucket(expAt) {
-				if e.isVoted(u) || !e.rng.Bool(pVote) {
+				if e.isVoted(u) || !e.rng.Bool(e.pVote) {
 					continue
 				}
-				if err := e.deliverVote(st, sink, u, expAt, MechanismNetwork, queueDeadline, deadline, events); err != nil {
-					return err
+				if err := e.deliverVote(st, sink, u, expAt, MechanismNetwork, events); err != nil {
+					return false, err
 				}
 			}
 			if !wasPromoted && st.Promoted {
 				// Promotion mid-bucket: restart the arrival sampler on
 				// the front-page rate from the promotion minute.
-				nextDisc = e.nextDiscovery(st, interest, float64(expAt), limit)
+				e.nextDisc = e.nextDiscovery(st, e.interest, float64(expAt), limit)
 			}
 			continue
 		}
 
+		if discAt > until {
+			return false, nil
+		}
 		// Interest-based spread: one sampled discovery arrival.
 		u, ok := e.randomNonVoter(n)
 		if ok {
@@ -311,32 +340,51 @@ func (e *engine) run(st *digg.Story, sink voteSink, interest float64, events *[]
 			if st.Promoted {
 				mech = MechanismFrontPage
 			}
-			if err := e.deliverVote(st, sink, u, discAt, mech, queueDeadline, deadline, events); err != nil {
-				return err
+			if err := e.deliverVote(st, sink, u, discAt, mech, events); err != nil {
+				return false, err
 			}
 		}
 		// Advance the sampler. If this vote just triggered promotion,
 		// nextDiscovery already sees st.Promoted and resamples on the
 		// front-page rate from the same continuous time.
-		nextDisc = e.nextDiscovery(st, interest, nextDisc, limit)
+		e.nextDisc = e.nextDiscovery(st, e.interest, e.nextDisc, limit)
 	}
-	return nil
+}
+
+// run simulates st's whole lifetime with the next-event loop. The
+// submitter's implicit vote must already be recorded on st; events,
+// when non-nil, receives one VoteEvent per additional vote.
+func (e *engine) run(st *digg.Story, sink voteSink, interest float64, events *[]VoteEvent) error {
+	e.begin(st, interest)
+	defer e.endStory()
+	// Every schedulable event lands at or before the horizon deadline,
+	// so a single stepUntil(deadline) drains the lifetime.
+	_, err := e.stepUntil(st, sink, e.deadline, events)
+	return err
 }
 
 // deliverVote records a vote through the sink and updates engine state.
 // The exposure deadline for the voter's fans is computed after the sink
 // call so that the vote that triggers promotion already exposes fans
-// under the longer post-promotion deadline.
-func (e *engine) deliverVote(st *digg.Story, sink voteSink, u digg.UserID, at digg.Minutes, mech Mechanism, queueDeadline, horizonDeadline digg.Minutes, events *[]VoteEvent) error {
-	inNet, err := sink.castVote(u, at)
+// under the longer post-promotion deadline. A sink rejection with
+// digg.ErrAlreadyVoted is tolerated: in live mode an external HTTP digg
+// can beat the engine to a voter, in which case the engine just records
+// the user as voted and moves on.
+func (e *engine) deliverVote(st *digg.Story, sink voteSink, u digg.UserID, at digg.Minutes, mech Mechanism, events *[]VoteEvent) error {
+	res, err := sink.castVote(u, at)
 	if err != nil {
+		if errors.Is(err, digg.ErrAlreadyVoted) {
+			e.markVoted(u)
+			return nil
+		}
 		return err
 	}
 	e.markVoted(u)
-	e.absorbFans(u, at, exposureDeadline(st, queueDeadline, horizonDeadline))
+	e.absorbFans(u, at, exposureDeadline(st, e.queueDeadline, e.deadline))
 	if events != nil {
 		*events = append(*events, VoteEvent{
-			Story: st.ID, Voter: u, At: at, Mechanism: mech, InNetwork: inNet,
+			Story: st.ID, Voter: u, At: at, Mechanism: mech,
+			InNetwork: res.InNetwork, Promoted: res.Promoted, VoteCount: res.Votes,
 		})
 	}
 	return nil

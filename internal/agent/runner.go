@@ -48,17 +48,19 @@ type localSink struct {
 	policy digg.PromotionPolicy
 }
 
-func (ls localSink) castVote(u digg.UserID, t digg.Minutes) (bool, error) {
+func (ls localSink) castVote(u digg.UserID, t digg.Minutes) (digg.DiggResult, error) {
 	// In-network iff u is in the Friends-interface audience (a fan of
 	// the submitter or of a prior voter) at voting time; u's own fans
 	// join the audience afterwards, in the engine's absorbFans.
-	inNet := ls.eng.inAudience(u)
-	ls.st.Votes = append(ls.st.Votes, digg.Vote{Voter: u, At: t, InNetwork: inNet})
+	res := digg.DiggResult{InNetwork: ls.eng.inAudience(u)}
+	ls.st.Votes = append(ls.st.Votes, digg.Vote{Voter: u, At: t, InNetwork: res.InNetwork})
+	res.Votes = len(ls.st.Votes)
 	if !ls.st.Promoted && ls.policy.ShouldPromote(ls.st, t) {
 		ls.st.Promoted = true
 		ls.st.PromotedAt = t
+		res.Promoted = true
 	}
-	return inNet, nil
+	return res, nil
 }
 
 // Run simulates one story's full lifetime using r as its dedicated

@@ -1,0 +1,166 @@
+package agent
+
+import (
+	"testing"
+
+	"diggsim/internal/digg"
+	"diggsim/internal/graph"
+	"diggsim/internal/rng"
+)
+
+func stepperFixture(t *testing.T, seed uint64) (*digg.Platform, *Stepper) {
+	t.Helper()
+	g, err := graph.PreferentialAttachment(rng.New(7), 2000, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := digg.NewPlatform(g, &digg.ClassicPromotion{VoteThreshold: 8, Window: digg.Day})
+	cfg := NewConfig()
+	cfg.QueueDiscoveryRate = 0.3
+	st, err := NewStepper(p, cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, st
+}
+
+// TestStepperStepSizeInvariance is the live subsystem's core
+// determinism contract: advancing a story's lifetime in many small
+// slices must produce bit-identical votes to advancing it in one jump,
+// because stopping at a step deadline consumes no randomness.
+func TestStepperStepSizeInvariance(t *testing.T) {
+	const seed = 42
+	run := func(step digg.Minutes) []*digg.Story {
+		p, st := stepperFixture(t, seed)
+		subs := []digg.UserID{3, 40, 700}
+		for i, u := range subs {
+			if _, err := st.StartStory(u, "s", 0.9, digg.Minutes(i*30)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		horizon := digg.Minutes(len(subs)*30) + NewConfig().Horizon
+		for now := digg.Minutes(0); now <= horizon; now += step {
+			if err := st.Advance(now, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Advance(horizon, nil); err != nil {
+			t.Fatal(err)
+		}
+		if st.Active() != 0 {
+			t.Fatalf("step %d: %d stories still active past the horizon", step, st.Active())
+		}
+		return p.Stories()
+	}
+
+	oneShot := run(10 * digg.Day)
+	sliced := run(7) // awkward 7-minute slices
+	if len(oneShot) != len(sliced) {
+		t.Fatalf("story counts differ: %d vs %d", len(oneShot), len(sliced))
+	}
+	for i := range oneShot {
+		a, b := oneShot[i], sliced[i]
+		if a.Promoted != b.Promoted || a.PromotedAt != b.PromotedAt {
+			t.Errorf("story %d: promotion differs: (%v,%d) vs (%v,%d)",
+				i, a.Promoted, a.PromotedAt, b.Promoted, b.PromotedAt)
+		}
+		if len(a.Votes) != len(b.Votes) {
+			t.Fatalf("story %d: vote counts differ: %d vs %d", i, len(a.Votes), len(b.Votes))
+		}
+		for j := range a.Votes {
+			if a.Votes[j] != b.Votes[j] {
+				t.Fatalf("story %d vote %d differs: %+v vs %+v", i, j, a.Votes[j], b.Votes[j])
+			}
+		}
+	}
+}
+
+// TestStepperEventsAndRetirement checks that Advance reports votes and
+// promotions as they land, never re-reports them, and compacts retired
+// stories.
+func TestStepperEventsAndRetirement(t *testing.T) {
+	p, st := stepperFixture(t, 1)
+	story, err := st.StartStory(5, "live", 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []VoteEvent
+	horizon := NewConfig().Horizon
+	for now := digg.Minutes(0); now <= horizon && st.Active() > 0; now += 60 {
+		before := len(all)
+		if err := st.Advance(now, &all); err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range all[before:] {
+			if ev.At > now {
+				t.Fatalf("event at %d delivered at deadline %d", ev.At, now)
+			}
+		}
+	}
+	if st.Active() != 0 {
+		t.Fatalf("story still active after horizon")
+	}
+	// One event per non-submitter vote, in chronological order.
+	if want := story.VoteCount() - 1; len(all) != want {
+		t.Fatalf("got %d events, want %d", len(all), want)
+	}
+	promotions := 0
+	for i, ev := range all {
+		if i > 0 && ev.At < all[i-1].At {
+			t.Fatalf("events out of order at %d", i)
+		}
+		if ev.Promoted {
+			promotions++
+		}
+	}
+	if !story.Promoted {
+		t.Fatal("interest-1.0 story with threshold 8 did not promote")
+	}
+	if promotions != 1 {
+		t.Fatalf("promotion reported %d times", promotions)
+	}
+	// Retired stories are compacted: further diggs are rejected.
+	if _, err := p.Digg(story.ID, 1999, horizon); err != digg.ErrStoryCompacted {
+		t.Fatalf("digg on retired story: err = %v, want ErrStoryCompacted", err)
+	}
+}
+
+// TestStepperToleratesExternalVotes interleaves manual platform diggs
+// (the HTTP write path) with stepping: the engine must absorb the
+// already-voted conflicts instead of erroring out.
+func TestStepperToleratesExternalVotes(t *testing.T) {
+	p, st := stepperFixture(t, 3)
+	story, err := st.StartStory(5, "live", 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizon := NewConfig().Horizon
+	ext := 0
+	for now := digg.Minutes(0); now <= horizon && st.Active() > 0; now += 120 {
+		// External votes from a band of users the discovery sampler is
+		// also likely to pick.
+		for u := digg.UserID(ext % 50); ext < 200; u += 1 {
+			if _, err := p.Digg(story.ID, u, now); err == nil {
+				ext++
+			}
+			break
+		}
+		if err := st.Advance(now, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !story.Promoted {
+		t.Fatal("story did not promote despite external help")
+	}
+	// Vote list must stay chronological and duplicate-free.
+	seen := make(map[digg.UserID]bool, story.VoteCount())
+	for i, v := range story.Votes {
+		if seen[v.Voter] {
+			t.Fatalf("duplicate voter %d", v.Voter)
+		}
+		seen[v.Voter] = true
+		if i > 0 && v.At < story.Votes[i-1].At {
+			t.Fatalf("votes out of order at %d", i)
+		}
+	}
+}

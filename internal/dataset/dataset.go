@@ -334,6 +334,27 @@ func Assemble(g *graph.Graph, stories []*digg.Story, topUsers []digg.UserID) *Da
 	return d
 }
 
+// FromPlatform snapshots a (possibly live) platform into an analyzable
+// Dataset, taking the paper's two samples as of snapshotAt: the
+// front-page sample is every story promoted by then and the upcoming
+// sample is the queue population at that instant. The caller must hold
+// whatever lock excludes platform mutation for the duration of the
+// call; the returned dataset copies the story list so later platform
+// submissions do not perturb it (individual stories are shared — a
+// still-running service can append votes to them).
+func FromPlatform(p *digg.Platform, snapshotAt digg.Minutes, topUserListSize int) *Dataset {
+	stories := append([]*digg.Story(nil), p.Stories()...)
+	d := &Dataset{Graph: p.Graph, Platform: p, Stories: stories}
+	d.FrontPage = frontPageSample(stories, snapshotAt, len(stories))
+	d.UpcomingAtSnapshot = upcomingSnapshot(stories, snapshotAt)
+	d.TopUsers = topUserList(p, p.Graph, topUserListSize)
+	d.rankOf = make(map[digg.UserID]int, len(d.TopUsers))
+	for i, u := range d.TopUsers {
+		d.rankOf[u] = i + 1
+	}
+	return d
+}
+
 // frontPageSample returns the n stories most recently promoted at or
 // before t, in promotion order (oldest first).
 func frontPageSample(stories []*digg.Story, t digg.Minutes, n int) []*digg.Story {

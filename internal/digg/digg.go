@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"diggsim/internal/dense"
 	"diggsim/internal/graph"
@@ -94,6 +95,12 @@ func (s *Story) HasVoted(u UserID) bool {
 
 // Platform is the simulated Digg site. It is not safe for concurrent
 // mutation; the discrete-event simulator drives it from one goroutine.
+// Concurrent read-only access is safe only under external
+// synchronization that excludes mutators: the live serving layer wraps
+// the platform in a sync.RWMutex, with Submit/Digg under the write lock
+// and every accessor under the read lock (UserRank's lazy rank cache
+// carries its own internal mutex so concurrent read-lock holders may
+// call it).
 //
 // Per-story voter and audience membership is held in pooled
 // epoch-stamped dense sets (internal/dense) rather than per-story
@@ -113,7 +120,10 @@ type Platform struct {
 	// of the reputation ("top users") ranking.
 	promotedBySubmitter map[UserID]int
 	// rankCache memoizes the TopUsers ranking for UserRank; it is
-	// dropped whenever a promotion changes the ranking.
+	// dropped whenever a promotion changes the ranking. rankMu guards
+	// the cache so that concurrent readers (HTTP handlers under the
+	// serving layer's read lock) can trigger the lazy fill safely.
+	rankMu    sync.Mutex
 	rankCache map[UserID]int
 	// comments holds all comments in insertion order (see comments.go).
 	comments []Comment
@@ -226,7 +236,7 @@ func (p *Platform) InstallStory(s *Story) error {
 	if s.Promoted {
 		p.promoted = append(p.promoted, s.ID)
 		p.promotedBySubmitter[s.Submitter]++
-		p.rankCache = nil
+		p.invalidateRanks()
 	}
 	return nil
 }
@@ -235,6 +245,7 @@ func (p *Platform) InstallStory(s *Story) error {
 type DiggResult struct {
 	InNetwork bool // vote arrived through the Friends interface audience
 	Promoted  bool // this vote triggered promotion to the front page
+	Votes     int  // the story's vote count including this vote
 }
 
 // Digg records a vote by u on story id at time t. The vote is flagged
@@ -255,19 +266,26 @@ func (p *Platform) Digg(id StoryID, u UserID, t Minutes) (DiggResult, error) {
 	if p.voted[id].Contains(int(u)) {
 		return DiggResult{}, ErrAlreadyVoted
 	}
+	if n := len(s.Votes); n > 0 && t < s.Votes[n-1].At {
+		// Keep the vote list chronological (VotedAtOrBefore binary-
+		// searches it): when a live stepper catches up behind an
+		// external vote stamped at the current sim minute, its earlier
+		// pending votes clamp forward to the newest recorded time.
+		t = s.Votes[n-1].At
+	}
 	inNet := p.visible[id].Contains(int(u))
 	s.Votes = append(s.Votes, Vote{Voter: u, At: t, InNetwork: inNet})
 	p.voted[id].Add(int(u))
 	for _, fan := range p.Graph.Fans(u) {
 		p.visible[id].Add(int(fan))
 	}
-	res := DiggResult{InNetwork: inNet}
+	res := DiggResult{InNetwork: inNet, Votes: len(s.Votes)}
 	if !s.Promoted && p.Policy.ShouldPromote(s, t) {
 		s.Promoted = true
 		s.PromotedAt = t
 		p.promoted = append(p.promoted, id)
 		p.promotedBySubmitter[s.Submitter]++
-		p.rankCache = nil
+		p.invalidateRanks()
 		res.Promoted = true
 	}
 	return res, nil
@@ -432,6 +450,8 @@ func (p *Platform) TopUsers(k int) []UserID {
 // repeated lookups (e.g. the HTTP API's per-story rank annotations) do
 // not re-sort the ranked-user list.
 func (p *Platform) UserRank(u UserID) int {
+	p.rankMu.Lock()
+	defer p.rankMu.Unlock()
 	if p.rankCache == nil {
 		top := p.TopUsers(len(p.promotedBySubmitter))
 		p.rankCache = make(map[UserID]int, len(top))
@@ -440,4 +460,14 @@ func (p *Platform) UserRank(u UserID) int {
 		}
 	}
 	return p.rankCache[u]
+}
+
+// invalidateRanks drops the memoized reputation ranking after a
+// promotion changes it. Callers hold whatever lock excludes readers
+// (mutation is single-writer); rankMu only orders the store against
+// concurrent UserRank fills.
+func (p *Platform) invalidateRanks() {
+	p.rankMu.Lock()
+	p.rankCache = nil
+	p.rankMu.Unlock()
 }

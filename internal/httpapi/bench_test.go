@@ -1,0 +1,105 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"diggsim/internal/digg"
+	"diggsim/internal/graph"
+	"diggsim/internal/live"
+	"diggsim/internal/rng"
+)
+
+// benchPlatform builds a platform with enough stories and votes for
+// realistic list/detail payloads.
+func benchPlatform(b *testing.B) *digg.Platform {
+	b.Helper()
+	g, err := graph.PreferentialAttachment(rng.New(3), 2000, 4, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := digg.NewPlatform(g, &digg.ClassicPromotion{VoteThreshold: 10, Window: digg.Day})
+	r := rng.New(4)
+	for i := 0; i < 300; i++ {
+		st, err := p.Submit(digg.UserID(r.Intn(2000)), fmt.Sprintf("story-%d", i), 0.5, digg.Minutes(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		votes := 5 + r.Intn(30)
+		for v := 0; v < votes; v++ {
+			_, _ = p.Digg(st.ID, digg.UserID(r.Intn(2000)), digg.Minutes(i+v+1))
+		}
+	}
+	return p
+}
+
+func benchReads(b *testing.B, h http.Handler) {
+	paths := []string{
+		"/api/frontpage?limit=15",
+		"/api/upcoming?limit=15",
+		"/api/stories/42",
+		"/api/users/7",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodGet, paths[i%len(paths)], nil)
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d for %s", w.Code, paths[i%len(paths)])
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkServedReads measures read-handler throughput on a static
+// server: the scraping hot path. Handlers take the read lock, so
+// parallel requests proceed concurrently.
+func BenchmarkServedReads(b *testing.B) {
+	p := benchPlatform(b)
+	srv := NewServer(p, 400, nil)
+	benchReads(b, srv.Handler())
+}
+
+// BenchmarkServedReadsWhileLive measures the same read mix while the
+// live simulation writer continuously mutates the platform under the
+// shared RWMutex — the contention profile future live-mode PRs need to
+// track.
+func BenchmarkServedReadsWhileLive(b *testing.B) {
+	p := benchPlatform(b)
+	svc, err := live.NewService(p, live.Config{Seed: 6, SubmissionsPerHour: 120, StartAt: 400})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(p, 400, nil)
+	srv.AttachLive(svc)
+
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		now := digg.Minutes(400)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+				now += 5
+				if err := svc.StepTo(now); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	benchReads(b, srv.Handler())
+	b.StopTimer()
+	close(stop)
+	<-writerDone
+}

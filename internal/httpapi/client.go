@@ -1,15 +1,18 @@
 package httpapi
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"diggsim/internal/digg"
+	"diggsim/internal/live"
 )
 
 // Client is a typed HTTP client for a diggd server with bounded retries
@@ -217,4 +220,64 @@ func (c *Client) Digg(ctx context.Context, id digg.StoryID, req DiggRequest) (Di
 	var out DiggResponse
 	err := c.do(ctx, http.MethodPost, fmt.Sprintf("/api/stories/%d/digg", id), req, &out)
 	return out, err
+}
+
+// Stats fetches the server's live/HTTP metrics.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.do(ctx, http.MethodGet, "/api/stats", nil, &out)
+	return out, err
+}
+
+// Stream subscribes to the server's /api/stream SSE feed and invokes
+// fn for every decoded event until ctx is cancelled, the server closes
+// the stream, or fn returns an error (which is returned verbatim).
+// Unlike the other client calls, Stream never retries and ignores the
+// client timeout: a live tail has no natural deadline, so cancellation
+// is the caller's job via ctx.
+func (c *Client) Stream(ctx context.Context, fn func(live.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/api/stream", nil)
+	if err != nil {
+		return fmt.Errorf("httpapi: building stream request: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	// The configured client's total-request timeout would sever a
+	// long-lived tail; keep its transport (TLS, proxies, test
+	// round-trippers) but drop the deadline.
+	streamClient := &http.Client{}
+	if c.HTTPClient != nil {
+		streamClient.Transport = c.HTTPClient.Transport
+	}
+	resp, err := streamClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("httpapi: opening stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &APIError{StatusCode: resp.StatusCode, Message: string(data)}
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var data []byte
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimSpace(strings.TrimPrefix(line, "data:"))...)
+		case line == "" && len(data) > 0:
+			var ev live.Event
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return fmt.Errorf("httpapi: decoding stream event: %w", err)
+			}
+			data = data[:0]
+			if err := fn(ev); err != nil {
+				return err
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil && ctx.Err() == nil {
+		return fmt.Errorf("httpapi: reading stream: %w", err)
+	}
+	return ctx.Err()
 }

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -43,16 +44,30 @@ func (s *statusWriter) Write(b []byte) (int, error) {
 	return s.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so streaming responses
+// (the /api/stream SSE feed) keep working behind the logging and
+// metrics middleware.
+func (s *statusWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // RateLimiter is a token-bucket limiter shared across all requests —
 // the server-side politeness budget a real site would enforce against
-// scrapers. The zero value is unusable; construct with NewRateLimiter.
+// scrapers. It is implemented as a lock-free GCRA ("virtual
+// scheduling"): the whole bucket state is one atomic timestamp (the
+// theoretical arrival time of the next conforming request), so heavy
+// concurrent read traffic contends on a single CAS instead of
+// serializing behind a mutex. The semantics match the classic token
+// bucket exactly: burst requests immediately, then one token every
+// 1/rate seconds, refills capped at the burst capacity. The zero value
+// is unusable; construct with NewRateLimiter.
 type RateLimiter struct {
-	mu       sync.Mutex
-	tokens   float64
-	capacity float64
-	rate     float64 // tokens per second
-	last     time.Time
-	now      func() time.Time // injectable clock for tests
+	interval  int64            // nanoseconds per token (1/rate)
+	tolerance int64            // (burst-1) * interval: allowed head start
+	tat       atomic.Int64     // theoretical arrival time, UnixNano
+	now       func() time.Time // injectable clock for tests
 }
 
 // NewRateLimiter allows rate requests per second with the given burst
@@ -64,31 +79,36 @@ func NewRateLimiter(rate float64, burst int) *RateLimiter {
 	if burst < 1 {
 		burst = 1
 	}
+	interval := int64(float64(time.Second) / rate)
+	if interval < 1 {
+		interval = 1
+	}
 	return &RateLimiter{
-		tokens:   float64(burst),
-		capacity: float64(burst),
-		rate:     rate,
-		now:      time.Now,
+		interval:  interval,
+		tolerance: int64(burst-1) * interval,
+		now:       time.Now,
 	}
 }
 
 // Allow consumes one token if available.
 func (l *RateLimiter) Allow() bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	now := l.now()
-	if !l.last.IsZero() {
-		l.tokens += now.Sub(l.last).Seconds() * l.rate
-		if l.tokens > l.capacity {
-			l.tokens = l.capacity
+	now := l.now().UnixNano()
+	for {
+		tat := l.tat.Load()
+		// A request conforms while the bucket's theoretical arrival
+		// time has not run more than the burst tolerance ahead of the
+		// wall clock.
+		if tat-now > l.tolerance {
+			return false
+		}
+		next := tat
+		if now > next {
+			next = now // idle gap: refills cap at burst capacity
+		}
+		if l.tat.CompareAndSwap(tat, next+l.interval) {
+			return true
 		}
 	}
-	l.last = now
-	if l.tokens < 1 {
-		return false
-	}
-	l.tokens--
-	return true
 }
 
 // Middleware rejects requests above the limit with 429 and a
@@ -101,5 +121,54 @@ func (l *RateLimiter) Middleware(next http.Handler) http.Handler {
 			return
 		}
 		next.ServeHTTP(w, r)
+	})
+}
+
+// Metrics counts served requests with plain atomics — no lock at all,
+// so the read-heavy request path and /api/stats scrapes never contend.
+// Attach to a Server with AttachMetrics to surface the counters.
+type Metrics struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64 // responses with status >= 400
+	limited  atomic.Uint64 // 429s (rate-limited requests)
+	inFlight atomic.Int64
+}
+
+// NewMetrics returns a zeroed metrics collector.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// MetricsSnapshot is a point-in-time copy of the counters.
+type MetricsSnapshot struct {
+	Requests    uint64 `json:"requests"`
+	Errors      uint64 `json:"errors"`
+	RateLimited uint64 `json:"rate_limited"`
+	InFlight    int64  `json:"in_flight"`
+}
+
+// Snapshot reads the counters.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Requests:    m.requests.Load(),
+		Errors:      m.errors.Load(),
+		RateLimited: m.limited.Load(),
+		InFlight:    m.inFlight.Load(),
+	}
+}
+
+// Middleware counts each request and its response class. Place it
+// outermost so rate-limited rejections are counted too.
+func (m *Metrics) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.requests.Add(1)
+		m.inFlight.Add(1)
+		defer m.inFlight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		if sw.status >= 400 {
+			m.errors.Add(1)
+			if sw.status == http.StatusTooManyRequests {
+				m.limited.Add(1)
+			}
+		}
 	})
 }

@@ -10,17 +10,29 @@ import (
 	"sync"
 
 	"diggsim/internal/digg"
+	"diggsim/internal/live"
 )
 
 // Server serves a digg.Platform over HTTP/JSON. The platform is not
-// concurrency-safe, so every handler holds the server mutex; read-heavy
-// scraping workloads are still fast because handlers do little work
-// under the lock.
+// concurrency-safe, so handlers synchronize on an RWMutex: read
+// handlers take the read lock and proceed concurrently with each other
+// (heavy scraping no longer serializes), while writes — HTTP
+// submissions and diggs, or the live simulation stepper when a
+// live.Service is attached — take the write lock.
 type Server struct {
-	mu       sync.Mutex
+	// mu guards the platform. With AttachLive it is replaced by the
+	// service's lock so the simulation writer and HTTP readers
+	// interleave on one mutex.
+	mu       *sync.RWMutex
 	platform *digg.Platform
 	now      digg.Minutes
-	rankOf   func(digg.UserID) int
+	// nowFn, when set, overrides the static now field (live sim clock,
+	// or a wall-advancing clock in static mode). It must be safe to
+	// call without holding mu.
+	nowFn   func() digg.Minutes
+	rankOf  func(digg.UserID) int
+	live    *live.Service
+	metrics *Metrics
 }
 
 // NewServer wraps the platform. now is the clock used for upcoming-
@@ -30,14 +42,48 @@ func NewServer(p *digg.Platform, now digg.Minutes, rankOf func(digg.UserID) int)
 	if rankOf == nil {
 		rankOf = p.UserRank
 	}
-	return &Server{platform: p, now: now, rankOf: rankOf}
+	return &Server{mu: &sync.RWMutex{}, platform: p, now: now, rankOf: rankOf}
 }
 
-// SetNow advances the server clock.
+// SetNow advances the server clock (static mode; a SetNowFunc clock
+// takes precedence).
 func (s *Server) SetNow(now digg.Minutes) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.now = now
+}
+
+// SetNowFunc installs a clock function consulted on every request that
+// needs the current sim time (upcoming-queue visibility, default vote
+// and submission timestamps), fixing the frozen-clock staleness of a
+// static server. fn must be safe for concurrent use and must not
+// acquire the server lock. Call before serving traffic.
+func (s *Server) SetNowFunc(fn func() digg.Minutes) { s.nowFn = fn }
+
+// AttachLive connects a live simulation service: the server adopts the
+// service's platform lock (so HTTP readers interleave safely with the
+// simulation writer), serves the service's clock, and exposes the
+// /api/stream SSE feed plus live metrics on /api/stats. Call before
+// Handler and before the service runs.
+func (s *Server) AttachLive(svc *live.Service) {
+	s.mu = svc.Locker()
+	s.nowFn = svc.Now
+	s.live = svc
+}
+
+// AttachMetrics includes the middleware's request counters in
+// /api/stats responses. Call before Handler.
+func (s *Server) AttachMetrics(m *Metrics) { s.metrics = m }
+
+// clock returns the current sim time: the nowFn clock when installed,
+// the static now otherwise. Callers must not hold the lock.
+func (s *Server) clock() digg.Minutes {
+	if s.nowFn != nil {
+		return s.nowFn()
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.now
 }
 
 // Handler returns the HTTP routing table.
@@ -57,6 +103,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/users/{id}/fans", s.handleFans)
 	mux.HandleFunc("GET /api/users/{id}/friends", s.handleFriends)
 	mux.HandleFunc("GET /api/topusers", s.handleTopUsers)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	if s.live != nil {
+		mux.HandleFunc("GET /api/stream", s.handleStream)
+	}
 	return mux
 }
 
@@ -98,13 +148,13 @@ func (s *Server) handleFrontPage(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	stories := s.platform.FrontPage(limit)
 	out := make([]StorySummary, len(stories))
 	for i, st := range stories {
 		out[i] = summarize(st)
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -114,13 +164,14 @@ func (s *Server) handleUpcoming(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
-	stories := s.platform.Upcoming(s.now, limit)
+	now := s.clock()
+	s.mu.RLock()
+	stories := s.platform.Upcoming(now, limit)
 	out := make([]StorySummary, len(stories))
 	for i, st := range stories {
 		out[i] = summarize(st)
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -144,7 +195,7 @@ func (s *Server) handleStoryList(w http.ResponseWriter, r *http.Request) {
 	if limit > 1000 {
 		limit = 1000
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	all := s.platform.Stories()
 	var page StoryPage
 	page.Total = len(all)
@@ -159,7 +210,7 @@ func (s *Server) handleStoryList(w http.ResponseWriter, r *http.Request) {
 			page.Stories = append(page.Stories, summarize(st))
 		}
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, page)
 }
 
@@ -169,13 +220,13 @@ func (s *Server) handleStory(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	st, err := s.platform.Story(digg.StoryID(id))
 	var out StoryDetail
 	if err == nil {
 		out = detail(st)
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
@@ -189,11 +240,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
-	s.mu.Lock()
 	at := digg.Minutes(req.At)
 	if at == 0 {
-		at = s.now
+		at = s.clock()
 	}
+	s.mu.Lock()
 	st, err := s.platform.Submit(req.Submitter, req.Title, req.Interest, at)
 	var out StoryDetail
 	if err == nil {
@@ -218,11 +269,11 @@ func (s *Server) handleDigg(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
-	s.mu.Lock()
 	at := digg.Minutes(req.At)
 	if at == 0 {
-		at = s.now
+		at = s.clock()
 	}
+	s.mu.Lock()
 	res, err := s.platform.Digg(digg.StoryID(id), req.Voter, at)
 	s.mu.Unlock()
 	if err != nil {
@@ -239,15 +290,15 @@ func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	u := digg.UserID(id)
-	s.mu.Lock()
+	s.mu.RLock()
 	g := s.platform.Graph
 	if int(u) >= g.NumNodes() {
-		s.mu.Unlock()
+		s.mu.RUnlock()
 		writeError(w, http.StatusNotFound, "no such user")
 		return
 	}
 	info := UserInfo{ID: u, Fans: g.InDegree(u), Friends: g.OutDegree(u), Rank: s.rankOf(u)}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, info)
 }
 
@@ -266,10 +317,10 @@ func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request, fans bool) 
 		return
 	}
 	u := digg.UserID(id)
-	s.mu.Lock()
+	s.mu.RLock()
 	g := s.platform.Graph
 	if int(u) >= g.NumNodes() {
-		s.mu.Unlock()
+		s.mu.RUnlock()
 		writeError(w, http.StatusNotFound, "no such user")
 		return
 	}
@@ -279,7 +330,7 @@ func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request, fans bool) 
 	} else {
 		links = append(links, g.Friends(u)...)
 	}
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, UserLinks{ID: u, Users: links})
 }
 
@@ -289,9 +340,9 @@ func (s *Server) handleTopUsers(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
+	s.mu.RLock()
 	users := s.platform.TopUsers(limit)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, users)
 }
 

@@ -1,0 +1,86 @@
+package httpapi
+
+// stream.go serves the live event feed and the live-metrics endpoint.
+// GET /api/stream is Server-Sent Events: one "event:"/"data:" frame per
+// typed live.Event, with the bus sequence number as the SSE id so
+// clients can detect gaps. A slow client's ring buffer drops oldest
+// events rather than stalling the simulation; the drop count reaches
+// the client as a synthetic "lag" event.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"diggsim/internal/live"
+)
+
+// StatsResponse is the /api/stats envelope: live simulation metrics
+// when a live service is attached, HTTP request metrics when the
+// metrics middleware is attached.
+type StatsResponse struct {
+	Live *live.Stats      `json:"live,omitempty"`
+	HTTP *MetricsSnapshot `json:"http,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var resp StatsResponse
+	if s.live != nil {
+		st := s.live.Stats()
+		resp.Live = &st
+	}
+	if s.metrics != nil {
+		snap := s.metrics.Snapshot()
+		resp.HTTP = &snap
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	sub := s.live.Bus().Subscribe(0)
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		events, dropped := sub.Drain()
+		if dropped > 0 {
+			writeSSE(w, live.Event{Type: live.EventLag, At: int64(s.live.Now()), Dropped: dropped})
+		}
+		for _, ev := range events {
+			writeSSE(w, ev)
+		}
+		if dropped > 0 || len(events) > 0 {
+			fl.Flush()
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-sub.Ready():
+		}
+	}
+}
+
+// writeSSE emits one SSE frame. Event JSON carries the type too, so
+// clients may dispatch on either the SSE event name or the payload.
+func writeSSE(w http.ResponseWriter, ev live.Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	if ev.Seq > 0 {
+		fmt.Fprintf(w, "id: %d\n", ev.Seq)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+}

@@ -1,0 +1,189 @@
+package httpapi
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"diggsim/internal/digg"
+	"diggsim/internal/graph"
+	"diggsim/internal/live"
+	"diggsim/internal/rng"
+)
+
+// newLiveTestServer wires a live service into a server over a small
+// platform, with the step loop driven manually via StepTo.
+func newLiveTestServer(t *testing.T) (*live.Service, *Client) {
+	t.Helper()
+	g, err := graph.PreferentialAttachment(rng.New(11), 1500, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := digg.NewPlatform(g, &digg.ClassicPromotion{VoteThreshold: 8, Window: digg.Day})
+	svc, err := live.NewService(p, live.Config{Seed: 5, SubmissionsPerHour: 30, StartAt: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(p, 100, nil)
+	srv.AttachLive(svc)
+	m := NewMetrics()
+	srv.AttachMetrics(m)
+	ts := httptest.NewServer(m.Middleware(srv.Handler()))
+	t.Cleanup(ts.Close)
+	c := NewClient(ts.URL)
+	c.Backoff = time.Millisecond
+	return svc, c
+}
+
+// TestStreamDeliversLifecycle subscribes over real HTTP/SSE, steps the
+// simulation, and expects to observe a story's submit -> digg ->
+// promote lifecycle on the wire.
+func TestStreamDeliversLifecycle(t *testing.T) {
+	svc, c := newLiveTestServer(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	type lifecycle struct {
+		submitted, dugg, promoted bool
+	}
+	stories := make(map[digg.StoryID]*lifecycle)
+	var mu sync.Mutex
+	done := make(chan struct{})
+	streamErr := make(chan error, 1)
+	go func() {
+		streamErr <- c.Stream(ctx, func(ev live.Event) error {
+			mu.Lock()
+			defer mu.Unlock()
+			lc := stories[ev.Story]
+			if lc == nil {
+				lc = &lifecycle{}
+				stories[ev.Story] = lc
+			}
+			switch ev.Type {
+			case live.EventSubmit:
+				lc.submitted = true
+			case live.EventDigg:
+				lc.dugg = true
+			case live.EventPromote:
+				if lc.submitted && lc.dugg {
+					select {
+					case <-done:
+					default:
+						close(done)
+					}
+				}
+				lc.promoted = true
+			}
+			return nil
+		})
+	}()
+
+	// Step the sim until a fully observed lifecycle shows up on the
+	// stream (the subscriber attaches after Stream connects, so give
+	// the connection a moment first).
+	deadline := time.After(25 * time.Second)
+	now := digg.Minutes(100)
+	time.Sleep(50 * time.Millisecond)
+	for {
+		select {
+		case <-done:
+			cancel()
+			if err := <-streamErr; err != nil && err != context.Canceled {
+				t.Fatalf("stream error: %v", err)
+			}
+			return
+		case err := <-streamErr:
+			t.Fatalf("stream ended early: %v", err)
+		case <-deadline:
+			t.Fatal("no submit->digg->promote lifecycle observed on the stream")
+		default:
+		}
+		now += 30
+		if err := svc.StepTo(now); err != nil {
+			t.Fatal(err)
+		}
+		// Pace the stepping so the SSE reader keeps up with the ring
+		// buffer instead of lagging past whole lifecycles.
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	svc, c := newLiveTestServer(t)
+	if err := svc.StepTo(100 + digg.Day); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Generate a couple of requests so HTTP metrics are non-zero.
+	if _, err := c.FrontPage(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Live == nil {
+		t.Fatal("stats missing live section")
+	}
+	if stats.Live.Submits == 0 || stats.Live.Diggs == 0 {
+		t.Errorf("no live activity in stats: %+v", *stats.Live)
+	}
+	if stats.Live.SimNow != int64(100+digg.Day) {
+		t.Errorf("SimNow = %d", stats.Live.SimNow)
+	}
+	if stats.HTTP == nil {
+		t.Fatal("stats missing http section")
+	}
+	if stats.HTTP.Requests == 0 {
+		t.Error("metrics middleware counted no requests")
+	}
+}
+
+// TestStaticStatsOmitsLive checks /api/stats on a plain static server.
+func TestStaticStatsOmitsLive(t *testing.T) {
+	_, _, c := newTestServer(t)
+	stats, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Live != nil || stats.HTTP != nil {
+		t.Errorf("static stats = %+v", stats)
+	}
+}
+
+// TestSetNowFunc verifies the advancing clock drives upcoming-queue
+// visibility and default write timestamps.
+func TestSetNowFunc(t *testing.T) {
+	srv, _, c := newTestServer(t)
+	var now digg.Minutes = 50
+	srv.SetNowFunc(func() digg.Minutes { return now })
+	ctx := context.Background()
+	if _, err := c.Submit(ctx, SubmitRequest{Submitter: 0, Title: "future", At: 200}); err != nil {
+		t.Fatal(err)
+	}
+	up, err := c.Upcoming(ctx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up) != 0 {
+		t.Fatalf("future story visible at now=50: %+v", up)
+	}
+	now = 250 // clock advances: the story scrolls into view
+	up, err = c.Upcoming(ctx, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up) != 1 || up[0].SubmittedAt != 200 {
+		t.Fatalf("story not visible at now=250: %+v", up)
+	}
+	// Default timestamps come from the clock too.
+	st, err := c.Submit(ctx, SubmitRequest{Submitter: 1, Title: "stamped"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SubmittedAt != 250 {
+		t.Errorf("default submit time = %d, want 250", st.SubmittedAt)
+	}
+}

@@ -1,0 +1,56 @@
+package live
+
+import (
+	"testing"
+
+	"diggsim/internal/agent"
+	"diggsim/internal/digg"
+	"diggsim/internal/graph"
+	"diggsim/internal/rng"
+)
+
+// BenchmarkLiveStep measures the steady-state cost of advancing the
+// live simulation by one sim-minute with a realistic set of stories in
+// flight (Poisson submissions, every engine peeked each step, due
+// votes landing on the shared platform). This is the writer-side
+// budget of a live server: everything here happens under the write
+// lock that HTTP readers wait behind.
+func BenchmarkLiveStep(b *testing.B) {
+	g, err := graph.PreferentialAttachment(rng.New(1), 3000, 4, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := digg.NewPlatform(g, &digg.ClassicPromotion{VoteThreshold: 20, Window: digg.Day})
+	ac := agent.NewConfig()
+	ac.Horizon = 12 * 60 // bound the in-flight story set
+	ac.QueueLifetime = 12 * 60
+	svc, err := NewService(p, Config{
+		Seed:               2,
+		SubmissionsPerHour: 60,
+		StartAt:            0,
+		Agent:              ac,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up to a steady in-flight population (one horizon's worth).
+	now := digg.Minutes(0)
+	for ; now < 12*60; now++ {
+		if err := svc.StepTo(now); err != nil {
+			b.Fatal(err)
+		}
+	}
+	warmupDiggs := svc.Stats().Diggs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now++
+		if err := svc.StepTo(now); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := svc.Stats()
+	b.ReportMetric(float64(st.Diggs-warmupDiggs)/float64(b.N), "votes/op")
+	b.ReportMetric(float64(st.ActiveStories), "live-stories")
+}

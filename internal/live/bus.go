@@ -1,0 +1,177 @@
+package live
+
+import "sync"
+
+// DefaultSubscriberBuffer is the per-subscriber ring capacity used when
+// Subscribe is called with a non-positive buffer size.
+const DefaultSubscriberBuffer = 256
+
+// Bus fans events out to subscribers through bounded per-subscriber
+// ring buffers. A slow subscriber loses its oldest undelivered events
+// (drop-oldest, tracked as lag) instead of blocking the publisher or
+// growing memory without bound — the simulation writer must never
+// stall behind a stuck HTTP stream.
+//
+// Publish is O(subscribers) with constant work per subscriber, so it is
+// cheap enough to call from the simulation tick while holding no
+// platform lock.
+type Bus struct {
+	mu        sync.Mutex
+	subs      map[*Subscriber]struct{}
+	nextSeq   uint64
+	published uint64
+	dropped   uint64
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[*Subscriber]struct{})}
+}
+
+// Subscribe registers a new subscriber with the given ring capacity
+// (DefaultSubscriberBuffer when buffer <= 0). The subscriber observes
+// every event published after the call, minus any dropped to overflow.
+// Callers must Close the subscriber when done.
+func (b *Bus) Subscribe(buffer int) *Subscriber {
+	if buffer <= 0 {
+		buffer = DefaultSubscriberBuffer
+	}
+	s := &Subscriber{
+		bus:    b,
+		ring:   make([]Event, buffer),
+		notify: make(chan struct{}, 1),
+	}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+// Publish stamps ev with the next sequence number and delivers it to
+// every subscriber, returning the assigned sequence.
+func (b *Bus) Publish(ev Event) uint64 {
+	b.mu.Lock()
+	b.nextSeq++
+	ev.Seq = b.nextSeq
+	b.published++
+	for s := range b.subs {
+		if s.push(ev) {
+			b.dropped++
+		}
+	}
+	b.mu.Unlock()
+	return ev.Seq
+}
+
+// BusStats are bus-lifetime counters plus current subscriber state.
+type BusStats struct {
+	Subscribers int
+	Published   uint64
+	// Dropped is the total number of events lost to ring overflow
+	// across all subscribers, including since-closed ones.
+	Dropped uint64
+	// MaxQueued is the deepest current per-subscriber backlog.
+	MaxQueued int
+}
+
+// Stats snapshots the bus counters.
+func (b *Bus) Stats() BusStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BusStats{Subscribers: len(b.subs), Published: b.published, Dropped: b.dropped}
+	for s := range b.subs {
+		if q := s.queued(); q > st.MaxQueued {
+			st.MaxQueued = q
+		}
+	}
+	return st
+}
+
+// Subscriber is one bounded view of the bus. Drain and Close may be
+// called from any goroutine.
+type Subscriber struct {
+	bus    *Bus
+	notify chan struct{}
+
+	mu           sync.Mutex
+	ring         []Event
+	start, count int
+	dropped      uint64 // since the last Drain
+	totalDropped uint64
+	closed       bool
+}
+
+// push appends ev, evicting the oldest buffered event when the ring is
+// full, and reports whether an eviction happened. Called by the bus
+// with the bus lock held; lock order is always bus.mu before sub.mu.
+func (s *Subscriber) push(ev Event) (evicted bool) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if s.count == len(s.ring) {
+		s.start = (s.start + 1) % len(s.ring)
+		s.count--
+		s.dropped++
+		s.totalDropped++
+		evicted = true
+	}
+	s.ring[(s.start+s.count)%len(s.ring)] = ev
+	s.count++
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+	return evicted
+}
+
+// Drain removes and returns all buffered events in publish order, plus
+// the number of events dropped to ring overflow since the previous
+// Drain.
+func (s *Subscriber) Drain() ([]Event, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := s.dropped
+	s.dropped = 0
+	if s.count == 0 {
+		return nil, d
+	}
+	out := make([]Event, s.count)
+	for i := range out {
+		out[i] = s.ring[(s.start+i)%len(s.ring)]
+	}
+	s.start, s.count = 0, 0
+	return out, d
+}
+
+// Ready returns a channel that receives a signal whenever new events
+// are buffered; pair it with Drain in a select loop.
+func (s *Subscriber) Ready() <-chan struct{} { return s.notify }
+
+// Lag returns the subscriber-lifetime count of events lost to ring
+// overflow.
+func (s *Subscriber) Lag() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totalDropped
+}
+
+func (s *Subscriber) queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Close unregisters the subscriber; further published events are not
+// delivered to it. Close is idempotent.
+func (s *Subscriber) Close() {
+	b := s.bus
+	b.mu.Lock()
+	delete(b.subs, s)
+	b.mu.Unlock()
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}

@@ -1,0 +1,130 @@
+package live
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBusFanOut(t *testing.T) {
+	b := NewBus()
+	a := b.Subscribe(8)
+	c := b.Subscribe(8)
+	defer a.Close()
+	defer c.Close()
+
+	for i := 0; i < 3; i++ {
+		b.Publish(Event{Type: EventDigg, At: int64(i)})
+	}
+	for name, sub := range map[string]*Subscriber{"a": a, "c": c} {
+		evs, dropped := sub.Drain()
+		if dropped != 0 {
+			t.Errorf("%s: dropped = %d", name, dropped)
+		}
+		if len(evs) != 3 {
+			t.Fatalf("%s: got %d events", name, len(evs))
+		}
+		for i, ev := range evs {
+			if ev.Seq != uint64(i+1) || ev.At != int64(i) {
+				t.Errorf("%s: event %d = %+v", name, i, ev)
+			}
+		}
+	}
+}
+
+func TestBusDropOldestAndLag(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe(4)
+	defer s.Close()
+
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{At: int64(i)})
+	}
+	evs, dropped := s.Drain()
+	if dropped != 6 {
+		t.Errorf("dropped = %d, want 6", dropped)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("buffered = %d, want 4", len(evs))
+	}
+	// Drop-oldest: the survivors are the newest four, in order.
+	for i, ev := range evs {
+		if ev.At != int64(6+i) {
+			t.Errorf("event %d At = %d, want %d", i, ev.At, 6+i)
+		}
+	}
+	if s.Lag() != 6 {
+		t.Errorf("Lag() = %d, want 6", s.Lag())
+	}
+	// Drain resets the per-drain drop counter but not lifetime lag.
+	if _, d := s.Drain(); d != 0 {
+		t.Errorf("second drain dropped = %d", d)
+	}
+	st := b.Stats()
+	if st.Subscribers != 1 || st.Published != 10 || st.Dropped != 6 {
+		t.Errorf("bus stats = %+v", st)
+	}
+}
+
+func TestBusCloseStopsDelivery(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe(4)
+	b.Publish(Event{At: 1})
+	s.Close()
+	b.Publish(Event{At: 2})
+	evs, _ := s.Drain()
+	if len(evs) != 1 || evs[0].At != 1 {
+		t.Errorf("post-close events = %+v", evs)
+	}
+	if n := b.Stats().Subscribers; n != 0 {
+		t.Errorf("subscribers after close = %d", n)
+	}
+	s.Close() // idempotent
+}
+
+// TestBusConcurrent hammers publish/drain/subscribe/close from many
+// goroutines; run under -race this is the bus's memory-safety test.
+func TestBusConcurrent(t *testing.T) {
+	b := NewBus()
+	const publishers, events = 4, 500
+	// Subscribe before any publish so every subscriber is guaranteed to
+	// observe traffic (possibly with drops, which is fine).
+	subs := make([]*Subscriber, 3)
+	for i := range subs {
+		subs[i] = b.Subscribe(32)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				b.Publish(Event{Type: EventDigg, At: int64(i)})
+			}
+		}()
+	}
+	var seen int
+	var mu sync.Mutex
+	for _, s := range subs {
+		wg.Add(1)
+		go func(s *Subscriber) {
+			defer wg.Done()
+			defer s.Close()
+			for {
+				evs, _ := s.Drain()
+				mu.Lock()
+				seen += len(evs)
+				mu.Unlock()
+				if b.Stats().Published == publishers*events && len(evs) == 0 {
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got := b.Stats().Published; got != publishers*events {
+		t.Errorf("published = %d, want %d", got, publishers*events)
+	}
+	if seen == 0 {
+		t.Error("no events observed by any subscriber")
+	}
+}

@@ -1,0 +1,43 @@
+package live
+
+import (
+	"time"
+
+	"diggsim/internal/digg"
+)
+
+// Clock maps wall-clock time to simulation minutes: Speedup simulation
+// minutes elapse per wall-clock minute, starting from base sim-time at
+// the wall start instant. The paper's corpus evolved over days of real
+// time; a speedup of 600 replays a sim-day in 2.4 wall-minutes, fast
+// enough to watch stories climb out of the upcoming queue during a
+// single scraping session.
+//
+// A Clock is immutable and safe for concurrent use.
+type Clock struct {
+	start   time.Time
+	base    digg.Minutes
+	speedup float64
+}
+
+// NewClock anchors sim-time base at wall instant start, advancing at
+// speedup sim-minutes per wall-minute (values <= 0 fall back to 1).
+func NewClock(start time.Time, base digg.Minutes, speedup float64) *Clock {
+	if speedup <= 0 {
+		speedup = 1
+	}
+	return &Clock{start: start, base: base, speedup: speedup}
+}
+
+// Now returns the simulation minute corresponding to wall. Instants
+// before the anchor clamp to the base, so the sim clock never runs
+// backwards.
+func (c *Clock) Now(wall time.Time) digg.Minutes {
+	if !wall.After(c.start) {
+		return c.base
+	}
+	return c.base + digg.Minutes(wall.Sub(c.start).Minutes()*c.speedup)
+}
+
+// Speedup returns the sim-minutes-per-wall-minute factor.
+func (c *Clock) Speedup() float64 { return c.speedup }

@@ -1,0 +1,41 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"diggsim/internal/digg"
+)
+
+func TestClockMapping(t *testing.T) {
+	start := time.Unix(1000, 0)
+	c := NewClock(start, 4320, 600)
+	cases := []struct {
+		wall time.Time
+		want digg.Minutes
+	}{
+		{start, 4320},
+		{start.Add(-time.Hour), 4320}, // never runs backwards
+		{start.Add(time.Second), 4330},
+		{start.Add(time.Minute), 4920},
+		{start.Add(2 * time.Minute), 5520},
+	}
+	for _, tc := range cases {
+		if got := c.Now(tc.wall); got != tc.want {
+			t.Errorf("Now(%v) = %d, want %d", tc.wall.Sub(start), got, tc.want)
+		}
+	}
+	if c.Speedup() != 600 {
+		t.Errorf("Speedup() = %v", c.Speedup())
+	}
+}
+
+func TestClockDefaultSpeedup(t *testing.T) {
+	c := NewClock(time.Unix(0, 0), 0, -5)
+	if c.Speedup() != 1 {
+		t.Errorf("fallback speedup = %v, want 1", c.Speedup())
+	}
+	if got := c.Now(time.Unix(60, 0)); got != 1 {
+		t.Errorf("1 wall-minute at 1x = %d sim-min, want 1", got)
+	}
+}

@@ -1,0 +1,276 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diggsim/internal/agent"
+	"diggsim/internal/dataset"
+	"diggsim/internal/digg"
+	"diggsim/internal/graph"
+	"diggsim/internal/rng"
+)
+
+// Config parameterizes a live service. The zero value of every field
+// falls back to a sensible default in NewService.
+type Config struct {
+	// Speedup is how many simulation minutes elapse per wall-clock
+	// minute (default 600: a sim-day every 2.4 wall-minutes).
+	Speedup float64
+	// SubmissionsPerHour is the mean Poisson rate of new story
+	// submissions per simulation hour (default 60).
+	SubmissionsPerHour float64
+	// Tick is the wall-clock stepping interval (default 200ms). Each
+	// tick advances the simulation to the clock-mapped sim time.
+	Tick time.Duration
+	// Seed drives submitter/interest draws and every live story's vote
+	// stream (default 1).
+	Seed uint64
+	// StartAt is the simulation minute the service starts from —
+	// typically the pregenerated corpus's snapshot instant so the live
+	// run continues the corpus's timeline.
+	StartAt digg.Minutes
+	// Agent is the behaviour model (agent.NewConfig() when zero).
+	Agent agent.Config
+	// SubmitterZipfS is the Zipf exponent of submitter activity over
+	// users ranked by fan count (default 0.7, the corpus calibration).
+	SubmitterZipfS float64
+	// InterestExponent shapes intrinsic interest, U(0,1)^exponent
+	// (default 3, the corpus calibration).
+	InterestExponent float64
+	// SubscriberBuffer is the per-subscriber event ring capacity
+	// (DefaultSubscriberBuffer when zero).
+	SubscriberBuffer int
+	// TopUserListSize bounds the reputation list in exported datasets
+	// (default 1020, the paper's snapshot size).
+	TopUserListSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Speedup <= 0 {
+		c.Speedup = 600
+	}
+	if c.SubmissionsPerHour <= 0 {
+		c.SubmissionsPerHour = 60
+	}
+	if c.Tick <= 0 {
+		c.Tick = 200 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Agent == (agent.Config{}) {
+		c.Agent = agent.NewConfig()
+	}
+	if c.SubmitterZipfS <= 0 {
+		c.SubmitterZipfS = 0.7
+	}
+	if c.InterestExponent <= 0 {
+		c.InterestExponent = 3
+	}
+	if c.TopUserListSize <= 0 {
+		c.TopUserListSize = 1020
+	}
+	return c
+}
+
+// Service drives a digg.Platform in real time: wall-clock ticks map to
+// simulation minutes through a Clock, due story submissions arrive as
+// a Poisson process over the calibrated submitter mix, and an
+// agent.Stepper advances every live story's pending votes up to the
+// current sim minute. All platform mutation happens under the
+// service's RWMutex, which the HTTP serving layer shares (read
+// handlers take the read lock), so heavy concurrent scraping proceeds
+// against a site that is genuinely changing underneath it.
+type Service struct {
+	cfg Config
+	bus *Bus
+
+	// mu guards the platform, stepper and submission sampler. HTTP
+	// read handlers share it through Locker().
+	mu       sync.RWMutex
+	platform *digg.Platform
+	stepper  *agent.Stepper
+	rng      *rng.RNG
+	zipf     *rng.Zipf
+	byFans   []digg.UserID
+	// nextArrival is the continuous sim-time of the next scheduled
+	// submission.
+	nextArrival float64
+	// scratch collects engine vote events each step, reused across
+	// steps.
+	scratch []agent.VoteEvent
+
+	simNow     atomic.Int64
+	submits    atomic.Uint64
+	diggs      atomic.Uint64
+	promotions atomic.Uint64
+}
+
+// NewService wraps the platform (typically carrying a pregenerated
+// corpus) in a live service. The platform must not be mutated by
+// anyone else except through the service's lock.
+func NewService(p *digg.Platform, cfg Config) (*Service, error) {
+	if p == nil {
+		return nil, errors.New("live: nil platform")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Agent.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(cfg.Seed)
+	stepper, err := agent.NewStepper(p, cfg.Agent, r.Split())
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:      cfg,
+		bus:      NewBus(),
+		platform: p,
+		stepper:  stepper,
+		rng:      r,
+		byFans:   graph.TopByInDegree(p.Graph, p.Graph.NumNodes()),
+	}
+	s.zipf = rng.NewZipf(r, len(s.byFans), cfg.SubmitterZipfS)
+	s.nextArrival = float64(cfg.StartAt) + r.ExpGap(cfg.SubmissionsPerHour/60)
+	s.simNow.Store(int64(cfg.StartAt))
+	return s, nil
+}
+
+// Locker exposes the platform lock so the HTTP serving layer can
+// interleave read handlers (read lock) with the simulation writer
+// (write lock).
+func (s *Service) Locker() *sync.RWMutex { return &s.mu }
+
+// Bus returns the event bus for subscribing to the live stream.
+func (s *Service) Bus() *Bus { return s.bus }
+
+// Now returns the current simulation minute. It is lock-free, so
+// handlers may call it while holding either side of the lock.
+func (s *Service) Now() digg.Minutes { return digg.Minutes(s.simNow.Load()) }
+
+// Run drives the service until ctx is cancelled, anchoring the sim
+// clock at the current wall time, then stepping on the configured
+// tick. It returns nil on cancellation and the first stepping error
+// otherwise.
+func (s *Service) Run(ctx context.Context) error {
+	clock := NewClock(time.Now(), s.cfg.StartAt, s.cfg.Speedup)
+	ticker := time.NewTicker(s.cfg.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case now := <-ticker.C:
+			if err := s.StepTo(clock.Now(now)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// StepTo advances the simulation to simNow: due submissions are
+// injected (Poisson arrivals over the Zipf submitter mix), then every
+// pending engine event at or before simNow lands on the platform.
+// Events are published to the bus after the platform lock is released,
+// so subscribers never delay readers or the writer. StepTo is the
+// deterministic test seam — Run merely calls it on a ticker — and is
+// a no-op when simNow is not ahead of the current sim time.
+func (s *Service) StepTo(simNow digg.Minutes) error {
+	if simNow <= s.Now() {
+		return nil
+	}
+	var out []Event
+
+	s.mu.Lock()
+	rate := s.cfg.SubmissionsPerHour / 60
+	for s.nextArrival <= float64(simNow) {
+		at := digg.Minutes(s.nextArrival)
+		submitter := s.byFans[s.zipf.Draw()-1]
+		interest := math.Pow(s.rng.Float64(), s.cfg.InterestExponent)
+		title := fmt.Sprintf("live-story-%d", s.platform.NumStories())
+		st, err := s.stepper.StartStory(submitter, title, interest, at)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.submits.Add(1)
+		out = append(out, Event{
+			Type: EventSubmit, At: int64(at), Story: st.ID,
+			User: submitter, Title: st.Title, Votes: 1,
+		})
+		s.nextArrival += s.rng.ExpGap(rate)
+	}
+
+	s.scratch = s.scratch[:0]
+	err := s.stepper.Advance(simNow, &s.scratch)
+	for _, ve := range s.scratch {
+		s.diggs.Add(1)
+		out = append(out, Event{
+			Type: EventDigg, At: int64(ve.At), Story: ve.Story,
+			User: ve.Voter, InNetwork: ve.InNetwork, Votes: ve.VoteCount,
+		})
+		if !ve.Promoted {
+			continue
+		}
+		s.promotions.Add(1)
+		st, stErr := s.platform.Story(ve.Story)
+		if stErr != nil {
+			continue // unreachable: the vote just landed on it
+		}
+		out = append(out, Event{
+			Type: EventPromote, At: int64(ve.At), Story: st.ID,
+			User: st.Submitter, Title: st.Title, Votes: ve.VoteCount,
+		})
+		out = append(out, Event{
+			Type: EventRankChange, At: int64(ve.At), Story: st.ID,
+			User: st.Submitter, Rank: s.platform.UserRank(st.Submitter),
+		})
+	}
+	s.simNow.Store(int64(simNow))
+	s.mu.Unlock()
+
+	for _, ev := range out {
+		s.bus.Publish(ev)
+	}
+	return err
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.RLock()
+	total := s.platform.NumStories()
+	promoted := s.platform.PromotedCount()
+	active := s.stepper.Active()
+	s.mu.RUnlock()
+	bs := s.bus.Stats()
+	return Stats{
+		SimNow:             s.simNow.Load(),
+		Speedup:            s.cfg.Speedup,
+		ActiveStories:      active,
+		TotalStories:       total,
+		PromotedStories:    promoted,
+		Submits:            s.submits.Load(),
+		Diggs:              s.diggs.Load(),
+		Promotions:         s.promotions.Load(),
+		Subscribers:        bs.Subscribers,
+		EventsPublished:    bs.Published,
+		EventsDropped:      bs.Dropped,
+		MaxSubscriberQueue: bs.MaxQueued,
+	}
+}
+
+// Export flushes the live run to an analyzable dataset, snapshotting
+// the front-page and upcoming-queue samples as of the current sim
+// minute — the graceful-shutdown hook that turns a live session into
+// the same artifact a batch generation or a scrape produces.
+func (s *Service) Export() *dataset.Dataset {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return dataset.FromPlatform(s.platform, s.Now(), s.cfg.TopUserListSize)
+}

@@ -1,0 +1,208 @@
+package live
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"diggsim/internal/digg"
+	"diggsim/internal/graph"
+	"diggsim/internal/rng"
+)
+
+func testPlatform(t *testing.T) *digg.Platform {
+	t.Helper()
+	g, err := graph.PreferentialAttachment(rng.New(11), 2000, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return digg.NewPlatform(g, &digg.ClassicPromotion{VoteThreshold: 8, Window: digg.Day})
+}
+
+func testService(t *testing.T, p *digg.Platform) *Service {
+	t.Helper()
+	svc, err := NewService(p, Config{
+		Seed:               5,
+		SubmissionsPerHour: 30,
+		StartAt:            100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestServiceStepTo drives the service deterministically through the
+// test seam and checks the full event pipeline: Poisson submissions
+// arrive, votes land, promotions fire, and every event reaches a bus
+// subscriber in sequence order with consistent payloads.
+func TestServiceStepTo(t *testing.T) {
+	p := testPlatform(t)
+	svc := testService(t, p)
+	sub := svc.Bus().Subscribe(1 << 14)
+	defer sub.Close()
+
+	var events []Event
+	for now := digg.Minutes(100); now <= 100+2*digg.Day; now += 15 {
+		if err := svc.StepTo(now); err != nil {
+			t.Fatal(err)
+		}
+		evs, dropped := sub.Drain()
+		if dropped != 0 {
+			t.Fatalf("subscriber lagged: %d", dropped)
+		}
+		events = append(events, evs...)
+	}
+
+	st := svc.Stats()
+	if st.Submits == 0 || st.Diggs == 0 {
+		t.Fatalf("no live activity: %+v", st)
+	}
+	if st.Promotions == 0 {
+		t.Fatalf("no promotions after two sim-days at threshold 8: %+v", st)
+	}
+	if st.SimNow != int64(100+2*digg.Day) {
+		t.Errorf("SimNow = %d", st.SimNow)
+	}
+	if svc.Now() != digg.Minutes(st.SimNow) {
+		t.Errorf("Now() = %d disagrees with stats %d", svc.Now(), st.SimNow)
+	}
+
+	var submits, diggs, promotes, ranks int
+	var lastSeq uint64
+	for _, ev := range events {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("sequence not increasing at %d", ev.Seq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Type {
+		case EventSubmit:
+			submits++
+			if ev.Title == "" || ev.Votes != 1 {
+				t.Errorf("submit event = %+v", ev)
+			}
+		case EventDigg:
+			diggs++
+		case EventPromote:
+			promotes++
+			if ev.Votes < 8 {
+				t.Errorf("promote event below threshold: %+v", ev)
+			}
+			story, err := p.Story(ev.Story)
+			if err != nil || !story.Promoted {
+				t.Errorf("promote event for unpromoted story %d", ev.Story)
+			}
+		case EventRankChange:
+			ranks++
+			if ev.Rank < 1 {
+				t.Errorf("rank_change without rank: %+v", ev)
+			}
+		default:
+			t.Errorf("unexpected event type %q", ev.Type)
+		}
+	}
+	if uint64(submits) != st.Submits || uint64(diggs) != st.Diggs || uint64(promotes) != st.Promotions {
+		t.Errorf("event counts (%d,%d,%d) disagree with stats %+v", submits, diggs, promotes, st)
+	}
+	if ranks != promotes {
+		t.Errorf("rank_change count %d != promote count %d", ranks, promotes)
+	}
+
+	// StepTo is monotone: stepping backwards is a no-op.
+	if err := svc.StepTo(50); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Now() != digg.Minutes(st.SimNow) {
+		t.Error("StepTo moved the clock backwards")
+	}
+}
+
+// TestServiceDeterminism: same platform seed + service config => the
+// same live history, regardless of step slicing.
+func TestServiceDeterminism(t *testing.T) {
+	run := func(step digg.Minutes) []*digg.Story {
+		p := testPlatform(t)
+		svc := testService(t, p)
+		for now := digg.Minutes(100); now <= 100+digg.Day; now += step {
+			if err := svc.StepTo(now); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := svc.StepTo(100 + digg.Day); err != nil {
+			t.Fatal(err)
+		}
+		return p.Stories()
+	}
+	a, b := run(13), run(240)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("story counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Votes) != len(b[i].Votes) || a[i].Submitter != b[i].Submitter {
+			t.Fatalf("story %d diverged: %d/%d votes", i, len(a[i].Votes), len(b[i].Votes))
+		}
+		for j := range a[i].Votes {
+			if a[i].Votes[j] != b[i].Votes[j] {
+				t.Fatalf("story %d vote %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestServiceExport flushes a live run to a dataset and checks the
+// snapshot samples.
+func TestServiceExport(t *testing.T) {
+	p := testPlatform(t)
+	svc := testService(t, p)
+	if err := svc.StepTo(100 + 2*digg.Day); err != nil {
+		t.Fatal(err)
+	}
+	ds := svc.Export()
+	if len(ds.Stories) != p.NumStories() {
+		t.Fatalf("exported %d stories, platform has %d", len(ds.Stories), p.NumStories())
+	}
+	if len(ds.FrontPage) == 0 {
+		t.Fatal("export has no front-page sample")
+	}
+	for _, s := range ds.FrontPage {
+		if !s.Promoted {
+			t.Errorf("unpromoted story %d in front-page sample", s.ID)
+		}
+	}
+	if ds.Graph != p.Graph {
+		t.Error("export did not carry the platform graph")
+	}
+	// Save/Load round-trip keeps the export usable offline.
+	dir := t.TempDir()
+	if err := ds.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServiceRunWallClock exercises the real ticker loop briefly: at an
+// extreme speedup the service must generate activity within wall
+// milliseconds and stop cleanly on cancel.
+func TestServiceRunWallClock(t *testing.T) {
+	p := testPlatform(t)
+	svc, err := NewService(p, Config{
+		Seed:               9,
+		Speedup:            60000, // 1 wall-ms = 1 sim-minute
+		SubmissionsPerHour: 60,
+		Tick:               2 * time.Millisecond,
+		StartAt:            100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if err := svc.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Stats().Submits == 0 {
+		t.Error("no submissions after 300ms at 60000x speedup")
+	}
+	if svc.Now() <= 100 {
+		t.Error("sim clock did not advance")
+	}
+}

@@ -1,0 +1,145 @@
+package diggsim
+
+// live_integration_test.go exercises the live subsystem end to end:
+// a diggd-equivalent server whose platform keeps evolving in real time
+// while scrapers crawl it — the paper's actual data-collection
+// situation, which the static corpus server could not reproduce. Run
+// under -race this is the primary writer-vs-readers safety test.
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"diggsim/internal/dataset"
+	"diggsim/internal/digg"
+	"diggsim/internal/httpapi"
+	"diggsim/internal/live"
+)
+
+// TestScrapeWhileLive starts a live server at high speedup, crawls it
+// twice concurrently with the running simulation, and asserts that
+// (a) every crawl terminates with internally consistent stories and
+// (b) the front page actually evolves between successive crawls.
+func TestScrapeWhileLive(t *testing.T) {
+	cfg := dataset.SmallConfig()
+	cfg.Users = 4000
+	cfg.Submissions = 150
+	cfg.Seed = 1234
+	// A lower promotion threshold makes live promotions frequent enough
+	// to observe within wall-seconds; MaxVotes bounds crawl size.
+	cfg.Policy = &digg.ClassicPromotion{VoteThreshold: 15, Window: digg.Day}
+	cfg.Agent.MaxVotes = 400
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc, err := live.NewService(ds.Platform, live.Config{
+		Speedup:            12000, // 200 sim-minutes per wall-second
+		SubmissionsPerHour: 20,
+		Tick:               5 * time.Millisecond,
+		Seed:               99,
+		StartAt:            cfg.SnapshotAt,
+		Agent:              cfg.Agent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httpapi.NewServer(ds.Platform, cfg.SnapshotAt, nil)
+	srv.AttachLive(svc)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- svc.Run(ctx) }()
+	defer func() {
+		cancel()
+		if err := <-runDone; err != nil {
+			t.Errorf("live service: %v", err)
+		}
+	}()
+
+	client := httpapi.NewClient(ts.URL)
+	scrapeCfg := httpapi.ScrapeConfig{FrontPageLimit: 40, UpcomingLimit: 80, Workers: 8}
+	checkConsistent := func(d *dataset.Dataset) {
+		t.Helper()
+		if len(d.Stories) == 0 {
+			t.Fatal("scrape returned no stories")
+		}
+		for _, s := range d.Stories {
+			if len(s.Votes) == 0 || s.Votes[0].Voter != s.Submitter {
+				t.Fatalf("story %d: vote list does not start with submitter", s.ID)
+			}
+			for i := 1; i < len(s.Votes); i++ {
+				if s.Votes[i].At < s.Votes[i-1].At {
+					t.Fatalf("story %d: votes out of order at %d", s.ID, i)
+				}
+			}
+		}
+	}
+
+	// Two crawls racing each other and the simulation writer.
+	scrapeCtx, scrapeCancel := context.WithTimeout(ctx, time.Minute)
+	defer scrapeCancel()
+	var wg sync.WaitGroup
+	results := make([]*dataset.Dataset, 2)
+	errs := make([]error, 2)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = httpapi.Scrape(scrapeCtx, client, scrapeCfg)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent scrape %d: %v", i, err)
+		}
+		checkConsistent(results[i])
+	}
+
+	// The site must evolve: successive front-page crawls differ once
+	// live promotions land.
+	frontIDs := func() map[digg.StoryID]bool {
+		front, err := client.FrontPage(ctx, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make(map[digg.StoryID]bool, len(front))
+		for _, s := range front {
+			ids[s.ID] = true
+		}
+		return ids
+	}
+	first := frontIDs()
+	deadline := time.After(30 * time.Second)
+	for {
+		second := frontIDs()
+		changed := len(second) != len(first)
+		for id := range second {
+			if !first[id] {
+				changed = true
+			}
+		}
+		if changed {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("front page did not evolve within 30s (stats: %+v)", svc.Stats())
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+
+	// And the flushed dataset must reflect the live growth.
+	out := svc.Export()
+	if len(out.Stories) <= cfg.Submissions {
+		t.Errorf("export has %d stories, no live growth over the %d-story corpus",
+			len(out.Stories), cfg.Submissions)
+	}
+}
