@@ -5,7 +5,7 @@
 // Usage:
 //
 //	diggd [-addr :8080] [-small] [-seed N] [-live] [-speedup 600]
-//	      [-submissions-per-hour 60] [-export DIR]
+//	      [-submissions-per-hour 60] [-export DIR] [-pprof ADDR]
 //
 // The server generates a corpus at startup. In the default static mode
 // it then serves the corpus read-mostly (live submissions and votes are
@@ -30,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served by -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -51,7 +52,17 @@ func main() {
 	speedup := flag.Float64("speedup", 600, "live mode: simulation minutes per wall-clock minute")
 	subsPerHour := flag.Float64("submissions-per-hour", 60, "live mode: mean story submissions per simulation hour")
 	exportDir := flag.String("export", "", "live mode: flush the final platform state to dataset CSVs in this directory on shutdown")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for profiling live serving")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "diggd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "diggd: pprof:", err)
+			}
+		}()
+	}
 
 	cfg := dataset.DefaultConfig()
 	if *small {

@@ -24,13 +24,26 @@
 // speedup, keeps submitting stories as a Poisson process over the
 // calibrated submitter mix, and steps every live story's pending votes
 // through the same event engine (agent.Stepper) while the HTTP API
-// serves concurrent readers under a shared RWMutex — so scrapes race a
-// genuinely evolving site, the situation the paper's crawler actually
-// faced. Typed platform events (submit, digg, promote, rank-change)
-// stream over Server-Sent Events at /api/stream through a bounded
-// fan-out bus that slow subscribers cannot stall, live metrics are at
-// /api/stats, and a graceful shutdown can flush the whole run to the
-// same dataset files a batch generation produces.
+// serves concurrent readers — so scrapes race a genuinely evolving
+// site, the situation the paper's crawler actually faced. Typed
+// platform events (submit, digg, promote, rank-change) stream over
+// Server-Sent Events at /api/stream through a bounded fan-out bus that
+// slow subscribers cannot stall, live metrics are at /api/stats, and a
+// graceful shutdown can flush the whole run to the same dataset files
+// a batch generation produces.
+//
+// Serving reads is lock-free (internal/httpapi): the write side —
+// the live stepper after each tick, and the HTTP submit/digg handlers
+// — pre-computes the front page, upcoming queue, story summaries and
+// top-user list, pre-serializes them to JSON bytes, and publishes the
+// immutable snapshot through an atomic pointer. Hot read handlers
+// write those bytes straight to the wire with zero allocations and
+// answer conditional GETs with 304s via a generation-derived ETag,
+// while digg.Platform's generation and per-story version counters let
+// each publication re-encode only what changed. Readers therefore
+// never wait behind the simulation writer: the shared RWMutex guards
+// only writes, snapshot rebuilds and the point-in-time fallback paths
+// (see internal/httpapi's package documentation for the architecture).
 //
 // See README.md for the package map, DESIGN.md for the system inventory
 // and per-experiment index, and EXPERIMENTS.md for paper-vs-measured

@@ -27,6 +27,7 @@ func (p *Platform) CommentOn(id StoryID, u UserID, t Minutes, text string) (Comm
 	}
 	c := Comment{Story: id, User: u, At: t, Text: text}
 	p.comments = append(p.comments, c)
+	p.gen++
 	return c, nil
 }
 

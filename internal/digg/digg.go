@@ -116,15 +116,28 @@ type Platform struct {
 	visible  []*dense.Set // per-story Friends-interface audience
 	setPool  []*dense.Set // compacted sets awaiting reuse
 	promoted []StoryID    // promotion order
+	// gen is the platform generation: it increments on every mutation
+	// (Submit, InstallStory, Digg, CommentOn, CompactStory), so a
+	// serving layer can detect "anything changed" with one comparison
+	// and derive cache validators (ETags) from it. Read it with
+	// Generation under whatever synchronization excludes mutators.
+	gen uint64
+	// storyVer holds a per-story version counter parallel to stories:
+	// 1 at submission, +1 per vote (a promotion rides on the vote that
+	// caused it). Snapshot builders re-encode only stories whose
+	// version moved since the last publication.
+	storyVer []uint32
 	// promotedBySubmitter counts front-page stories per user, the basis
 	// of the reputation ("top users") ranking.
 	promotedBySubmitter map[UserID]int
-	// rankCache memoizes the TopUsers ranking for UserRank; it is
-	// dropped whenever a promotion changes the ranking. rankMu guards
-	// the cache so that concurrent readers (HTTP handlers under the
-	// serving layer's read lock) can trigger the lazy fill safely.
-	rankMu    sync.Mutex
-	rankCache map[UserID]int
+	// rankCache memoizes the UserRank lookup and rankedCache the full
+	// sorted TopUsers order; both are dropped whenever a promotion
+	// changes the ranking (invalidateRanks). rankMu guards the caches
+	// so that concurrent readers (HTTP handlers under the serving
+	// layer's read lock) can trigger the lazy fill safely.
+	rankMu      sync.Mutex
+	rankCache   map[UserID]int
+	rankedCache []UserID
 	// comments holds all comments in insertion order (see comments.go).
 	comments []Comment
 }
@@ -159,6 +172,22 @@ func NewPlatform(g *graph.Graph, policy PromotionPolicy) *Platform {
 
 // NumStories returns the number of submitted stories.
 func (p *Platform) NumStories() int { return len(p.stories) }
+
+// Generation returns the platform generation, which increments on
+// every mutation. Equal generations imply identical observable
+// platform state, so caches keyed by generation never serve torn or
+// stale data.
+func (p *Platform) Generation() uint64 { return p.gen }
+
+// StoryVersion returns story id's version counter (1 at submission,
+// +1 per vote), or 0 if the story does not exist. A story's summary
+// and vote list are unchanged while its version is unchanged.
+func (p *Platform) StoryVersion(id StoryID) uint32 {
+	if id < 0 || int(id) >= len(p.storyVer) {
+		return 0
+	}
+	return p.storyVer[id]
+}
 
 // Story returns the story with the given id, or an error if it does not
 // exist.
@@ -200,6 +229,8 @@ func (p *Platform) Submit(u UserID, title string, interest float64, t Minutes) (
 	}
 	s.Votes = append(s.Votes, Vote{Voter: u, At: t, InNetwork: false})
 	p.stories = append(p.stories, s)
+	p.storyVer = append(p.storyVer, 1)
+	p.gen++
 	voted := p.acquireSet()
 	voted.Add(int(u))
 	p.voted = append(p.voted, voted)
@@ -231,6 +262,8 @@ func (p *Platform) InstallStory(s *Story) error {
 		return fmt.Errorf("digg: InstallStory: story %d missing submitter's implicit vote", s.ID)
 	}
 	p.stories = append(p.stories, s)
+	p.storyVer = append(p.storyVer, 1)
+	p.gen++
 	p.voted = append(p.voted, nil)
 	p.visible = append(p.visible, nil)
 	if s.Promoted {
@@ -275,6 +308,8 @@ func (p *Platform) Digg(id StoryID, u UserID, t Minutes) (DiggResult, error) {
 	}
 	inNet := p.visible[id].Contains(int(u))
 	s.Votes = append(s.Votes, Vote{Voter: u, At: t, InNetwork: inNet})
+	p.storyVer[id]++
+	p.gen++
 	p.voted[id].Add(int(u))
 	for _, fan := range p.Graph.Fans(u) {
 		p.visible[id].Add(int(fan))
@@ -324,6 +359,7 @@ func (p *Platform) CompactStory(id StoryID) error {
 		p.setPool = append(p.setPool, p.voted[id], p.visible[id])
 		p.voted[id] = nil
 		p.visible[id] = nil
+		p.gen++ // Audience/CanSee observably change
 	}
 	return nil
 }
@@ -409,10 +445,14 @@ func (p *Platform) FriendsInterface(u UserID, since, now Minutes) FriendActivity
 	return act
 }
 
-// TopUsers returns up to k users ranked by promoted front-page
-// submissions (descending), breaking ties by fan count then ID — the
-// site's "Top Users" reputation list.
-func (p *Platform) TopUsers(k int) []UserID {
+// rankedLocked returns the full reputation ordering (every user with a
+// promoted submission, best first), computing and caching it on first
+// use. Callers must hold rankMu; the returned slice is the cache and
+// must not be modified.
+func (p *Platform) rankedLocked() []UserID {
+	if p.rankedCache != nil {
+		return p.rankedCache
+	}
 	type entry struct {
 		u        UserID
 		promoted int
@@ -431,17 +471,51 @@ func (p *Platform) TopUsers(k int) []UserID {
 		}
 		return entries[i].u < entries[j].u
 	})
-	if k > len(entries) {
-		k = len(entries)
+	ranked := make([]UserID, len(entries))
+	for i, e := range entries {
+		ranked[i] = e.u
+	}
+	p.rankedCache = ranked
+	return ranked
+}
+
+// TopUsers returns up to k users ranked by promoted front-page
+// submissions (descending), breaking ties by fan count then ID — the
+// site's "Top Users" reputation list. The sorted order is cached and
+// invalidated with the rank caches when a promotion changes it, so
+// repeated calls do not re-sort the user population.
+func (p *Platform) TopUsers(k int) []UserID {
+	p.rankMu.Lock()
+	ranked := p.rankedLocked()
+	if k > len(ranked) {
+		k = len(ranked)
 	}
 	if k < 0 {
 		k = 0
 	}
 	out := make([]UserID, k)
-	for i := 0; i < k; i++ {
-		out[i] = entries[i].u
-	}
+	copy(out, ranked[:k])
+	p.rankMu.Unlock()
 	return out
+}
+
+// Ranks returns the user → 1-based reputation rank map (users without
+// promoted stories are absent), computing and caching it on first use.
+// The returned map is shared and never mutated in place — promotions
+// replace it — so callers that obtained it while mutators were
+// excluded may keep reading it without any lock.
+func (p *Platform) Ranks() map[UserID]int {
+	p.rankMu.Lock()
+	defer p.rankMu.Unlock()
+	if p.rankCache == nil {
+		ranked := p.rankedLocked()
+		m := make(map[UserID]int, len(ranked))
+		for i, u := range ranked {
+			m[u] = i + 1
+		}
+		p.rankCache = m
+	}
+	return p.rankCache
 }
 
 // UserRank returns the 1-based reputation rank of u (1 = most promoted
@@ -453,11 +527,12 @@ func (p *Platform) UserRank(u UserID) int {
 	p.rankMu.Lock()
 	defer p.rankMu.Unlock()
 	if p.rankCache == nil {
-		top := p.TopUsers(len(p.promotedBySubmitter))
-		p.rankCache = make(map[UserID]int, len(top))
-		for i, t := range top {
-			p.rankCache[t] = i + 1
+		ranked := p.rankedLocked()
+		m := make(map[UserID]int, len(ranked))
+		for i, t := range ranked {
+			m[t] = i + 1
 		}
+		p.rankCache = m
 	}
 	return p.rankCache[u]
 }
@@ -465,9 +540,12 @@ func (p *Platform) UserRank(u UserID) int {
 // invalidateRanks drops the memoized reputation ranking after a
 // promotion changes it. Callers hold whatever lock excludes readers
 // (mutation is single-writer); rankMu only orders the store against
-// concurrent UserRank fills.
+// concurrent UserRank fills. The dropped map and slice are abandoned,
+// not cleared, so snapshots holding them keep a consistent (stale)
+// view.
 func (p *Platform) invalidateRanks() {
 	p.rankMu.Lock()
 	p.rankCache = nil
+	p.rankedCache = nil
 	p.rankMu.Unlock()
 }

@@ -374,3 +374,108 @@ func TestNilPolicyDefaults(t *testing.T) {
 		t.Errorf("default policy = %T", p.Policy)
 	}
 }
+
+func TestGenerationAndStoryVersions(t *testing.T) {
+	p := NewPlatform(testGraph(t), &ClassicPromotion{VoteThreshold: 3, Window: Day})
+	if p.Generation() != 0 {
+		t.Fatalf("fresh platform generation = %d", p.Generation())
+	}
+	s, err := p.Submit(0, "a", 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Generation() != 1 || p.StoryVersion(s.ID) != 1 {
+		t.Errorf("after submit: gen=%d ver=%d", p.Generation(), p.StoryVersion(s.ID))
+	}
+	if _, err := p.Digg(s.ID, 1, 11); err != nil {
+		t.Fatal(err)
+	}
+	if p.Generation() != 2 || p.StoryVersion(s.ID) != 2 {
+		t.Errorf("after digg: gen=%d ver=%d", p.Generation(), p.StoryVersion(s.ID))
+	}
+	// A rejected duplicate vote must not move anything.
+	if _, err := p.Digg(s.ID, 1, 12); err != ErrAlreadyVoted {
+		t.Fatal(err)
+	}
+	if p.Generation() != 2 || p.StoryVersion(s.ID) != 2 {
+		t.Errorf("after rejected digg: gen=%d ver=%d", p.Generation(), p.StoryVersion(s.ID))
+	}
+	// The promoting vote rides on the same version bump as the vote.
+	if _, err := p.Digg(s.ID, 2, 13); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Promoted || p.Generation() != 3 || p.StoryVersion(s.ID) != 3 {
+		t.Errorf("after promotion: gen=%d ver=%d promoted=%v", p.Generation(), p.StoryVersion(s.ID), s.Promoted)
+	}
+	if _, err := p.CommentOn(s.ID, 1, 14, "hi"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Generation() != 4 {
+		t.Errorf("after comment: gen=%d", p.Generation())
+	}
+	if err := p.CompactStory(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if p.Generation() != 5 {
+		t.Errorf("after compaction: gen=%d", p.Generation())
+	}
+	// Installed stories version like submitted ones.
+	next := &Story{ID: 1, Title: "b", Submitter: 1, SubmittedAt: 20,
+		Votes: []Vote{{Voter: 1, At: 20}}}
+	if err := p.InstallStory(next); err != nil {
+		t.Fatal(err)
+	}
+	if p.Generation() != 6 || p.StoryVersion(next.ID) != 1 {
+		t.Errorf("after install: gen=%d ver=%d", p.Generation(), p.StoryVersion(next.ID))
+	}
+	if p.StoryVersion(99) != 0 || p.StoryVersion(-1) != 0 {
+		t.Error("out-of-range StoryVersion should be 0")
+	}
+}
+
+func TestTopUsersCachedOrder(t *testing.T) {
+	g, _ := graph.FromEdgeList(60, nil)
+	p := NewPlatform(g, &ClassicPromotion{VoteThreshold: 2, Window: Day})
+	promote := func(submitter UserID, times int) {
+		for i := 0; i < times; i++ {
+			s, err := p.Submit(submitter, "t", 0.5, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := p.Digg(s.ID, UserID(50+i%10), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	promote(3, 3)
+	promote(7, 1)
+	first := p.TopUsers(10)
+	if len(first) != 2 || first[0] != 3 || first[1] != 7 {
+		t.Fatalf("TopUsers = %v", first)
+	}
+	// The cached order is copied out: mutating the result must not
+	// corrupt later calls.
+	first[0] = 42
+	again := p.TopUsers(10)
+	if again[0] != 3 || again[1] != 7 {
+		t.Errorf("cache corrupted by caller mutation: %v", again)
+	}
+	// A promotion that reorders the ranking invalidates the cache.
+	promote(7, 3)
+	reordered := p.TopUsers(10)
+	if reordered[0] != 7 || reordered[1] != 3 {
+		t.Errorf("post-promotion TopUsers = %v", reordered)
+	}
+	// Ranks shares the same invalidation epoch and is immutable per fill.
+	ranks := p.Ranks()
+	if ranks[7] != 1 || ranks[3] != 2 {
+		t.Errorf("ranks = %v", ranks)
+	}
+	promote(9, 5)
+	if ranks[7] != 1 {
+		t.Error("old ranks map mutated in place; snapshots would go stale mid-read")
+	}
+	if fresh := p.Ranks(); fresh[9] != 1 || fresh[7] != 2 || fresh[3] != 3 {
+		t.Errorf("refreshed ranks = %v", fresh)
+	}
+}

@@ -13,40 +13,64 @@ import (
 	"diggsim/internal/live"
 )
 
-// Server serves a digg.Platform over HTTP/JSON. The platform is not
-// concurrency-safe, so handlers synchronize on an RWMutex: read
-// handlers take the read lock and proceed concurrently with each other
-// (heavy scraping no longer serializes), while writes — HTTP
-// submissions and diggs, or the live simulation stepper when a
-// live.Service is attached — take the write lock.
+// Server serves a digg.Platform over HTTP/JSON.
+//
+// Reads and writes travel different paths. The hot read endpoints
+// (/api/frontpage, /api/upcoming, /api/stories, /api/stories/{id},
+// /api/topusers, /api/users/{id}) are lock-free: they serve
+// pre-serialized JSON from an immutable ReadView snapshot published
+// through an atomic pointer (see snapshot.go), so heavy scraping never
+// waits behind the simulation writer. Writes — HTTP submissions and
+// diggs, or the live stepper when a live.Service is attached — take
+// the write lock, mutate the platform, and republish the snapshot
+// before responding, so a client always reads its own writes.
+//
+// The RWMutex remains the fallback for requests the snapshot cannot
+// answer (limits past the pre-rendered depth, stories newer than the
+// last publication) and for genuinely point-in-time reads.
 type Server struct {
 	// mu guards the platform. With AttachLive it is replaced by the
-	// service's lock so the simulation writer and HTTP readers
-	// interleave on one mutex.
+	// service's lock so the simulation writer, snapshot rebuilds and
+	// fallback readers interleave on one mutex.
 	mu       *sync.RWMutex
 	platform *digg.Platform
 	now      digg.Minutes
 	// nowFn, when set, overrides the static now field (live sim clock,
 	// or a wall-advancing clock in static mode). It must be safe to
 	// call without holding mu.
-	nowFn   func() digg.Minutes
-	rankOf  func(digg.UserID) int
-	live    *live.Service
-	metrics *Metrics
+	nowFn func() digg.Minutes
+	// rankOf maps users to reputation ranks. It must be safe for
+	// concurrent use without the platform lock (the platform default
+	// and dataset snapshots both are).
+	rankOf func(digg.UserID) int
+	// platformRanks records that rankOf is the platform default, so
+	// user handlers can serve ranks from the snapshot's immutable map
+	// instead of calling through.
+	platformRanks bool
+	live          *live.Service
+	metrics       *Metrics
+	snap          *snapshotStore
 }
 
 // NewServer wraps the platform. now is the clock used for upcoming-
 // queue visibility and write operations; rankOf maps users to
 // reputation ranks for /api/users (nil means platform-derived ranks).
+// A non-nil rankOf is called without the platform lock and must be
+// safe for concurrent use while the platform mutates — read from an
+// immutable snapshot (like dataset rank maps) or synchronize
+// internally; do not pass a closure over live platform state.
 func NewServer(p *digg.Platform, now digg.Minutes, rankOf func(digg.UserID) int) *Server {
+	s := &Server{mu: &sync.RWMutex{}, platform: p, now: now, rankOf: rankOf, snap: newSnapshotStore()}
 	if rankOf == nil {
-		rankOf = p.UserRank
+		s.rankOf = p.UserRank
+		s.platformRanks = true
 	}
-	return &Server{mu: &sync.RWMutex{}, platform: p, now: now, rankOf: rankOf}
+	return s
 }
 
 // SetNow advances the server clock (static mode; a SetNowFunc clock
-// takes precedence).
+// takes precedence). The snapshot's upcoming queue filters by the
+// clock at serve time, so no republication is needed.
 func (s *Server) SetNow(now digg.Minutes) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -61,14 +85,16 @@ func (s *Server) SetNow(now digg.Minutes) {
 func (s *Server) SetNowFunc(fn func() digg.Minutes) { s.nowFn = fn }
 
 // AttachLive connects a live simulation service: the server adopts the
-// service's platform lock (so HTTP readers interleave safely with the
-// simulation writer), serves the service's clock, and exposes the
-// /api/stream SSE feed plus live metrics on /api/stats. Call before
-// Handler and before the service runs.
+// service's platform lock (so snapshot rebuilds and fallback readers
+// interleave safely with the simulation writer), serves the service's
+// clock, republishes the read snapshot after every simulation step,
+// and exposes the /api/stream SSE feed plus live metrics on
+// /api/stats. Call before Handler and before the service runs.
 func (s *Server) AttachLive(svc *live.Service) {
 	s.mu = svc.Locker()
 	s.nowFn = svc.Now
 	s.live = svc
+	svc.SetAfterStep(s.republish)
 }
 
 // AttachMetrics includes the middleware's request counters in
@@ -86,8 +112,10 @@ func (s *Server) clock() digg.Minutes {
 	return s.now
 }
 
-// Handler returns the HTTP routing table.
+// Handler publishes the initial read snapshot and returns the HTTP
+// routing table.
 func (s *Server) Handler() http.Handler {
+	s.republish()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -120,17 +148,14 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: msg})
 }
 
-// queryInt parses an integer query parameter with a default.
-func queryInt(r *http.Request, key string, def int) (int, error) {
-	raw := r.URL.Query().Get(key)
-	if raw == "" {
-		return def, nil
+// writeRaw sends pre-encoded JSON chunks with zero per-request header
+// allocations (the shared value slice is assigned, not copied).
+func writeRaw(w http.ResponseWriter, chunks ...[]byte) {
+	w.Header()["Content-Type"] = headerJSON
+	w.WriteHeader(http.StatusOK)
+	for _, c := range chunks {
+		_, _ = w.Write(c)
 	}
-	v, err := strconv.Atoi(raw)
-	if err != nil {
-		return 0, fmt.Errorf("invalid %s: %q", key, raw)
-	}
-	return v, nil
 }
 
 func pathID(r *http.Request) (int, error) {
@@ -143,11 +168,40 @@ func pathID(r *http.Request) (int, error) {
 }
 
 func (s *Server) handleFrontPage(w http.ResponseWriter, r *http.Request) {
-	limit, err := queryInt(r, "limit", 15)
+	limit, err := queryIntRaw(r.URL.RawQuery, "limit", 15)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	view := s.snap.view.Load()
+	rendered := 0
+	if view != nil {
+		rendered = len(view.fpEnds)
+	}
+	if view == nil || (view.fpTotal > rendered && (limit <= 0 || limit > rendered)) {
+		s.frontPageLocked(w, limit)
+		return
+	}
+	h := w.Header()
+	h["Etag"] = view.etag
+	h["Cache-Control"] = headerRevalidate
+	if etagMatches(r.Header.Get("If-None-Match"), view.etagStr) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	h["Content-Type"] = headerJSON
+	w.WriteHeader(http.StatusOK)
+	if limit <= 0 || limit >= rendered {
+		_, _ = w.Write(view.fpBuf)
+		return
+	}
+	_, _ = w.Write(view.fpBuf[:view.fpEnds[limit-1]])
+	_, _ = w.Write(bracketClose)
+}
+
+// frontPageLocked is the point-in-time fallback for limits past the
+// snapshot's pre-rendered depth.
+func (s *Server) frontPageLocked(w http.ResponseWriter, limit int) {
 	s.mu.RLock()
 	stories := s.platform.FrontPage(limit)
 	out := make([]StorySummary, len(stories))
@@ -159,12 +213,79 @@ func (s *Server) handleFrontPage(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUpcoming(w http.ResponseWriter, r *http.Request) {
-	limit, err := queryInt(r, "limit", 15)
+	limit, err := queryIntRaw(r.URL.RawQuery, "limit", 15)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	now := s.clock()
+	view := s.snap.view.Load()
+	if view == nil {
+		s.upcomingLocked(w, now, limit)
+		return
+	}
+	// The visibility filter runs at serve time: pre-rendered entries
+	// submitted after the current clock are skipped, so a static
+	// server's queue evolves with wall time without republication.
+	entries := view.upEntries
+	visible := 0
+	for i := range entries {
+		if entries[i].submittedAt <= int64(now) {
+			visible++
+		}
+	}
+	skipped := visible < len(entries)
+	serveN := visible
+	if limit > 0 && limit < serveN {
+		serveN = limit
+	}
+	// If the pre-rendered window cannot satisfy the request (deeper
+	// entries exist on the platform), fall back to the locked scan.
+	if len(entries) < view.upTotal && (limit <= 0 || serveN < limit) {
+		s.upcomingLocked(w, now, limit)
+		return
+	}
+	h := w.Header()
+	if !skipped {
+		// The rendered queue only changes with the platform generation
+		// while no future-dated entries are pending, so the snapshot
+		// ETag is a valid strong validator.
+		h["Etag"] = view.etag
+		h["Cache-Control"] = headerRevalidate
+		if etagMatches(r.Header.Get("If-None-Match"), view.etagStr) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	h["Content-Type"] = headerJSON
+	w.WriteHeader(http.StatusOK)
+	if !skipped && serveN >= len(entries) {
+		_, _ = w.Write(view.upBuf)
+		return
+	}
+	if serveN == 0 {
+		_, _ = w.Write(emptyArray)
+		return
+	}
+	_, _ = w.Write(bracketOpen)
+	written := 0
+	for i := range entries {
+		if entries[i].submittedAt > int64(now) {
+			continue
+		}
+		if written > 0 {
+			_, _ = w.Write(commaSep)
+		}
+		_, _ = w.Write(view.upBuf[entries[i].start:entries[i].end])
+		written++
+		if written >= serveN {
+			break
+		}
+	}
+	_, _ = w.Write(bracketClose)
+}
+
+func (s *Server) upcomingLocked(w http.ResponseWriter, now digg.Minutes, limit int) {
 	s.mu.RLock()
 	stories := s.platform.Upcoming(now, limit)
 	out := make([]StorySummary, len(stories))
@@ -178,12 +299,12 @@ func (s *Server) handleUpcoming(w http.ResponseWriter, r *http.Request) {
 // handleStoryList serves a paginated listing of every story in
 // submission order: GET /api/stories?offset=0&limit=50.
 func (s *Server) handleStoryList(w http.ResponseWriter, r *http.Request) {
-	offset, err := queryInt(r, "offset", 0)
+	offset, err := queryIntRaw(r.URL.RawQuery, "offset", 0)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	limit, err := queryInt(r, "limit", 50)
+	limit, err := queryIntRaw(r.URL.RawQuery, "limit", 50)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -195,6 +316,42 @@ func (s *Server) handleStoryList(w http.ResponseWriter, r *http.Request) {
 	if limit > 1000 {
 		limit = 1000
 	}
+	view := s.snap.view.Load()
+	if view == nil {
+		s.storyListLocked(w, offset, limit)
+		return
+	}
+	total := len(view.summaries)
+	bp := encBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, `{"total":`...)
+	b = strconv.AppendInt(b, int64(total), 10)
+	b = append(b, `,"offset":`...)
+	b = strconv.AppendInt(b, int64(offset), 10)
+	b = append(b, `,"stories":`...)
+	if offset < total {
+		end := offset + limit
+		if end > total {
+			end = total
+		}
+		b = append(b, '[')
+		for i := offset; i < end; i++ {
+			if i > offset {
+				b = append(b, ',')
+			}
+			b = append(b, view.summaries[i]...)
+		}
+		b = append(b, ']')
+	} else {
+		b = append(b, `null`...)
+	}
+	b = append(b, '}')
+	writeRaw(w, b)
+	*bp = b[:0]
+	encBufPool.Put(bp)
+}
+
+func (s *Server) storyListLocked(w http.ResponseWriter, offset, limit int) {
 	s.mu.RLock()
 	all := s.platform.Stories()
 	var page StoryPage
@@ -220,8 +377,36 @@ func (s *Server) handleStory(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	view := s.snap.view.Load()
+	slab := s.snap.details.Load()
+	if view == nil || slab == nil || id >= len(view.storyVer) || id >= len(slab.slots) {
+		s.storyLocked(w, digg.StoryID(id))
+		return
+	}
+	slot := slab.slots[id]
+	if e := slot.Load(); e != nil && e.ver == view.storyVer[id] {
+		writeRaw(w, e.buf)
+		return
+	}
+	// Miss: encode once under the read lock at the current version and
+	// cache for every later request of this (story, version).
 	s.mu.RLock()
 	st, err := s.platform.Story(digg.StoryID(id))
+	if err != nil {
+		s.mu.RUnlock()
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	ver := s.platform.StoryVersion(st.ID)
+	buf := appendDetail(make([]byte, 0, 128+28*len(st.Votes)), st)
+	s.mu.RUnlock()
+	slot.Store(&detailEntry{ver: ver, buf: buf})
+	writeRaw(w, buf)
+}
+
+func (s *Server) storyLocked(w http.ResponseWriter, id digg.StoryID) {
+	s.mu.RLock()
+	st, err := s.platform.Story(id)
 	var out StoryDetail
 	if err == nil {
 		out = detail(st)
@@ -255,6 +440,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
+	s.republish()
 	writeJSON(w, http.StatusCreated, out)
 }
 
@@ -280,6 +466,7 @@ func (s *Server) handleDigg(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err.Error())
 		return
 	}
+	s.republish()
 	writeJSON(w, http.StatusOK, DiggResponse{InNetwork: res.InNetwork, Promoted: res.Promoted})
 }
 
@@ -290,16 +477,32 @@ func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	u := digg.UserID(id)
-	s.mu.RLock()
+	// The social graph is immutable once built, so degree lookups need
+	// no lock at all.
 	g := s.platform.Graph
 	if int(u) >= g.NumNodes() {
-		s.mu.RUnlock()
 		writeError(w, http.StatusNotFound, "no such user")
 		return
 	}
-	info := UserInfo{ID: u, Fans: g.InDegree(u), Friends: g.OutDegree(u), Rank: s.rankOf(u)}
-	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, info)
+	var rank int
+	view := s.snap.view.Load()
+	switch {
+	case s.platformRanks && view != nil:
+		rank = view.ranks[u]
+	case s.platformRanks:
+		// No snapshot yet: the platform rank cache fill reads promotion
+		// state, so exclude mutators.
+		s.mu.RLock()
+		rank = s.rankOf(u)
+		s.mu.RUnlock()
+	default:
+		rank = s.rankOf(u)
+	}
+	bp := encBufPool.Get().(*[]byte)
+	b := appendUserInfo((*bp)[:0], u, g.InDegree(u), g.OutDegree(u), rank)
+	writeRaw(w, b)
+	*bp = b[:0]
+	encBufPool.Put(bp)
 }
 
 func (s *Server) handleFans(w http.ResponseWriter, r *http.Request) {
@@ -317,29 +520,47 @@ func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request, fans bool) 
 		return
 	}
 	u := digg.UserID(id)
-	s.mu.RLock()
-	g := s.platform.Graph
+	g := s.platform.Graph // immutable: lock-free
 	if int(u) >= g.NumNodes() {
-		s.mu.RUnlock()
 		writeError(w, http.StatusNotFound, "no such user")
 		return
 	}
 	var links []digg.UserID
 	if fans {
-		links = append(links, g.Fans(u)...)
+		links = g.Fans(u)
 	} else {
-		links = append(links, g.Friends(u)...)
+		links = g.Friends(u)
 	}
-	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, UserLinks{ID: u, Users: links})
 }
 
 func (s *Server) handleTopUsers(w http.ResponseWriter, r *http.Request) {
-	limit, err := queryInt(r, "limit", 100)
+	limit, err := queryIntRaw(r.URL.RawQuery, "limit", 100)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if limit <= 0 { // digg.Platform.TopUsers treats k <= 0 as "none"
+		writeRaw(w, emptyArray)
+		return
+	}
+	view := s.snap.view.Load()
+	rendered := 0
+	if view != nil {
+		rendered = len(view.topEnds)
+	}
+	if view == nil || (view.topTotal > rendered && limit > rendered) {
+		s.topUsersLocked(w, limit)
+		return
+	}
+	if limit >= rendered {
+		writeRaw(w, view.topBuf)
+		return
+	}
+	writeRaw(w, view.topBuf[:view.topEnds[limit-1]], bracketClose)
+}
+
+func (s *Server) topUsersLocked(w http.ResponseWriter, limit int) {
 	s.mu.RLock()
 	users := s.platform.TopUsers(limit)
 	s.mu.RUnlock()

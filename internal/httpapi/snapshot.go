@@ -1,0 +1,424 @@
+package httpapi
+
+// snapshot.go implements the lock-free read path. The write side
+// (handleSubmit/handleDigg, the live service's tick hook, Handler at
+// startup) calls Server.republish, which rebuilds an immutable
+// ReadView under the platform read lock and publishes it through an
+// atomic.Pointer. Hot read handlers load the pointer and write
+// pre-serialized JSON bytes straight to the response — no platform
+// lock, no StorySummary allocation, no encoding/json reflection.
+//
+// Rebuilds are incremental: the store caches each story's encoded
+// summary keyed by its digg.Platform version counter, so a publication
+// re-encodes only stories that changed since the last one. Story
+// details (vote lists) are encoded lazily on first request and cached
+// per (story, version) in a slab of atomic pointers, so repeated
+// scrapes of an unchanged story are served from bytes.
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"diggsim/internal/digg"
+)
+
+// Pre-render depths. Requests that reach past them (and past the
+// total) fall back to the locked path, which stays correct for
+// arbitrary limits.
+const (
+	maxRenderQueue = 100  // front-page / upcoming entries per snapshot
+	maxRenderTop   = 1024 // top-user ids per snapshot
+)
+
+// queueEntry locates one story's pre-encoded summary inside a queue
+// buffer. submittedAt lets the upcoming handler apply the
+// clock-dependent visibility filter at serve time, so a static
+// server's queue stays correct as wall time advances without
+// republishing.
+type queueEntry struct {
+	start, end  int
+	submittedAt int64
+}
+
+// ReadView is one immutable published snapshot of everything the hot
+// read endpoints serve. All byte slices are written once at build time
+// and never mutated, so any number of handlers may serve from a view
+// while newer views are published behind them.
+type ReadView struct {
+	// Gen is the digg.Platform generation this view was built at.
+	Gen uint64
+
+	fpBuf   []byte // "[{...},...]" promoted stories, newest first
+	fpEnds  []int  // fpEnds[i] = offset just past entry i (no ']')
+	fpTotal int    // promoted stories on the whole platform
+
+	upBuf     []byte // unpromoted stories, newest first
+	upEntries []queueEntry
+	upTotal   int // unpromoted stories on the whole platform
+
+	summaries [][]byte // per-story summary JSON, indexed by StoryID
+	storyVer  []uint32 // per-story version at publication
+
+	topBuf   []byte // "[id,id,...]" ranked users, best first
+	topEnds  []int
+	topTotal int // users with promoted submissions
+
+	// ranks is the platform's promoted-submission ranking map, shared
+	// immutably (digg replaces it on invalidation, never mutates it).
+	ranks map[digg.UserID]int
+
+	etagStr string   // strong ETag derived from Gen, e.g. `"g42"`
+	etag    []string // ready-to-assign header value {etagStr}
+}
+
+// cachedSummary is the cross-publication summary encoding cache entry.
+type cachedSummary struct {
+	ver uint32
+	buf []byte
+}
+
+// detailEntry is one lazily encoded story detail (summary + vote
+// list) at a given story version.
+type detailEntry struct {
+	ver uint32
+	buf []byte
+}
+
+// detailSlab is the published set of per-story detail slots. The slab
+// is replaced (grown) only at publication; the slots themselves are
+// filled lock-free by read handlers on cache miss.
+type detailSlab struct {
+	slots []*atomic.Pointer[detailEntry]
+}
+
+// snapshotStore owns the published view and the encoding caches.
+type snapshotStore struct {
+	mu      sync.Mutex // serializes rebuilds
+	view    atomic.Pointer[ReadView]
+	details atomic.Pointer[detailSlab]
+	sums    []cachedSummary
+	// onPublish, when non-nil (tests), observes every published view
+	// while the rebuild lock is held.
+	onPublish func(*ReadView)
+}
+
+func newSnapshotStore() *snapshotStore { return &snapshotStore{} }
+
+// republish rebuilds and atomically publishes the read view if the
+// platform generation moved since the last publication. It is called
+// by every write path (HTTP submit/digg handlers, the live service's
+// after-step hook) and by Handler before serving; readers never call
+// it, so they never block behind a rebuild.
+func (s *Server) republish() {
+	st := s.snap
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s.mu.RLock()
+	gen := s.platform.Generation()
+	if cur := st.view.Load(); cur != nil && cur.Gen == gen {
+		s.mu.RUnlock()
+		return
+	}
+	view := st.build(s.platform, gen)
+	s.mu.RUnlock()
+	st.view.Store(view)
+	if st.onPublish != nil {
+		st.onPublish(view)
+	}
+}
+
+// build assembles a view. The caller holds the store mutex (so the
+// summary cache is private) and the platform read lock (so the
+// platform is quiescent).
+func (st *snapshotStore) build(p *digg.Platform, gen uint64) *ReadView {
+	stories := p.Stories()
+	n := len(stories)
+
+	// Refresh the summary cache: re-encode only changed stories.
+	if cap(st.sums) < n {
+		grown := make([]cachedSummary, n, n+n/2+16)
+		copy(grown, st.sums)
+		st.sums = grown
+	}
+	st.sums = st.sums[:n]
+	for i, s := range stories {
+		ver := p.StoryVersion(s.ID)
+		if st.sums[i].ver != ver || st.sums[i].buf == nil {
+			buf := make([]byte, 0, 96+len(s.Title))
+			st.sums[i] = cachedSummary{ver: ver, buf: appendSummary(buf, s)}
+		}
+	}
+
+	v := &ReadView{
+		Gen:       gen,
+		summaries: make([][]byte, n),
+		storyVer:  make([]uint32, n),
+	}
+	for i := range st.sums {
+		v.summaries[i] = st.sums[i].buf
+		v.storyVer[i] = st.sums[i].ver
+	}
+
+	// Front page: promoted stories, newest promotion first.
+	v.fpTotal = p.PromotedCount()
+	front := p.FrontPage(maxRenderQueue)
+	v.fpBuf, v.fpEnds = buildQueue(v.summaries, front, nil)
+
+	// Upcoming queue: unpromoted stories, newest first, including
+	// future-dated submissions — the handler filters by the clock at
+	// serve time.
+	v.upTotal = n - v.fpTotal
+	upcoming := p.Upcoming(digg.Minutes(1<<62), maxRenderQueue)
+	v.upBuf, _ = buildQueue(v.summaries, upcoming, &v.upEntries)
+
+	// Reputation: ranked ids pre-rendered, rank map shared for
+	// lock-free /api/users lookups.
+	v.ranks = p.Ranks()
+	v.topTotal = len(v.ranks)
+	top := p.TopUsers(maxRenderTop)
+	v.topBuf = append(v.topBuf, '[')
+	v.topEnds = make([]int, len(top))
+	for i, u := range top {
+		if i > 0 {
+			v.topBuf = append(v.topBuf, ',')
+		}
+		v.topBuf = strconv.AppendInt(v.topBuf, int64(u), 10)
+		v.topEnds[i] = len(v.topBuf)
+	}
+	v.topBuf = append(v.topBuf, ']')
+
+	v.etagStr = `"g` + strconv.FormatUint(gen, 10) + `"`
+	v.etag = []string{v.etagStr}
+
+	// Grow the detail slab to cover new stories. Existing slots (and
+	// their cached encodings) carry over untouched.
+	old := st.details.Load()
+	if old == nil || len(old.slots) < n {
+		slots := make([]*atomic.Pointer[detailEntry], n)
+		if old != nil {
+			copy(slots, old.slots)
+		}
+		for i := range slots {
+			if slots[i] == nil {
+				slots[i] = new(atomic.Pointer[detailEntry])
+			}
+		}
+		st.details.Store(&detailSlab{slots: slots})
+	}
+	return v
+}
+
+// buildQueue concatenates the pre-encoded summaries of the given
+// stories into one JSON array buffer. With ends it records the offset
+// past each entry (front page: constant-time limit cuts); with
+// entries it records per-entry bounds plus submission times (upcoming:
+// serve-time visibility filtering).
+func buildQueue(summaries [][]byte, stories []*digg.Story, entries *[]queueEntry) (buf []byte, ends []int) {
+	size := 2
+	for _, s := range stories {
+		size += len(summaries[s.ID]) + 1
+	}
+	buf = make([]byte, 0, size)
+	buf = append(buf, '[')
+	if entries == nil {
+		ends = make([]int, len(stories))
+	} else {
+		*entries = make([]queueEntry, len(stories))
+	}
+	for i, s := range stories {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		start := len(buf)
+		buf = append(buf, summaries[s.ID]...)
+		if entries == nil {
+			ends[i] = len(buf)
+		} else {
+			(*entries)[i] = queueEntry{start: start, end: len(buf), submittedAt: int64(s.SubmittedAt)}
+		}
+	}
+	buf = append(buf, ']')
+	return buf, ends
+}
+
+// Shared header values and byte fragments, assigned directly into the
+// header map so hot handlers allocate nothing per request.
+var (
+	headerJSON = []string{"application/json"}
+	// headerRevalidate lets clients cache queue pages but revalidate
+	// with If-None-Match on every reuse: a scraper's repeated crawls
+	// of an unchanged page cost a 304, not a re-download.
+	headerRevalidate = []string{"no-cache"}
+	bracketOpen      = []byte{'['}
+	bracketClose     = []byte{']'}
+	commaSep         = []byte{','}
+	emptyArray       = []byte("[]")
+)
+
+// encBufPool recycles scratch buffers for handlers that assemble a
+// response from snapshot fragments plus per-request numbers (story
+// pages, user profiles).
+var encBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// queryIntRaw parses an integer query parameter straight from the raw
+// query string, allocating nothing on the happy path (url.Values would
+// build a map per request). Percent-encoded values take the rare slow
+// path through url.QueryUnescape so legal encodings keep parsing.
+func queryIntRaw(rawQuery, key string, def int) (int, error) {
+	for len(rawQuery) > 0 {
+		var seg string
+		if i := strings.IndexByte(rawQuery, '&'); i >= 0 {
+			seg, rawQuery = rawQuery[:i], rawQuery[i+1:]
+		} else {
+			seg, rawQuery = rawQuery, ""
+		}
+		eq := strings.IndexByte(seg, '=')
+		if eq < 0 || seg[:eq] != key {
+			continue
+		}
+		val := seg[eq+1:]
+		if strings.ContainsAny(val, "%+") {
+			if dec, err := url.QueryUnescape(val); err == nil {
+				val = dec
+			}
+		}
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return 0, fmt.Errorf("invalid %s: %q", key, val)
+		}
+		return v, nil
+	}
+	return def, nil
+}
+
+// etagMatches reports whether the If-None-Match header value names
+// etag (a quoted strong validator). It scans the comma-separated list
+// without allocating; weak prefixes compare equal, matching
+// conditional-GET semantics for 304 responses.
+func etagMatches(header, etag string) bool {
+	if header == "" || etag == "" {
+		return false
+	}
+	if header == "*" {
+		return true
+	}
+	for len(header) > 0 {
+		header = strings.TrimLeft(header, " \t,")
+		if strings.HasPrefix(header, "W/") {
+			header = header[2:]
+		}
+		if len(header) == 0 {
+			return false
+		}
+		if strings.HasPrefix(header, etag) {
+			rest := header[len(etag):]
+			if rest == "" || rest[0] == ',' || rest[0] == ' ' || rest[0] == '\t' {
+				return true
+			}
+		}
+		i := strings.IndexByte(header, ',')
+		if i < 0 {
+			return false
+		}
+		header = header[i+1:]
+	}
+	return false
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal, escaping
+// quotes, backslashes and control characters.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '"' && c != '\\' && c >= 0x20 {
+			continue
+		}
+		b = append(b, s[start:i]...)
+		switch c {
+		case '"':
+			b = append(b, '\\', '"')
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\r':
+			b = append(b, '\\', 'r')
+		case '\t':
+			b = append(b, '\\', 't')
+		default:
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+		start = i + 1
+	}
+	return append(append(b, s[start:]...), '"')
+}
+
+// appendSummary appends a story's StorySummary JSON — the manual
+// counterpart of encoding/json over the types.go struct tags.
+func appendSummary(b []byte, s *digg.Story) []byte {
+	b = append(b, `{"id":`...)
+	b = strconv.AppendInt(b, int64(s.ID), 10)
+	b = append(b, `,"title":`...)
+	b = appendJSONString(b, s.Title)
+	b = append(b, `,"submitter":`...)
+	b = strconv.AppendInt(b, int64(s.Submitter), 10)
+	b = append(b, `,"submitted_at":`...)
+	b = strconv.AppendInt(b, int64(s.SubmittedAt), 10)
+	if s.Promoted {
+		b = append(b, `,"promoted":true`...)
+		if s.PromotedAt != 0 { // mirrors the omitempty struct tag
+			b = append(b, `,"promoted_at":`...)
+			b = strconv.AppendInt(b, int64(s.PromotedAt), 10)
+		}
+	} else {
+		b = append(b, `,"promoted":false`...)
+	}
+	b = append(b, `,"votes":`...)
+	b = strconv.AppendInt(b, int64(len(s.Votes)), 10)
+	return append(b, '}')
+}
+
+// appendDetail appends a story's StoryDetail JSON: the summary fields
+// plus the chronological vote list.
+func appendDetail(b []byte, s *digg.Story) []byte {
+	b = appendSummary(b, s)
+	b = b[:len(b)-1] // reopen the summary object
+	b = append(b, `,"vote_list":[`...)
+	for i, v := range s.Votes {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"voter":`...)
+		b = strconv.AppendInt(b, int64(v.Voter), 10)
+		b = append(b, `,"at":`...)
+		b = strconv.AppendInt(b, int64(v.At), 10)
+		b = append(b, '}')
+	}
+	return append(b, ']', '}')
+}
+
+// appendUserInfo appends a UserInfo JSON object.
+func appendUserInfo(b []byte, id digg.UserID, fans, friends, rank int) []byte {
+	b = append(b, `{"id":`...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	b = append(b, `,"fans":`...)
+	b = strconv.AppendInt(b, int64(fans), 10)
+	b = append(b, `,"friends":`...)
+	b = strconv.AppendInt(b, int64(friends), 10)
+	b = append(b, `,"rank":`...)
+	b = strconv.AppendInt(b, int64(rank), 10)
+	return append(b, '}')
+}

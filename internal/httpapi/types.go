@@ -4,6 +4,47 @@
 // scraper against digg.com) against the simulator: cmd/diggd serves the
 // corpus, cmd/diggscrape crawls it over TCP and writes the dataset
 // files the analysis loads.
+//
+// # Read-path architecture
+//
+// The server splits traffic into a lock-free snapshot path and a
+// locked fallback path.
+//
+// Every write — an HTTP POST, or a live.Service simulation step when
+// one is attached — mutates the platform under the write lock and then
+// republishes a ReadView: an immutable snapshot holding the front
+// page, upcoming queue, per-story summaries, top-user list and a
+// generation-derived ETag, all pre-serialized to JSON bytes. The view
+// is published through an atomic pointer, so the hot read endpoints
+// (/api/frontpage, /api/upcoming, /api/stories, /api/stories/{id},
+// /api/topusers, /api/users/{id}) serve whole responses by writing
+// cached bytes — no platform lock, no intermediate structs, no
+// encoding/json reflection, and zero allocations per request.
+// Publication is incremental: digg.Platform's generation and per-story
+// version counters let a rebuild re-encode only stories that changed,
+// and story details (vote lists) are encoded lazily on first request
+// and cached per (story, version). /api/frontpage and /api/upcoming
+// answer If-None-Match revalidations with 304 Not Modified.
+//
+// The shared RWMutex remains for everything that needs a point-in-time
+// read of the mutable platform: POST /api/stories and
+// /api/stories/{id}/digg (the writes themselves), snapshot rebuilds,
+// detail-cache misses, and read requests that reach past the
+// snapshot's pre-rendered depth (queue limits beyond 100, top-user
+// limits beyond 1024). /api/users/{id}/fans and /friends read only the
+// immutable social graph and take no lock at all.
+//
+// # Clocks: SetNowFunc vs AttachLive
+//
+// Use Server.AttachLive when a live.Service drives the platform: the
+// server adopts the service's lock and simulation clock, republishes
+// the snapshot after every step, and gains /api/stream and live
+// /api/stats. Use Server.SetNowFunc when the platform is static but
+// the site clock should still advance (cmd/diggd's default mode maps
+// wall time onto sim minutes): nothing mutates, so no republication
+// happens — the upcoming queue instead filters its pre-rendered
+// entries against the clock at serve time. A bare SetNow remains for
+// tests that pin the clock.
 package httpapi
 
 import "diggsim/internal/digg"

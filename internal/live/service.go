@@ -110,6 +110,16 @@ type Service struct {
 	submits    atomic.Uint64
 	diggs      atomic.Uint64
 	promotions atomic.Uint64
+	// Atomic mirrors of the platform/stepper gauges, refreshed at the
+	// end of every step so Stats never needs the platform lock.
+	totalStories    atomic.Int64
+	promotedStories atomic.Int64
+	activeStories   atomic.Int64
+
+	// afterStep, when set, runs after every state-changing StepTo with
+	// the platform lock released — the serving layer's hook for
+	// republishing its lock-free read snapshot.
+	afterStep func()
 }
 
 // NewService wraps the platform (typically carrying a pregenerated
@@ -139,8 +149,16 @@ func NewService(p *digg.Platform, cfg Config) (*Service, error) {
 	s.zipf = rng.NewZipf(r, len(s.byFans), cfg.SubmitterZipfS)
 	s.nextArrival = float64(cfg.StartAt) + r.ExpGap(cfg.SubmissionsPerHour/60)
 	s.simNow.Store(int64(cfg.StartAt))
+	s.totalStories.Store(int64(p.NumStories()))
+	s.promotedStories.Store(int64(p.PromotedCount()))
+	s.activeStories.Store(int64(stepper.Active()))
 	return s, nil
 }
+
+// SetAfterStep registers a hook invoked after every state-changing
+// StepTo, once the platform lock has been released. The serving layer
+// uses it to republish its read snapshot. Call before Run.
+func (s *Service) SetAfterStep(fn func()) { s.afterStep = fn }
 
 // Locker exposes the platform lock so the HTTP serving layer can
 // interleave read handlers (read lock) with the simulation writer
@@ -233,28 +251,31 @@ func (s *Service) StepTo(simNow digg.Minutes) error {
 		})
 	}
 	s.simNow.Store(int64(simNow))
+	s.totalStories.Store(int64(s.platform.NumStories()))
+	s.promotedStories.Store(int64(s.platform.PromotedCount()))
+	s.activeStories.Store(int64(s.stepper.Active()))
 	s.mu.Unlock()
 
+	if s.afterStep != nil {
+		s.afterStep()
+	}
 	for _, ev := range out {
 		s.bus.Publish(ev)
 	}
 	return err
 }
 
-// Stats snapshots the service counters.
+// Stats snapshots the service counters. It is entirely lock-free: the
+// platform gauges are atomic mirrors refreshed each step, so /api/stats
+// scrapes never contend with the simulation writer or readers.
 func (s *Service) Stats() Stats {
-	s.mu.RLock()
-	total := s.platform.NumStories()
-	promoted := s.platform.PromotedCount()
-	active := s.stepper.Active()
-	s.mu.RUnlock()
 	bs := s.bus.Stats()
 	return Stats{
 		SimNow:             s.simNow.Load(),
 		Speedup:            s.cfg.Speedup,
-		ActiveStories:      active,
-		TotalStories:       total,
-		PromotedStories:    promoted,
+		ActiveStories:      int(s.activeStories.Load()),
+		TotalStories:       int(s.totalStories.Load()),
+		PromotedStories:    int(s.promotedStories.Load()),
 		Submits:            s.submits.Load(),
 		Diggs:              s.diggs.Load(),
 		Promotions:         s.promotions.Load(),
