@@ -3,9 +3,16 @@
 // links — and writes the result as a dataset directory, reproducing the
 // paper's data-collection pipeline over a real HTTP connection.
 //
+// The crawl speaks the versioned v1 API through the typed client SDK:
+// listings iterate opaque generation-stamped cursors (instead of the
+// old offset loops), so a crawl of a live, continuously-evolving
+// server never sees a story twice and never skips one within a
+// generation; -page sets the cursor page size.
+//
 // Usage:
 //
-//	diggscrape -url http://127.0.0.1:8080 -out DIR [-front N] [-upcoming N] [-workers N]
+//	diggscrape -url http://127.0.0.1:8080 -out DIR [-front N] [-upcoming N]
+//	           [-all] [-page N] [-workers N]
 package main
 
 import (
@@ -25,7 +32,8 @@ func main() {
 	out := flag.String("out", "", "output dataset directory (required)")
 	front := flag.Int("front", 200, "front-page stories to scrape")
 	upcoming := flag.Int("upcoming", 900, "upcoming stories to scrape")
-	all := flag.Bool("all", false, "walk the full paginated story listing instead of the queues")
+	all := flag.Bool("all", false, "walk the full story listing by cursor instead of the queues")
+	page := flag.Int("page", 200, "cursor page size for listing crawls")
 	workers := flag.Int("workers", 8, "concurrent fetchers")
 	timeout := flag.Duration("timeout", 10*time.Minute, "overall scrape timeout")
 	flag.Parse()
@@ -49,6 +57,7 @@ func main() {
 		FrontPageLimit: *front,
 		UpcomingLimit:  *upcoming,
 		All:            *all,
+		PageSize:       *page,
 		Workers:        *workers,
 	})
 	if err != nil {

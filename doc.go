@@ -45,6 +45,31 @@
 // only writes, snapshot rebuilds and the point-in-time fallback paths
 // (see internal/httpapi's package documentation for the architecture).
 //
+// The HTTP surface is versioned (internal/apiv1): /v1/* speaks a
+// frozen, transport-agnostic contract — request/response types, a
+// machine-readable error envelope with stable codes, opaque
+// generation-stamped cursors on every list endpoint, and batch write
+// endpoints (diggs:batch, stories:batch) that apply up to a thousand
+// votes or submissions as one write transaction — while the
+// unversioned /api/* routes remain as deprecated aliases. Golden
+// fixtures pin the wire format and CI refuses contract drift without
+// a version note in docs/api.md.
+//
+// Between the statistical core and every serving consumer sits
+// digg.Store, the command/query interface extracted from the
+// in-memory *digg.Platform: httpapi.Server, live.Service, the agent
+// stepper and the dataset exporter all compile against the interface,
+// so future backends — a sharded store, replicas, a persistent
+// write-ahead store — plug in underneath the HTTP surface without
+// touching any caller. Cursors ride the snapshot infrastructure:
+// pages are cut lock-free from pre-rendered bytes whenever the
+// published snapshot can satisfy them, with a whole-page locked
+// fallback past the pre-rendered depth; the cursor's boundary key
+// (submission index, promotion index, story id, rank or link index —
+// each chosen to stay stable under the live writer) resumes iteration
+// without duplicating or skipping an entry even as new generations
+// publish between pages.
+//
 // See README.md for the package map, DESIGN.md for the system inventory
 // and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
 // results. The benchmarks in bench_test.go regenerate one experiment

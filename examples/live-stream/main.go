@@ -1,6 +1,8 @@
 // Command live-stream tails a live diggd server's event feed and
 // prints promotions as they happen — the event-driven counterpart of
-// polling the front page the way the paper's scraper had to.
+// polling the front page the way the paper's scraper had to. Before
+// tailing it catches up on the current front page by iterating the v1
+// cursor pages, so the stream starts from known state.
 //
 // Start a live server in one terminal:
 //
@@ -36,7 +38,26 @@ func main() {
 	defer stop()
 
 	c := httpapi.NewClient(*addr)
-	fmt.Printf("tailing %s/api/stream (Ctrl-C to stop)\n", *addr)
+
+	// Catch up: walk the front page with the v1 cursor iterator (each
+	// page rides an opaque generation-stamped cursor, so the walk is
+	// stable even while the server keeps promoting).
+	shown := 0
+	for page, err := range c.FrontPagePages(ctx, 50) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "live-stream: front page:", err)
+			os.Exit(1)
+		}
+		for _, s := range page.Stories {
+			if shown < 5 {
+				fmt.Printf("[catch-up] front page #%d: story %d %q (%d votes)\n",
+					shown+1, s.ID, s.Title, s.Votes)
+			}
+			shown++
+		}
+	}
+	fmt.Printf("front page holds %d stories; tailing %s/v1/stream (Ctrl-C to stop)\n", shown, *addr)
+
 	err := c.Stream(ctx, func(ev live.Event) error {
 		switch ev.Type {
 		case live.EventPromote:

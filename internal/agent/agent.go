@@ -225,10 +225,10 @@ func (s *Simulator) Platform() *digg.Platform { return s.platform }
 // Config returns the simulator's behaviour parameters.
 func (s *Simulator) Config() Config { return s.cfg }
 
-// platformSink routes engine votes through Platform.Digg, keeping the
+// platformSink routes engine votes through Store.Digg, keeping the
 // platform's visibility and promotion state authoritative.
 type platformSink struct {
-	p  *digg.Platform
+	p  digg.Store
 	st *digg.Story
 }
 

@@ -27,7 +27,7 @@ import (
 // read path.
 type Stepper struct {
 	cfg      Config
-	platform *digg.Platform
+	platform digg.Store
 	rng      *rng.RNG
 	runs     []*stepRun
 	// free pools retired engines for reuse: a live engine's scratch is
@@ -51,9 +51,10 @@ type stepRun struct {
 	promotedSeen bool
 }
 
-// NewStepper creates a stepper over the platform. It returns an error
-// if the configuration is invalid.
-func NewStepper(p *digg.Platform, cfg Config, r *rng.RNG) (*Stepper, error) {
+// NewStepper creates a stepper over any digg.Store (in practice the
+// in-memory *digg.Platform; the interface is the seam future backends
+// plug into). It returns an error if the configuration is invalid.
+func NewStepper(p digg.Store, cfg Config, r *rng.RNG) (*Stepper, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -81,7 +82,7 @@ func (s *Stepper) StartStory(submitter digg.UserID, title string, interest float
 		s.free = s.free[:k-1]
 		eng.rng = s.rng.Split()
 	} else {
-		eng = newEngine(s.platform.Graph, s.cfg, s.rng.Split())
+		eng = newEngine(s.platform.SocialGraph(), s.cfg, s.rng.Split())
 	}
 	eng.begin(st, interest)
 	s.runs = append(s.runs, &stepRun{eng: eng, st: st})

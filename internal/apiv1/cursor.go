@@ -1,0 +1,111 @@
+package apiv1
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+)
+
+// Cursor is an opaque pagination token. Clients treat it as a black
+// box: pass back exactly what the previous page returned. The encoding
+// carries an endpoint-specific position chosen to stay stable across
+// platform generations (see the CursorKind constants), which is what
+// makes iteration exact against the live writer, plus two provenance
+// stamps — the platform generation the issuing page was served from
+// and the last-served story's version — recorded for diagnostics and
+// future drift-aware serving optimizations; the resume logic itself
+// needs only the position.
+type Cursor string
+
+// CursorKind namespaces cursors per endpoint family, so a cursor
+// minted by one listing cannot be replayed against another.
+type CursorKind byte
+
+const (
+	// CursorStories paginates /v1/stories; Pos is the next story index
+	// in submission order (ascending, append-only, hence stable).
+	CursorStories CursorKind = 's'
+	// CursorFrontPage paginates /v1/frontpage; Pos is the next
+	// promotion-order index to serve, descending. The promotion list is
+	// append-only, so the index identifies the same story forever.
+	CursorFrontPage CursorKind = 'f'
+	// CursorUpcoming paginates /v1/upcoming; Pos is the story id of the
+	// last entry served — the next page holds only older (smaller-id)
+	// unpromoted stories, so promotions between pages can never
+	// duplicate or skip an entry.
+	CursorUpcoming CursorKind = 'u'
+	// CursorTopUsers paginates /v1/topusers; Pos is the next rank
+	// index (exact within a generation; ranks may shift across
+	// promotions).
+	CursorTopUsers CursorKind = 't'
+	// CursorLinks paginates /v1/users/{id}/fans and /friends; Pos is
+	// the next index into the (immutable) link list.
+	CursorLinks CursorKind = 'l'
+)
+
+// ErrInvalidCursor reports a cursor that failed to decode, failed its
+// checksum (tampering), or was minted for a different endpoint. The
+// server surfaces it as CodeInvalidCursor.
+var ErrInvalidCursor = errors.New("apiv1: invalid cursor")
+
+// CursorPayload is the decoded content of a Cursor.
+type CursorPayload struct {
+	Kind CursorKind
+	// Gen is the platform generation the issuing page was served from.
+	Gen uint64
+	// Pos is the endpoint-specific position or boundary key (see the
+	// CursorKind constants).
+	Pos int64
+	// Ver is the version counter of the last story served, when the
+	// listing is story-shaped (0 otherwise).
+	Ver uint64
+}
+
+// Encode renders the payload as an opaque URL-safe token with an
+// integrity checksum.
+func (p CursorPayload) Encode() Cursor {
+	b := make([]byte, 0, 1+3*binary.MaxVarintLen64+4)
+	b = append(b, byte(p.Kind))
+	b = binary.AppendUvarint(b, p.Gen)
+	b = binary.AppendVarint(b, p.Pos)
+	b = binary.AppendUvarint(b, p.Ver)
+	h := fnv.New32a()
+	h.Write(b)
+	b = binary.BigEndian.AppendUint32(b, h.Sum32())
+	return Cursor(base64.RawURLEncoding.EncodeToString(b))
+}
+
+// Decode parses and verifies a cursor for the given endpoint family,
+// returning ErrInvalidCursor on any malformation, checksum mismatch,
+// or kind mismatch.
+func (c Cursor) Decode(kind CursorKind) (CursorPayload, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(string(c))
+	if err != nil || len(raw) < 1+4 {
+		return CursorPayload{}, ErrInvalidCursor
+	}
+	body, sum := raw[:len(raw)-4], raw[len(raw)-4:]
+	h := fnv.New32a()
+	h.Write(body)
+	if binary.BigEndian.Uint32(sum) != h.Sum32() {
+		return CursorPayload{}, ErrInvalidCursor
+	}
+	p := CursorPayload{Kind: CursorKind(body[0])}
+	if p.Kind != kind {
+		return CursorPayload{}, ErrInvalidCursor
+	}
+	rest := body[1:]
+	var n int
+	if p.Gen, n = binary.Uvarint(rest); n <= 0 {
+		return CursorPayload{}, ErrInvalidCursor
+	}
+	rest = rest[n:]
+	if p.Pos, n = binary.Varint(rest); n <= 0 {
+		return CursorPayload{}, ErrInvalidCursor
+	}
+	rest = rest[n:]
+	if p.Ver, n = binary.Uvarint(rest); n <= 0 || len(rest) != n {
+		return CursorPayload{}, ErrInvalidCursor
+	}
+	return p, nil
+}

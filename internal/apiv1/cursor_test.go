@@ -1,0 +1,64 @@
+package apiv1
+
+import (
+	"encoding/base64"
+	"errors"
+	"testing"
+)
+
+func TestCursorRoundTrip(t *testing.T) {
+	cases := []CursorPayload{
+		{Kind: CursorStories, Gen: 0, Pos: 0, Ver: 0},
+		{Kind: CursorStories, Gen: 42, Pos: 17, Ver: 3},
+		{Kind: CursorFrontPage, Gen: 1<<63 + 5, Pos: 1<<40 + 1, Ver: 9},
+		{Kind: CursorUpcoming, Gen: 7, Pos: -1, Ver: 1},
+		{Kind: CursorTopUsers, Gen: 1, Pos: 1023},
+		{Kind: CursorLinks, Pos: 500},
+	}
+	for _, want := range cases {
+		c := want.Encode()
+		got, err := c.Decode(want.Kind)
+		if err != nil {
+			t.Fatalf("Decode(%+v): %v", want, err)
+		}
+		if got != want {
+			t.Errorf("round trip: got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestCursorKindMismatch(t *testing.T) {
+	c := CursorPayload{Kind: CursorStories, Gen: 3, Pos: 9}.Encode()
+	if _, err := c.Decode(CursorUpcoming); !errors.Is(err, ErrInvalidCursor) {
+		t.Errorf("cross-endpoint replay accepted: %v", err)
+	}
+}
+
+// TestCursorTamperDetected flips every byte of a valid token in turn;
+// each corruption must be rejected (the checksum covers kind and all
+// varint fields).
+func TestCursorTamperDetected(t *testing.T) {
+	c := CursorPayload{Kind: CursorStories, Gen: 99, Pos: 1234, Ver: 56}.Encode()
+	raw, err := base64.RawURLEncoding.DecodeString(string(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw {
+		for _, delta := range []byte{1, 0x80} {
+			mut := append([]byte(nil), raw...)
+			mut[i] ^= delta
+			tampered := Cursor(base64.RawURLEncoding.EncodeToString(mut))
+			if p, err := tampered.Decode(CursorStories); err == nil {
+				t.Errorf("tampered byte %d (^%#x) accepted as %+v", i, delta, p)
+			}
+		}
+	}
+}
+
+func TestCursorGarbageRejected(t *testing.T) {
+	for _, c := range []Cursor{"", "x", "not base64 !!!", "AAAA", Cursor(base64.RawURLEncoding.EncodeToString([]byte("short")))} {
+		if _, err := c.Decode(CursorStories); !errors.Is(err, ErrInvalidCursor) {
+			t.Errorf("garbage cursor %q accepted (err=%v)", c, err)
+		}
+	}
+}

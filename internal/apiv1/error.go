@@ -1,0 +1,59 @@
+package apiv1
+
+import "fmt"
+
+// Stable machine-readable error codes. Clients dispatch on these, not
+// on message text; the set is append-only.
+const (
+	// CodeInvalidArgument: a malformed request — bad JSON, a negative
+	// or overflowing limit, a bad path id, an oversized batch.
+	CodeInvalidArgument = "invalid_argument"
+	// CodeInvalidCursor: a pagination cursor that failed to decode,
+	// was tampered with, or belongs to a different endpoint.
+	CodeInvalidCursor = "invalid_cursor"
+	// CodeNotFound: the named story or user does not exist.
+	CodeNotFound = "not_found"
+	// CodeUnknownUser: a write named a user outside the social graph.
+	CodeUnknownUser = "unknown_user"
+	// CodeAlreadyVoted: the voter already dugg this story.
+	CodeAlreadyVoted = "already_voted"
+	// CodeStoryGone: the story's live state was compacted; it can no
+	// longer accept votes.
+	CodeStoryGone = "story_gone"
+	// CodeRateLimited: the request was shed by the rate limiter; honor
+	// RetryAfter before retrying.
+	CodeRateLimited = "rate_limited"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// Error is the v1 API error: the body of the machine-readable envelope
+// and, on the client side, the typed error returned from every SDK
+// call (retrieve it with errors.As).
+type Error struct {
+	// StatusCode is the HTTP status the error travelled with. It is
+	// transport metadata, not part of the JSON body.
+	StatusCode int `json:"-"`
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is human-readable detail; its text is not part of the
+	// compatibility contract.
+	Message string `json:"message"`
+	// RetryAfter, when non-zero, is the number of seconds the client
+	// should wait before retrying (set on rate_limited errors,
+	// mirroring the Retry-After header).
+	RetryAfter int `json:"retry_after,omitempty"`
+}
+
+func (e *Error) Error() string {
+	if e.StatusCode != 0 {
+		return fmt.Sprintf("apiv1: %s: %s (http %d)", e.Code, e.Message, e.StatusCode)
+	}
+	return fmt.Sprintf("apiv1: %s: %s", e.Code, e.Message)
+}
+
+// ErrorEnvelope is the JSON error wrapper every non-2xx v1 response
+// carries: {"error": {"code": ..., "message": ..., "retry_after": ...}}.
+type ErrorEnvelope struct {
+	Error *Error `json:"error"`
+}

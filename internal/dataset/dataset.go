@@ -342,12 +342,15 @@ func Assemble(g *graph.Graph, stories []*digg.Story, topUsers []digg.UserID) *Da
 // call; the returned dataset copies the story list so later platform
 // submissions do not perturb it (individual stories are shared — a
 // still-running service can append votes to them).
-func FromPlatform(p *digg.Platform, snapshotAt digg.Minutes, topUserListSize int) *Dataset {
+func FromPlatform(p digg.Store, snapshotAt digg.Minutes, topUserListSize int) *Dataset {
 	stories := append([]*digg.Story(nil), p.Stories()...)
-	d := &Dataset{Graph: p.Graph, Platform: p, Stories: stories}
+	d := &Dataset{Graph: p.SocialGraph(), Stories: stories}
+	// Analysis code that needs the concrete platform gets it when the
+	// store is the canonical in-memory one.
+	d.Platform, _ = p.(*digg.Platform)
 	d.FrontPage = frontPageSample(stories, snapshotAt, len(stories))
 	d.UpcomingAtSnapshot = upcomingSnapshot(stories, snapshotAt)
-	d.TopUsers = topUserList(p, p.Graph, topUserListSize)
+	d.TopUsers = topUserList(p, p.SocialGraph(), topUserListSize)
 	d.rankOf = make(map[digg.UserID]int, len(d.TopUsers))
 	for i, u := range d.TopUsers {
 		d.rankOf[u] = i + 1
@@ -389,7 +392,7 @@ func upcomingSnapshot(stories []*digg.Story, t digg.Minutes) []*digg.Story {
 
 // topUserList ranks users by promoted submissions and pads the list to
 // size with the most-fanned users not already present.
-func topUserList(p *digg.Platform, g *graph.Graph, size int) []digg.UserID {
+func topUserList(p digg.Store, g *graph.Graph, size int) []digg.UserID {
 	top := p.TopUsers(size)
 	if len(top) >= size {
 		return top[:size]

@@ -189,11 +189,16 @@ func (p *Platform) StoryVersion(id StoryID) uint32 {
 	return p.storyVer[id]
 }
 
-// Story returns the story with the given id, or an error if it does not
-// exist.
+// ErrNoStory is returned (wrapped with the id) when a story id does
+// not exist. Transports match it with errors.Is to map "not found"
+// without depending on message text.
+var ErrNoStory = errors.New("digg: no story")
+
+// Story returns the story with the given id, or an error wrapping
+// ErrNoStory if it does not exist.
 func (p *Platform) Story(id StoryID) (*Story, error) {
 	if id < 0 || int(id) >= len(p.stories) {
-		return nil, fmt.Errorf("digg: no story %d", id)
+		return nil, fmt.Errorf("%w %d", ErrNoStory, id)
 	}
 	return p.stories[id], nil
 }

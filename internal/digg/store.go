@@ -1,0 +1,81 @@
+package digg
+
+import "diggsim/internal/graph"
+
+// Store is the command/query seam between the statistical core and
+// every serving-layer consumer: httpapi.Server, live.Service, the
+// agent stepper and the dataset exporter all compile against this
+// interface rather than the concrete *Platform. It exists so future
+// backends — a sharded store, a replica fan-out, a persistent
+// write-ahead store — can slot in underneath the HTTP surface without
+// touching any caller.
+//
+// Concurrency contract: a Store is single-writer. The commands
+// (Submit, InstallStory, Digg, CompactStory) and the queries share
+// whatever external synchronization the caller provides (the serving
+// layer's RWMutex); implementations may additionally make individual
+// queries internally synchronized or lock-free, as *Platform does for
+// UserRank, Ranks and SocialGraph.
+type Store interface {
+	// --- queries ---
+
+	// Generation increments on every mutation; equal generations imply
+	// identical observable state. Serving layers derive cache
+	// validators (ETags, cursor stamps) from it.
+	Generation() uint64
+	// NumStories returns the number of submitted stories.
+	NumStories() int
+	// StoryVersion returns the story's version counter (1 at
+	// submission, +1 per vote), or 0 if it does not exist.
+	StoryVersion(id StoryID) uint32
+	// Story returns the story with the given id.
+	Story(id StoryID) (*Story, error)
+	// Stories returns all stories in submission order. The slice is
+	// shared and append-only; callers must not modify it.
+	Stories() []*Story
+	// FrontPage returns promoted stories, most recently promoted
+	// first (limit <= 0 means no limit).
+	FrontPage(limit int) []*Story
+	// PromotedCount returns the number of front-page stories.
+	PromotedCount() int
+	// PromotedIDs returns story ids in promotion order, oldest first.
+	// The slice is shared and append-only: indices never change
+	// meaning, which is what makes front-page cursors stable.
+	PromotedIDs() []StoryID
+	// Upcoming returns unpromoted stories visible at now, newest
+	// first (limit <= 0 means no limit).
+	Upcoming(now Minutes, limit int) []*Story
+	// TopUsers returns up to k users ranked by promoted submissions.
+	TopUsers(k int) []UserID
+	// Ranks returns the shared, immutable user -> 1-based rank map.
+	Ranks() map[UserID]int
+	// UserRank returns u's 1-based reputation rank (0 if unranked).
+	UserRank(u UserID) int
+	// SocialGraph returns the immutable fan/friend graph.
+	SocialGraph() *graph.Graph
+
+	// --- commands ---
+
+	// Submit creates a new story with the submitter's implicit first
+	// vote.
+	Submit(u UserID, title string, interest float64, t Minutes) (*Story, error)
+	// InstallStory adopts a fully simulated story as the next story.
+	InstallStory(s *Story) error
+	// Digg records a vote, consulting the promotion policy.
+	Digg(id StoryID, u UserID, t Minutes) (DiggResult, error)
+	// CompactStory releases a story's live voter/audience bookkeeping.
+	CompactStory(id StoryID) error
+}
+
+// Platform is the canonical in-memory single-shard Store.
+var _ Store = (*Platform)(nil)
+
+// SocialGraph returns the platform's immutable social graph,
+// satisfying Store (the Graph field remains for direct users).
+func (p *Platform) SocialGraph() *graph.Graph { return p.Graph }
+
+// PromotedIDs returns story ids in promotion order, oldest first. The
+// returned slice is shared and strictly append-only — existing
+// elements are never rewritten — so a header copied under the
+// platform's external lock remains valid to read after release.
+func (p *Platform) PromotedIDs() []StoryID { return p.promoted }

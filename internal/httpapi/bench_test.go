@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -198,4 +200,99 @@ func BenchmarkFrontPageHandlerWhileLive(b *testing.B) {
 	b.StopTimer()
 	close(stop)
 	<-writerDone
+}
+
+// benchVotersPerStory bounds how many benchmark votes land on one
+// story before the feeder moves to a fresh one.
+const benchVotersPerStory = 5000
+
+// benchWritePlatform builds a platform sized for `votes` unique
+// (story, voter) pairs: user 0 submits every story, users 1..5000 are
+// the voters. NeverPromote keeps the write path uniform.
+func benchWritePlatform(b *testing.B, votes int) (*digg.Platform, []digg.StoryID) {
+	b.Helper()
+	g, err := graph.FromEdgeList(benchVotersPerStory+1, [][2]graph.NodeID{{1, 0}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := digg.NewPlatform(g, digg.NeverPromote{})
+	nStories := votes/benchVotersPerStory + 1
+	ids := make([]digg.StoryID, nStories)
+	for i := range ids {
+		st, err := p.Submit(0, fmt.Sprintf("bench-%d", i), 0.5, digg.Minutes(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	return p, ids
+}
+
+// BenchmarkSingleDigg measures the write path one vote at a time:
+// each POST takes the write lock, applies one vote, and republishes
+// the read snapshot. Compare votes/sec against BenchmarkBatchDigg.
+func BenchmarkSingleDigg(b *testing.B) {
+	p, stories := benchWritePlatform(b, b.N)
+	srv := NewServer(p, 400, nil)
+	h := srv.Handler()
+	w := &benchWriter{h: make(http.Header, 4)}
+	body := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		story := stories[i/benchVotersPerStory]
+		voter := 1 + i%benchVotersPerStory
+		body = body[:0]
+		body = append(body, `{"voter":`...)
+		body = strconv.AppendInt(body, int64(voter), 10)
+		body = append(body, `,"at":500}`...)
+		req := httptest.NewRequest(http.MethodPost,
+			fmt.Sprintf("/v1/stories/%d/digg", story), strings.NewReader(string(body)))
+		w.reset()
+		h.ServeHTTP(w, req)
+		if w.status != http.StatusOK {
+			b.Fatalf("digg %d: status %d", i, w.status)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "votes/sec")
+}
+
+// BenchmarkBatchDigg measures the same votes through POST
+// /v1/diggs:batch in batches of 100: one lock acquisition and one
+// snapshot republish per hundred votes. The acceptance bar for the
+// batch write endpoint is >= 2x BenchmarkSingleDigg's votes/sec.
+func BenchmarkBatchDigg(b *testing.B) {
+	const batch = 100
+	p, stories := benchWritePlatform(b, b.N*batch)
+	srv := NewServer(p, 400, nil)
+	h := srv.Handler()
+	w := &benchWriter{h: make(http.Header, 4)}
+	var body []byte
+	vote := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body = append(body[:0], `{"diggs":[`...)
+		for k := 0; k < batch; k++ {
+			if k > 0 {
+				body = append(body, ',')
+			}
+			body = append(body, `{"story":`...)
+			body = strconv.AppendInt(body, int64(stories[vote/benchVotersPerStory]), 10)
+			body = append(body, `,"voter":`...)
+			body = strconv.AppendInt(body, int64(1+vote%benchVotersPerStory), 10)
+			body = append(body, `,"at":500}`...)
+			vote++
+		}
+		body = append(body, `]}`...)
+		req := httptest.NewRequest(http.MethodPost, "/v1/diggs:batch", strings.NewReader(string(body)))
+		w.reset()
+		h.ServeHTTP(w, req)
+		if w.status != http.StatusOK {
+			b.Fatalf("batch %d: status %d", i, w.status)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "votes/sec")
 }

@@ -5,19 +5,30 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"iter"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"diggsim/internal/apiv1"
 	"diggsim/internal/digg"
 	"diggsim/internal/live"
 )
 
-// Client is a typed HTTP client for a diggd server with bounded retries
-// and exponential backoff on transient failures (network errors and
-// 5xx responses).
+// Client is the typed v1 SDK for a diggd server. Every call is
+// context-first, returns *apiv1.Error for non-2xx responses (inspect
+// with errors.As), retries transient failures with exponential backoff
+// — honoring the server's Retry-After on 429/503 — and revalidates
+// cacheable GETs with If-None-Match so an unchanged page costs a 304
+// instead of a re-download. List endpoints paginate with opaque
+// cursors; the *Pages methods return iterators usable as
+//
+//	for page, err := range client.Stories(ctx, 200) { ... }
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
@@ -28,6 +39,18 @@ type Client struct {
 	// Backoff is the initial retry delay, doubled per attempt
 	// (default 100ms).
 	Backoff time.Duration
+	// MaxRetryAfter caps how long the client will honor a server's
+	// Retry-After before giving that attempt up (default 10s).
+	MaxRetryAfter time.Duration
+
+	// etags caches (path -> ETag, body) for revalidatable GETs.
+	etagMu sync.Mutex
+	etags  map[string]etagEntry
+}
+
+type etagEntry struct {
+	etag string
+	body []byte
 }
 
 // NewClient returns a client with production defaults.
@@ -40,14 +63,10 @@ func NewClient(baseURL string) *Client {
 	}
 }
 
-// APIError is a non-2xx response from the server.
-type APIError struct {
-	StatusCode int
-	Message    string
-}
-
-func (e *APIError) Error() string {
-	return fmt.Sprintf("httpapi: server returned %d: %s", e.StatusCode, e.Message)
+// APIError is re-exported in types.go as an alias of apiv1.Error; the
+// helper keeps old call sites readable.
+func asAPIError(err error, target **apiv1.Error) bool {
+	return errors.As(err, target)
 }
 
 // do performs one request with retries, decoding a JSON response into
@@ -65,6 +84,10 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
+	maxRetryAfter := c.MaxRetryAfter
+	if maxRetryAfter <= 0 {
+		maxRetryAfter = 10 * time.Second
+	}
 	var bodyBytes []byte
 	if body != nil {
 		var err error
@@ -73,15 +96,21 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			return fmt.Errorf("httpapi: encoding request: %w", err)
 		}
 	}
+	cacheable := method == http.MethodGet && out != nil
 	var lastErr error
+	wait := time.Duration(0)
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
+			if wait <= 0 {
+				wait = backoff
+				backoff *= 2
+			}
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(backoff):
+			case <-time.After(wait):
 			}
-			backoff *= 2
+			wait = 0
 		}
 		var reader io.Reader
 		if bodyBytes != nil {
@@ -94,20 +123,35 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if bodyBytes != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		var cached etagEntry
+		if cacheable {
+			if cached = c.cachedETag(path); cached.etag != "" {
+				req.Header.Set("If-None-Match", cached.etag)
+			}
+		}
 		resp, err := httpClient.Do(req)
 		if err != nil {
 			lastErr = err
 			continue // network error: retry
 		}
-		err = decodeResponse(resp, out)
-		var apiErr *APIError
+		err = c.decodeResponse(path, resp, cached, out)
 		if err == nil {
 			return nil
 		}
+		var apiErr *apiv1.Error
 		if asAPIError(err, &apiErr) &&
 			(apiErr.StatusCode >= 500 || apiErr.StatusCode == http.StatusTooManyRequests) {
 			lastErr = err
-			continue // server error or rate limit: retry with backoff
+			// Honor the server's Retry-After (capped) over blind
+			// backoff: a GCRA 429 tells us exactly when the next
+			// request will conform.
+			if ra := time.Duration(apiErr.RetryAfter) * time.Second; ra > 0 {
+				if ra > maxRetryAfter {
+					ra = maxRetryAfter
+				}
+				wait = ra
+			}
+			continue
 		}
 		return err // client error or decode failure: do not retry
 	}
@@ -115,26 +159,44 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		method, path, retries+1, lastErr)
 }
 
-func asAPIError(err error, target **APIError) bool {
-	if e, ok := err.(*APIError); ok {
-		*target = e
-		return true
-	}
-	return false
+func (c *Client) cachedETag(path string) etagEntry {
+	c.etagMu.Lock()
+	defer c.etagMu.Unlock()
+	return c.etags[path]
 }
 
-func decodeResponse(resp *http.Response, out any) error {
+func (c *Client) storeETag(path, etag string, body []byte) {
+	c.etagMu.Lock()
+	if c.etags == nil {
+		c.etags = make(map[string]etagEntry)
+	}
+	c.etags[path] = etagEntry{etag: etag, body: body}
+	c.etagMu.Unlock()
+}
+
+// decodeResponse turns a response into out or a typed *apiv1.Error.
+// It understands both the v1 error envelope and the legacy string
+// envelope, and serves 304 revalidations from the client's ETag cache.
+func (c *Client) decodeResponse(path string, resp *http.Response, cached etagEntry, out any) error {
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified && cached.etag != "" {
+		if out == nil {
+			return nil
+		}
+		if err := json.Unmarshal(cached.body, out); err != nil {
+			return fmt.Errorf("httpapi: decoding cached response: %w", err)
+		}
+		return nil
+	}
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return fmt.Errorf("httpapi: reading response: %w", err)
 	}
 	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		var e ErrorResponse
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return &APIError{StatusCode: resp.StatusCode, Message: e.Error}
-		}
-		return &APIError{StatusCode: resp.StatusCode, Message: string(data)}
+		return errorFromBody(resp, data)
+	}
+	if etag := resp.Header.Get("ETag"); etag != "" && out != nil {
+		c.storeETag(path, etag, data)
 	}
 	if out == nil {
 		return nil
@@ -145,98 +207,269 @@ func decodeResponse(resp *http.Response, out any) error {
 	return nil
 }
 
+// errorFromBody builds the typed error from a non-2xx body: the v1
+// envelope when present, the legacy string envelope or raw text
+// otherwise.
+func errorFromBody(resp *http.Response, data []byte) *apiv1.Error {
+	var env apiv1.ErrorEnvelope
+	if json.Unmarshal(data, &env) == nil && env.Error != nil && env.Error.Code != "" {
+		e := env.Error
+		e.StatusCode = resp.StatusCode
+		if e.RetryAfter == 0 {
+			e.RetryAfter = retryAfterHeader(resp)
+		}
+		return e
+	}
+	var legacy ErrorResponse
+	msg := string(data)
+	if json.Unmarshal(data, &legacy) == nil && legacy.Error != "" {
+		msg = legacy.Error
+	}
+	return &apiv1.Error{
+		StatusCode: resp.StatusCode,
+		Code:       codeForStatus(resp.StatusCode),
+		Message:    msg,
+		RetryAfter: retryAfterHeader(resp),
+	}
+}
+
+func retryAfterHeader(resp *http.Response) int {
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 0
+}
+
+// codeForStatus gives legacy (enveloped-string) errors a best-effort
+// stable code so errors.As dispatch works uniformly.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusNotFound:
+		return apiv1.CodeNotFound
+	case http.StatusConflict:
+		return apiv1.CodeAlreadyVoted
+	case http.StatusGone:
+		return apiv1.CodeStoryGone
+	case http.StatusTooManyRequests:
+		return apiv1.CodeRateLimited
+	case http.StatusBadRequest:
+		return apiv1.CodeInvalidArgument
+	default:
+		return apiv1.CodeInternal
+	}
+}
+
 // Health checks the /healthz endpoint.
 func (c *Client) Health(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
-// FrontPage fetches up to limit promoted stories, newest first.
+// FrontPage fetches up to limit promoted stories, newest promotion
+// first (the first cursor page; use FrontPagePages to crawl deeper).
 func (c *Client) FrontPage(ctx context.Context, limit int) ([]StorySummary, error) {
-	var out []StorySummary
-	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/frontpage?limit=%d", limit), nil, &out)
-	return out, err
+	var out apiv1.StoriesPage
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/frontpage?limit=%d", limit), nil, &out)
+	return out.Stories, err
 }
 
-// Upcoming fetches up to limit unpromoted stories, newest first.
+// Upcoming fetches up to limit unpromoted stories, newest first (the
+// first cursor page; use UpcomingPages to crawl deeper).
 func (c *Client) Upcoming(ctx context.Context, limit int) ([]StorySummary, error) {
-	var out []StorySummary
-	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/upcoming?limit=%d", limit), nil, &out)
-	return out, err
+	var out apiv1.StoriesPage
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/upcoming?limit=%d", limit), nil, &out)
+	return out.Stories, err
 }
 
-// Stories fetches a page of the full story listing in submission
-// order.
-func (c *Client) Stories(ctx context.Context, offset, limit int) (StoryPage, error) {
-	var out StoryPage
-	err := c.do(ctx, http.MethodGet,
-		fmt.Sprintf("/api/stories?offset=%d&limit=%d", offset, limit), nil, &out)
+// pageSeq builds a cursor-page iterator over any v1 listing: fetch a
+// page, yield it, follow its next cursor until exhaustion. Iteration
+// stops at the first error (yielded with a zero page) or when the
+// server omits the next cursor.
+func pageSeq[T any](c *Client, ctx context.Context, path string, pageSize int, next func(*T) apiv1.Cursor) iter.Seq2[T, error] {
+	return func(yield func(T, error) bool) {
+		cursor := apiv1.Cursor("")
+		for {
+			url := fmt.Sprintf("%s?limit=%d", path, pageSize)
+			if cursor != "" {
+				url += "&cursor=" + string(cursor)
+			}
+			var page T
+			if err := c.do(ctx, http.MethodGet, url, nil, &page); err != nil {
+				var zero T
+				yield(zero, err)
+				return
+			}
+			if !yield(page, nil) {
+				return
+			}
+			if cursor = next(&page); cursor == "" {
+				return
+			}
+		}
+	}
+}
+
+// storiesSeq is pageSeq over a stories-shaped endpoint.
+func (c *Client) storiesSeq(ctx context.Context, path string, pageSize int) iter.Seq2[apiv1.StoriesPage, error] {
+	if pageSize <= 0 {
+		pageSize = 200
+	}
+	return pageSeq(c, ctx, path, pageSize,
+		func(p *apiv1.StoriesPage) apiv1.Cursor { return p.NextCursor })
+}
+
+// Stories iterates cursor pages of the full story listing in
+// submission order:
+//
+//	for page, err := range client.Stories(ctx, 200) {
+//		if err != nil { return err }
+//		... page.Stories ...
+//	}
+func (c *Client) Stories(ctx context.Context, pageSize int) iter.Seq2[apiv1.StoriesPage, error] {
+	return c.storiesSeq(ctx, "/v1/stories", pageSize)
+}
+
+// FrontPagePages iterates cursor pages of the front page, newest
+// promotion first.
+func (c *Client) FrontPagePages(ctx context.Context, pageSize int) iter.Seq2[apiv1.StoriesPage, error] {
+	return c.storiesSeq(ctx, "/v1/frontpage", pageSize)
+}
+
+// UpcomingPages iterates cursor pages of the upcoming queue, newest
+// first.
+func (c *Client) UpcomingPages(ctx context.Context, pageSize int) iter.Seq2[apiv1.StoriesPage, error] {
+	return c.storiesSeq(ctx, "/v1/upcoming", pageSize)
+}
+
+// StoriesAt fetches one page of the story listing at the given cursor
+// ("" for the first page).
+func (c *Client) StoriesAt(ctx context.Context, cursor apiv1.Cursor, limit int) (apiv1.StoriesPage, error) {
+	url := fmt.Sprintf("/v1/stories?limit=%d", limit)
+	if cursor != "" {
+		url += "&cursor=" + string(cursor)
+	}
+	var out apiv1.StoriesPage
+	err := c.do(ctx, http.MethodGet, url, nil, &out)
 	return out, err
 }
 
 // Story fetches a story with its full chronological vote list.
 func (c *Client) Story(ctx context.Context, id digg.StoryID) (StoryDetail, error) {
 	var out StoryDetail
-	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/stories/%d", id), nil, &out)
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/stories/%d", id), nil, &out)
 	return out, err
 }
 
 // User fetches a user's profile.
 func (c *Client) User(ctx context.Context, id digg.UserID) (UserInfo, error) {
 	var out UserInfo
-	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/users/%d", id), nil, &out)
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/users/%d", id), nil, &out)
 	return out, err
 }
 
-// Fans fetches the users watching id.
+// linksSeq iterates cursor pages of a fans/friends listing.
+func (c *Client) linksSeq(ctx context.Context, path string, pageSize int) iter.Seq2[apiv1.UserLinksPage, error] {
+	if pageSize <= 0 {
+		pageSize = apiv1.MaxPageSize
+	}
+	return pageSeq(c, ctx, path, pageSize,
+		func(p *apiv1.UserLinksPage) apiv1.Cursor { return p.NextCursor })
+}
+
+// FansPages iterates cursor pages of the users watching id.
+func (c *Client) FansPages(ctx context.Context, id digg.UserID, pageSize int) iter.Seq2[apiv1.UserLinksPage, error] {
+	return c.linksSeq(ctx, fmt.Sprintf("/v1/users/%d/fans", id), pageSize)
+}
+
+// FriendsPages iterates cursor pages of the users watched by id.
+func (c *Client) FriendsPages(ctx context.Context, id digg.UserID, pageSize int) iter.Seq2[apiv1.UserLinksPage, error] {
+	return c.linksSeq(ctx, fmt.Sprintf("/v1/users/%d/friends", id), pageSize)
+}
+
+// Fans fetches every user watching id, exhausting the cursor.
 func (c *Client) Fans(ctx context.Context, id digg.UserID) ([]digg.UserID, error) {
-	var out UserLinks
-	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/users/%d/fans", id), nil, &out)
-	return out.Users, err
+	return collectLinks(c.FansPages(ctx, id, 0))
 }
 
-// Friends fetches the users watched by id.
+// Friends fetches every user watched by id, exhausting the cursor.
 func (c *Client) Friends(ctx context.Context, id digg.UserID) ([]digg.UserID, error) {
-	var out UserLinks
-	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/users/%d/friends", id), nil, &out)
+	return collectLinks(c.FriendsPages(ctx, id, 0))
+}
+
+func collectLinks(pages iter.Seq2[apiv1.UserLinksPage, error]) ([]digg.UserID, error) {
+	var out []digg.UserID
+	for page, err := range pages {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, page.Users...)
+	}
+	return out, nil
+}
+
+// TopUsers fetches up to limit entries of the reputation ranking (the
+// first cursor page; use TopUsersPages to crawl deeper).
+func (c *Client) TopUsers(ctx context.Context, limit int) ([]digg.UserID, error) {
+	var out apiv1.TopUsersPage
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/topusers?limit=%d", limit), nil, &out)
 	return out.Users, err
 }
 
-// TopUsers fetches the reputation ranking.
-func (c *Client) TopUsers(ctx context.Context, limit int) ([]digg.UserID, error) {
-	var out []digg.UserID
-	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/api/topusers?limit=%d", limit), nil, &out)
-	return out, err
+// TopUsersPages iterates cursor pages of the reputation ranking, best
+// first.
+func (c *Client) TopUsersPages(ctx context.Context, pageSize int) iter.Seq2[apiv1.TopUsersPage, error] {
+	if pageSize <= 0 {
+		pageSize = 200
+	}
+	return pageSeq(c, ctx, "/v1/topusers", pageSize,
+		func(p *apiv1.TopUsersPage) apiv1.Cursor { return p.NextCursor })
 }
 
-// Submit creates a story on a live server.
+// Submit creates a story.
 func (c *Client) Submit(ctx context.Context, req SubmitRequest) (StoryDetail, error) {
 	var out StoryDetail
-	err := c.do(ctx, http.MethodPost, "/api/stories", req, &out)
+	err := c.do(ctx, http.MethodPost, "/v1/stories", req, &out)
 	return out, err
 }
 
-// Digg casts a vote on a live server.
+// Digg casts a vote.
 func (c *Client) Digg(ctx context.Context, id digg.StoryID, req DiggRequest) (DiggResponse, error) {
 	var out DiggResponse
-	err := c.do(ctx, http.MethodPost, fmt.Sprintf("/api/stories/%d/digg", id), req, &out)
+	err := c.do(ctx, http.MethodPost, fmt.Sprintf("/v1/stories/%d/digg", id), req, &out)
+	return out, err
+}
+
+// DiggBatch casts up to apiv1.MaxBatch votes in one write transaction.
+func (c *Client) DiggBatch(ctx context.Context, req apiv1.BatchDiggRequest) (apiv1.BatchDiggResponse, error) {
+	var out apiv1.BatchDiggResponse
+	err := c.do(ctx, http.MethodPost, "/v1/diggs:batch", req, &out)
+	return out, err
+}
+
+// SubmitBatch creates up to apiv1.MaxBatch stories in one write
+// transaction.
+func (c *Client) SubmitBatch(ctx context.Context, req apiv1.BatchSubmitRequest) (apiv1.BatchSubmitResponse, error) {
+	var out apiv1.BatchSubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/stories:batch", req, &out)
 	return out, err
 }
 
 // Stats fetches the server's live/HTTP metrics.
 func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 	var out StatsResponse
-	err := c.do(ctx, http.MethodGet, "/api/stats", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
 	return out, err
 }
 
-// Stream subscribes to the server's /api/stream SSE feed and invokes
+// Stream subscribes to the server's /v1/stream SSE feed and invokes
 // fn for every decoded event until ctx is cancelled, the server closes
 // the stream, or fn returns an error (which is returned verbatim).
 // Unlike the other client calls, Stream never retries and ignores the
 // client timeout: a live tail has no natural deadline, so cancellation
 // is the caller's job via ctx.
 func (c *Client) Stream(ctx context.Context, fn func(live.Event) error) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/api/stream", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stream", nil)
 	if err != nil {
 		return fmt.Errorf("httpapi: building stream request: %w", err)
 	}
@@ -255,7 +488,7 @@ func (c *Client) Stream(ctx context.Context, fn func(live.Event) error) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return &APIError{StatusCode: resp.StatusCode, Message: string(data)}
+		return errorFromBody(resp, data)
 	}
 	scanner := bufio.NewScanner(resp.Body)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"diggsim/internal/apiv1"
 )
 
 // LoggingMiddleware writes one line per request (method, path, status,
@@ -92,32 +94,52 @@ func NewRateLimiter(rate float64, burst int) *RateLimiter {
 
 // Allow consumes one token if available.
 func (l *RateLimiter) Allow() bool {
+	ok, _ := l.AllowOrRetry()
+	return ok
+}
+
+// AllowOrRetry consumes one token if available; on denial it also
+// reports how long until the next request would conform — the value
+// the 429 path surfaces as Retry-After.
+func (l *RateLimiter) AllowOrRetry() (bool, time.Duration) {
 	now := l.now().UnixNano()
 	for {
 		tat := l.tat.Load()
 		// A request conforms while the bucket's theoretical arrival
 		// time has not run more than the burst tolerance ahead of the
 		// wall clock.
-		if tat-now > l.tolerance {
-			return false
+		if over := tat - l.tolerance - now; over > 0 {
+			return false, time.Duration(over)
 		}
 		next := tat
 		if now > next {
 			next = now // idle gap: refills cap at burst capacity
 		}
 		if l.tat.CompareAndSwap(tat, next+l.interval) {
-			return true
+			return true, 0
 		}
 	}
 }
 
-// Middleware rejects requests above the limit with 429 and a
-// Retry-After hint.
+// Middleware rejects requests above the limit with 429, the v1
+// machine-readable error envelope ({"error":{"code":"rate_limited",
+// "retry_after":N}}), and a Retry-After header computed from the GCRA
+// state — the actual wait until the next conforming request, not a
+// fixed hint.
 func (l *RateLimiter) Middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if !l.Allow() {
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+		ok, wait := l.AllowOrRetry()
+		if !ok {
+			secs := int((wait + time.Second - 1) / time.Second) // ceil
+			if secs < 1 {
+				secs = 1
+			}
+			writeV1Error(w, &apiv1.Error{
+				StatusCode: http.StatusTooManyRequests,
+				Code:       apiv1.CodeRateLimited,
+				Message:    "rate limit exceeded",
+				RetryAfter: secs,
+			})
 			return
 		}
 		next.ServeHTTP(w, r)

@@ -141,33 +141,52 @@ func TestStoryListPagination(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	page, err := c.Stories(ctx, 0, 2)
+	// First cursor page.
+	page, err := c.StoriesAt(ctx, "", 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if page.Total != 5 || len(page.Stories) != 2 || page.Offset != 0 {
+	if page.Total != 5 || len(page.Stories) != 2 || page.NextCursor == "" {
 		t.Fatalf("page = %+v", page)
 	}
 	if page.Stories[0].ID != 0 || page.Stories[1].ID != 1 {
 		t.Errorf("page order = %+v", page.Stories)
 	}
-	// Middle page.
-	page, err = c.Stories(ctx, 3, 10)
+	// Follow the cursor to the middle page.
+	page, err = c.StoriesAt(ctx, page.NextCursor, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(page.Stories) != 2 || page.Stories[0].ID != 3 {
-		t.Errorf("tail page = %+v", page.Stories)
+	if len(page.Stories) != 2 || page.Stories[0].ID != 2 {
+		t.Errorf("second page = %+v", page.Stories)
 	}
-	// Past the end.
-	page, err = c.Stories(ctx, 99, 10)
+	// Final page exhausts the cursor.
+	page, err = c.StoriesAt(ctx, page.NextCursor, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(page.Stories) != 0 || page.Total != 5 {
-		t.Errorf("overflow page = %+v", page)
+	if len(page.Stories) != 1 || page.Stories[0].ID != 4 || page.NextCursor != "" {
+		t.Errorf("final page = %+v", page)
 	}
-	// Negative parameters rejected.
+	// The iterator sees every story exactly once.
+	var ids []int
+	for page, err := range c.Stories(ctx, 2) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range page.Stories {
+			ids = append(ids, int(s.ID))
+		}
+	}
+	if len(ids) != 5 {
+		t.Fatalf("iterator saw %d stories: %v", len(ids), ids)
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("iterator order = %v", ids)
+		}
+	}
+	// Legacy alias still rejects negative offsets.
 	resp, err := http.Get(c.BaseURL + "/api/stories?offset=-1")
 	if err != nil {
 		t.Fatal(err)

@@ -3,9 +3,11 @@ package httpapi
 import (
 	"context"
 	"fmt"
+	"iter"
 	"sort"
 	"sync"
 
+	"diggsim/internal/apiv1"
 	"diggsim/internal/dataset"
 	"diggsim/internal/digg"
 	"diggsim/internal/graph"
@@ -18,11 +20,12 @@ type ScrapeConfig struct {
 	// sample sizes). Ignored when All is set.
 	FrontPageLimit int
 	UpcomingLimit  int
-	// All walks the paginated /api/stories listing instead of the two
-	// queues, collecting the entire corpus (including stale stories no
-	// longer visible in either queue).
+	// All walks the full /v1/stories listing by cursor instead of the
+	// two queues, collecting the entire corpus (including stale
+	// stories no longer visible in either queue).
 	All bool
-	// PageSize is the page size used with All (default 200).
+	// PageSize is the cursor page size used for listing crawls
+	// (default 200).
 	PageSize int
 	// Workers is the number of concurrent fetchers (default 8).
 	Workers int
@@ -49,42 +52,51 @@ func (c ScrapeConfig) withDefaults() ScrapeConfig {
 	return c
 }
 
+// collectIDs drains a cursor-page iterator into story ids, stopping
+// once limit ids are collected (limit <= 0 means exhaust the cursor).
+// Generation-stamped cursors make the walk stable against the live
+// writer: no story is seen twice and none is skipped within a
+// generation, unlike the offset loops this replaced.
+func collectIDs(pages iter.Seq2[apiv1.StoriesPage, error], limit int) ([]digg.StoryID, error) {
+	var ids []digg.StoryID
+	for page, err := range pages {
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range page.Stories {
+			ids = append(ids, s.ID)
+			if limit > 0 && len(ids) >= limit {
+				return ids, nil
+			}
+		}
+	}
+	return ids, nil
+}
+
 // Scrape crawls a diggd server the way the paper crawled Digg: list the
 // front page and the upcoming queue, fetch each story's chronological
 // vote list, then fetch the fan links of every user seen voting. The
-// result converts to a dataset.Dataset for offline analysis.
+// result converts to a dataset.Dataset for offline analysis. All
+// listings iterate v1 cursors.
 func Scrape(ctx context.Context, c *Client, cfg ScrapeConfig) (*dataset.Dataset, error) {
 	cfg = cfg.withDefaults()
 	var ids []digg.StoryID
+	var err error
 	if cfg.All {
-		for offset := 0; ; offset += cfg.PageSize {
-			page, err := c.Stories(ctx, offset, cfg.PageSize)
-			if err != nil {
-				return nil, fmt.Errorf("httpapi: listing stories at offset %d: %w", offset, err)
-			}
-			for _, s := range page.Stories {
-				ids = append(ids, s.ID)
-			}
-			if offset+len(page.Stories) >= page.Total || len(page.Stories) == 0 {
-				break
-			}
+		ids, err = collectIDs(c.Stories(ctx, cfg.PageSize), 0)
+		if err != nil {
+			return nil, fmt.Errorf("httpapi: listing stories: %w", err)
 		}
 	} else {
-		front, err := c.FrontPage(ctx, cfg.FrontPageLimit)
+		front, err := collectIDs(c.FrontPagePages(ctx, cfg.PageSize), cfg.FrontPageLimit)
 		if err != nil {
 			return nil, fmt.Errorf("httpapi: scraping front page: %w", err)
 		}
-		upcoming, err := c.Upcoming(ctx, cfg.UpcomingLimit)
+		upcoming, err := collectIDs(c.UpcomingPages(ctx, cfg.PageSize), cfg.UpcomingLimit)
 		if err != nil {
 			return nil, fmt.Errorf("httpapi: scraping upcoming queue: %w", err)
 		}
-		ids = make([]digg.StoryID, 0, len(front)+len(upcoming))
-		for _, s := range front {
-			ids = append(ids, s.ID)
-		}
-		for _, s := range upcoming {
-			ids = append(ids, s.ID)
-		}
+		ids = append(front, upcoming...)
 	}
 
 	// Fetch story details concurrently.
@@ -137,7 +149,12 @@ func Scrape(ctx context.Context, c *Client, cfg ScrapeConfig) (*dataset.Dataset,
 		}
 	}
 	var stories []*digg.Story
+	seen := make(map[digg.StoryID]bool, len(details))
 	for _, d := range details {
+		if seen[d.ID] {
+			continue // a story can sit in both crawled queues
+		}
+		seen[d.ID] = true
 		s := &digg.Story{
 			ID:          d.ID,
 			Title:       d.Title,

@@ -6,64 +6,77 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
-	"strings"
 	"sync"
 
 	"diggsim/internal/digg"
+	"diggsim/internal/graph"
 	"diggsim/internal/live"
 )
 
-// Server serves a digg.Platform over HTTP/JSON.
+// Server serves a digg.Store over HTTP/JSON: the versioned /v1/*
+// surface (see v1.go and internal/apiv1) plus the deprecated /api/*
+// compatibility aliases.
 //
-// Reads and writes travel different paths. The hot read endpoints
-// (/api/frontpage, /api/upcoming, /api/stories, /api/stories/{id},
-// /api/topusers, /api/users/{id}) are lock-free: they serve
-// pre-serialized JSON from an immutable ReadView snapshot published
-// through an atomic pointer (see snapshot.go), so heavy scraping never
-// waits behind the simulation writer. Writes — HTTP submissions and
-// diggs, or the live stepper when a live.Service is attached — take
-// the write lock, mutate the platform, and republish the snapshot
-// before responding, so a client always reads its own writes.
+// Reads and writes travel different paths. The hot read endpoints are
+// lock-free: they serve pre-serialized JSON from an immutable ReadView
+// snapshot published through an atomic pointer (see snapshot.go), so
+// heavy scraping never waits behind the simulation writer. Writes —
+// HTTP submissions and diggs (single or batch), or the live stepper
+// when a live.Service is attached — take the write lock, mutate the
+// store, and republish the snapshot before responding, so a client
+// always reads its own writes.
 //
 // The RWMutex remains the fallback for requests the snapshot cannot
 // answer (limits past the pre-rendered depth, stories newer than the
 // last publication) and for genuinely point-in-time reads.
 type Server struct {
-	// mu guards the platform. With AttachLive it is replaced by the
+	// mu guards the store. With AttachLive it is replaced by the
 	// service's lock so the simulation writer, snapshot rebuilds and
 	// fallback readers interleave on one mutex.
-	mu       *sync.RWMutex
-	platform *digg.Platform
-	now      digg.Minutes
+	mu    *sync.RWMutex
+	store digg.Store
+	// graph is the store's immutable social graph, cached so the user
+	// endpoints never need the store lock or an interface call.
+	graph *graph.Graph
+	now   digg.Minutes
 	// nowFn, when set, overrides the static now field (live sim clock,
 	// or a wall-advancing clock in static mode). It must be safe to
 	// call without holding mu.
 	nowFn func() digg.Minutes
 	// rankOf maps users to reputation ranks. It must be safe for
-	// concurrent use without the platform lock (the platform default
-	// and dataset snapshots both are).
+	// concurrent use without the store lock (the platform default and
+	// dataset snapshots both are).
 	rankOf func(digg.UserID) int
-	// platformRanks records that rankOf is the platform default, so
-	// user handlers can serve ranks from the snapshot's immutable map
+	// storeRanks records that rankOf is the store default, so user
+	// handlers can serve ranks from the snapshot's immutable map
 	// instead of calling through.
-	platformRanks bool
-	live          *live.Service
-	metrics       *Metrics
-	snap          *snapshotStore
+	storeRanks bool
+	live       *live.Service
+	metrics    *Metrics
+	snap       *snapshotStore
 }
 
-// NewServer wraps the platform. now is the clock used for upcoming-
-// queue visibility and write operations; rankOf maps users to
-// reputation ranks for /api/users (nil means platform-derived ranks).
-// A non-nil rankOf is called without the platform lock and must be
-// safe for concurrent use while the platform mutates — read from an
-// immutable snapshot (like dataset rank maps) or synchronize
-// internally; do not pass a closure over live platform state.
-func NewServer(p *digg.Platform, now digg.Minutes, rankOf func(digg.UserID) int) *Server {
-	s := &Server{mu: &sync.RWMutex{}, platform: p, now: now, rankOf: rankOf, snap: newSnapshotStore()}
+// NewServer wraps a digg.Store (in practice the in-memory
+// *digg.Platform; the interface is the seam future shard or replica
+// backends plug into). now is the clock used for upcoming-queue
+// visibility and write operations; rankOf maps users to reputation
+// ranks for the user endpoints (nil means store-derived ranks). A
+// non-nil rankOf is called without the store lock and must be safe for
+// concurrent use while the store mutates — read from an immutable
+// snapshot (like dataset rank maps) or synchronize internally; do not
+// pass a closure over live platform state.
+func NewServer(store digg.Store, now digg.Minutes, rankOf func(digg.UserID) int) *Server {
+	s := &Server{
+		mu:     &sync.RWMutex{},
+		store:  store,
+		graph:  store.SocialGraph(),
+		now:    now,
+		rankOf: rankOf,
+		snap:   newSnapshotStore(),
+	}
 	if rankOf == nil {
-		s.rankOf = p.UserRank
-		s.platformRanks = true
+		s.rankOf = store.UserRank
+		s.storeRanks = true
 	}
 	return s
 }
@@ -88,8 +101,8 @@ func (s *Server) SetNowFunc(fn func() digg.Minutes) { s.nowFn = fn }
 // service's platform lock (so snapshot rebuilds and fallback readers
 // interleave safely with the simulation writer), serves the service's
 // clock, republishes the read snapshot after every simulation step,
-// and exposes the /api/stream SSE feed plus live metrics on
-// /api/stats. Call before Handler and before the service runs.
+// and exposes the SSE stream feed plus live metrics on the stats
+// endpoints. Call before Handler and before the service runs.
 func (s *Server) AttachLive(svc *live.Service) {
 	s.mu = svc.Locker()
 	s.nowFn = svc.Now
@@ -97,8 +110,8 @@ func (s *Server) AttachLive(svc *live.Service) {
 	svc.SetAfterStep(s.republish)
 }
 
-// AttachMetrics includes the middleware's request counters in
-// /api/stats responses. Call before Handler.
+// AttachMetrics includes the middleware's request counters in stats
+// responses. Call before Handler.
 func (s *Server) AttachMetrics(m *Metrics) { s.metrics = m }
 
 // clock returns the current sim time: the nowFn clock when installed,
@@ -113,7 +126,8 @@ func (s *Server) clock() digg.Minutes {
 }
 
 // Handler publishes the initial read snapshot and returns the HTTP
-// routing table.
+// routing table: the versioned /v1/* surface plus the deprecated
+// /api/* aliases.
 func (s *Server) Handler() http.Handler {
 	s.republish()
 	mux := http.NewServeMux()
@@ -121,6 +135,7 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	// Deprecated unversioned aliases (offset/limit, string errors).
 	mux.HandleFunc("GET /api/frontpage", s.handleFrontPage)
 	mux.HandleFunc("GET /api/stories", s.handleStoryList)
 	mux.HandleFunc("GET /api/upcoming", s.handleUpcoming)
@@ -135,6 +150,7 @@ func (s *Server) Handler() http.Handler {
 	if s.live != nil {
 		mux.HandleFunc("GET /api/stream", s.handleStream)
 	}
+	s.mountV1(mux)
 	return mux
 }
 
@@ -203,7 +219,7 @@ func (s *Server) handleFrontPage(w http.ResponseWriter, r *http.Request) {
 // snapshot's pre-rendered depth.
 func (s *Server) frontPageLocked(w http.ResponseWriter, limit int) {
 	s.mu.RLock()
-	stories := s.platform.FrontPage(limit)
+	stories := s.store.FrontPage(limit)
 	out := make([]StorySummary, len(stories))
 	for i, st := range stories {
 		out[i] = summarize(st)
@@ -287,7 +303,7 @@ func (s *Server) handleUpcoming(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) upcomingLocked(w http.ResponseWriter, now digg.Minutes, limit int) {
 	s.mu.RLock()
-	stories := s.platform.Upcoming(now, limit)
+	stories := s.store.Upcoming(now, limit)
 	out := make([]StorySummary, len(stories))
 	for i, st := range stories {
 		out[i] = summarize(st)
@@ -297,7 +313,8 @@ func (s *Server) upcomingLocked(w http.ResponseWriter, now digg.Minutes, limit i
 }
 
 // handleStoryList serves a paginated listing of every story in
-// submission order: GET /api/stories?offset=0&limit=50.
+// submission order: GET /api/stories?offset=0&limit=50 (deprecated;
+// /v1/stories paginates with cursors).
 func (s *Server) handleStoryList(w http.ResponseWriter, r *http.Request) {
 	offset, err := queryIntRaw(r.URL.RawQuery, "offset", 0)
 	if err != nil {
@@ -321,6 +338,13 @@ func (s *Server) handleStoryList(w http.ResponseWriter, r *http.Request) {
 		s.storyListLocked(w, offset, limit)
 		return
 	}
+	s.storyListFromView(w, view, offset, limit)
+}
+
+// storyListFromView cuts an offset/limit page entirely from one
+// published view, so total and stories always describe the same
+// generation.
+func (s *Server) storyListFromView(w http.ResponseWriter, view *ReadView, offset, limit int) {
 	total := len(view.summaries)
 	bp := encBufPool.Get().(*[]byte)
 	b := (*bp)[:0]
@@ -351,9 +375,22 @@ func (s *Server) handleStoryList(w http.ResponseWriter, r *http.Request) {
 	encBufPool.Put(bp)
 }
 
+// storyListLocked is the fallback when no snapshot is published yet.
+// Under the live writer the snapshot and locked paths can disagree on
+// the story count, so a page is never assembled from a mix of the two:
+// if a view at the current platform generation exists by the time the
+// lock is held (published between the caller's nil load and the lock
+// acquisition), the whole page is re-served from that view; otherwise
+// total and stories both come from one point-in-time read under a
+// single RLock.
 func (s *Server) storyListLocked(w http.ResponseWriter, offset, limit int) {
 	s.mu.RLock()
-	all := s.platform.Stories()
+	if view := s.snap.view.Load(); view != nil && view.Gen == s.store.Generation() {
+		s.mu.RUnlock()
+		s.storyListFromView(w, view, offset, limit)
+		return
+	}
+	all := s.store.Stories()
 	var page StoryPage
 	page.Total = len(all)
 	page.Offset = offset
@@ -377,36 +414,50 @@ func (s *Server) handleStory(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	buf, ok, err := s.storyDetailBytes(digg.StoryID(id))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if ok {
+		writeRaw(w, buf)
+		return
+	}
+	s.storyLocked(w, digg.StoryID(id))
+}
+
+// storyDetailBytes serves a story's detail JSON from the per-(story,
+// version) cache, encoding and caching on miss. ok reports whether the
+// snapshot path could answer; when false (no view yet, or a story
+// newer than the slab) the caller should use its locked fallback.
+func (s *Server) storyDetailBytes(id digg.StoryID) (buf []byte, ok bool, err error) {
 	view := s.snap.view.Load()
 	slab := s.snap.details.Load()
-	if view == nil || slab == nil || id >= len(view.storyVer) || id >= len(slab.slots) {
-		s.storyLocked(w, digg.StoryID(id))
-		return
+	if view == nil || slab == nil || int(id) >= len(view.storyVer) || int(id) >= len(slab.slots) {
+		return nil, false, nil
 	}
 	slot := slab.slots[id]
 	if e := slot.Load(); e != nil && e.ver == view.storyVer[id] {
-		writeRaw(w, e.buf)
-		return
+		return e.buf, true, nil
 	}
 	// Miss: encode once under the read lock at the current version and
 	// cache for every later request of this (story, version).
 	s.mu.RLock()
-	st, err := s.platform.Story(digg.StoryID(id))
+	st, err := s.store.Story(id)
 	if err != nil {
 		s.mu.RUnlock()
-		writeError(w, http.StatusNotFound, err.Error())
-		return
+		return nil, false, err
 	}
-	ver := s.platform.StoryVersion(st.ID)
-	buf := appendDetail(make([]byte, 0, 128+28*len(st.Votes)), st)
+	ver := s.store.StoryVersion(st.ID)
+	buf = appendDetail(make([]byte, 0, 128+28*len(st.Votes)), st)
 	s.mu.RUnlock()
 	slot.Store(&detailEntry{ver: ver, buf: buf})
-	writeRaw(w, buf)
+	return buf, true, nil
 }
 
 func (s *Server) storyLocked(w http.ResponseWriter, id digg.StoryID) {
 	s.mu.RLock()
-	st, err := s.platform.Story(id)
+	st, err := s.store.Story(id)
 	var out StoryDetail
 	if err == nil {
 		out = detail(st)
@@ -425,23 +476,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
+	st, err := s.submit(req)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+// submit performs one submission write and republishes the snapshot.
+func (s *Server) submit(req SubmitRequest) (StoryDetail, error) {
 	at := digg.Minutes(req.At)
 	if at == 0 {
 		at = s.clock()
 	}
 	s.mu.Lock()
-	st, err := s.platform.Submit(req.Submitter, req.Title, req.Interest, at)
+	st, err := s.store.Submit(req.Submitter, req.Title, req.Interest, at)
 	var out StoryDetail
 	if err == nil {
 		out = detail(st)
 	}
 	s.mu.Unlock()
 	if err != nil {
-		writeError(w, statusFor(err), err.Error())
-		return
+		return StoryDetail{}, err
 	}
 	s.republish()
-	writeJSON(w, http.StatusCreated, out)
+	return out, nil
 }
 
 func (s *Server) handleDigg(w http.ResponseWriter, r *http.Request) {
@@ -455,19 +515,28 @@ func (s *Server) handleDigg(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
+	res, err := s.digg(digg.StoryID(id), req)
+	if err != nil {
+		writeError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// digg performs one vote write and republishes the snapshot.
+func (s *Server) digg(id digg.StoryID, req DiggRequest) (DiggResponse, error) {
 	at := digg.Minutes(req.At)
 	if at == 0 {
 		at = s.clock()
 	}
 	s.mu.Lock()
-	res, err := s.platform.Digg(digg.StoryID(id), req.Voter, at)
+	res, err := s.store.Digg(id, req.Voter, at)
 	s.mu.Unlock()
 	if err != nil {
-		writeError(w, statusFor(err), err.Error())
-		return
+		return DiggResponse{}, err
 	}
 	s.republish()
-	writeJSON(w, http.StatusOK, DiggResponse{InNetwork: res.InNetwork, Promoted: res.Promoted})
+	return DiggResponse{InNetwork: res.InNetwork, Promoted: res.Promoted, Votes: res.Votes}, nil
 }
 
 func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
@@ -476,20 +545,33 @@ func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	u := digg.UserID(id)
-	// The social graph is immutable once built, so degree lookups need
-	// no lock at all.
-	g := s.platform.Graph
-	if int(u) >= g.NumNodes() {
+	bp, buf, ok := s.userInfoBytes(digg.UserID(id))
+	if !ok {
 		writeError(w, http.StatusNotFound, "no such user")
 		return
+	}
+	writeRaw(w, buf)
+	*bp = buf[:0]
+	encBufPool.Put(bp)
+}
+
+// userInfoBytes renders a user profile into a pooled buffer. The
+// caller must return it with *bp = buf[:0]; encBufPool.Put(bp) after
+// writing (the pooled pointer rides along so no fresh *[]byte header
+// is allocated per request). ok is false for unknown users.
+func (s *Server) userInfoBytes(u digg.UserID) (bp *[]byte, buf []byte, ok bool) {
+	// The social graph is immutable once built, so degree lookups need
+	// no lock at all.
+	g := s.graph
+	if int(u) >= g.NumNodes() {
+		return nil, nil, false
 	}
 	var rank int
 	view := s.snap.view.Load()
 	switch {
-	case s.platformRanks && view != nil:
+	case s.storeRanks && view != nil:
 		rank = view.ranks[u]
-	case s.platformRanks:
+	case s.storeRanks:
 		// No snapshot yet: the platform rank cache fill reads promotion
 		// state, so exclude mutators.
 		s.mu.RLock()
@@ -498,11 +580,8 @@ func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
 	default:
 		rank = s.rankOf(u)
 	}
-	bp := encBufPool.Get().(*[]byte)
-	b := appendUserInfo((*bp)[:0], u, g.InDegree(u), g.OutDegree(u), rank)
-	writeRaw(w, b)
-	*bp = b[:0]
-	encBufPool.Put(bp)
+	bp = encBufPool.Get().(*[]byte)
+	return bp, appendUserInfo((*bp)[:0], u, g.InDegree(u), g.OutDegree(u), rank), true
 }
 
 func (s *Server) handleFans(w http.ResponseWriter, r *http.Request) {
@@ -513,6 +592,19 @@ func (s *Server) handleFriends(w http.ResponseWriter, r *http.Request) {
 	s.handleLinks(w, r, false)
 }
 
+// links returns the fan or friend list of u from the immutable graph
+// (no lock), or ok=false for unknown users.
+func (s *Server) links(u digg.UserID, fans bool) ([]digg.UserID, bool) {
+	g := s.graph
+	if int(u) >= g.NumNodes() {
+		return nil, false
+	}
+	if fans {
+		return g.Fans(u), true
+	}
+	return g.Friends(u), true
+}
+
 func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request, fans bool) {
 	id, err := pathID(r)
 	if err != nil {
@@ -520,16 +612,10 @@ func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request, fans bool) 
 		return
 	}
 	u := digg.UserID(id)
-	g := s.platform.Graph // immutable: lock-free
-	if int(u) >= g.NumNodes() {
+	links, ok := s.links(u, fans)
+	if !ok {
 		writeError(w, http.StatusNotFound, "no such user")
 		return
-	}
-	var links []digg.UserID
-	if fans {
-		links = g.Fans(u)
-	} else {
-		links = g.Friends(u)
 	}
 	writeJSON(w, http.StatusOK, UserLinks{ID: u, Users: links})
 }
@@ -562,7 +648,7 @@ func (s *Server) handleTopUsers(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) topUsersLocked(w http.ResponseWriter, limit int) {
 	s.mu.RLock()
-	users := s.platform.TopUsers(limit)
+	users := s.store.TopUsers(limit)
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, users)
 }
@@ -575,7 +661,7 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, digg.ErrStoryCompacted):
 		return http.StatusGone
-	case strings.Contains(err.Error(), "no story"):
+	case errors.Is(err, digg.ErrNoStory):
 		return http.StatusNotFound
 	default:
 		return http.StatusInternalServerError

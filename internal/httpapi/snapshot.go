@@ -38,10 +38,12 @@ const (
 // buffer. submittedAt lets the upcoming handler apply the
 // clock-dependent visibility filter at serve time, so a static
 // server's queue stays correct as wall time advances without
-// republishing.
+// republishing; id is the boundary key v1 upcoming cursors resume
+// from.
 type queueEntry struct {
 	start, end  int
 	submittedAt int64
+	id          digg.StoryID
 }
 
 // ReadView is one immutable published snapshot of everything the hot
@@ -118,12 +120,12 @@ func (s *Server) republish() {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	s.mu.RLock()
-	gen := s.platform.Generation()
+	gen := s.store.Generation()
 	if cur := st.view.Load(); cur != nil && cur.Gen == gen {
 		s.mu.RUnlock()
 		return
 	}
-	view := st.build(s.platform, gen)
+	view := st.build(s.store, gen)
 	s.mu.RUnlock()
 	st.view.Store(view)
 	if st.onPublish != nil {
@@ -134,7 +136,7 @@ func (s *Server) republish() {
 // build assembles a view. The caller holds the store mutex (so the
 // summary cache is private) and the platform read lock (so the
 // platform is quiescent).
-func (st *snapshotStore) build(p *digg.Platform, gen uint64) *ReadView {
+func (st *snapshotStore) build(p digg.Store, gen uint64) *ReadView {
 	stories := p.Stories()
 	n := len(stories)
 
@@ -238,7 +240,7 @@ func buildQueue(summaries [][]byte, stories []*digg.Story, entries *[]queueEntry
 		if entries == nil {
 			ends[i] = len(buf)
 		} else {
-			(*entries)[i] = queueEntry{start: start, end: len(buf), submittedAt: int64(s.SubmittedAt)}
+			(*entries)[i] = queueEntry{start: start, end: len(buf), submittedAt: int64(s.SubmittedAt), id: s.ID}
 		}
 	}
 	buf = append(buf, ']')

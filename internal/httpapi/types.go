@@ -5,41 +5,64 @@
 // corpus, cmd/diggscrape crawls it over TCP and writes the dataset
 // files the analysis loads.
 //
+// # API versions
+//
+// The canonical surface is the versioned /v1/* API speaking the frozen
+// contract types of internal/apiv1: cursor-paginated list endpoints,
+// a machine-readable error envelope with stable codes, batch write
+// endpoints, and conditional GETs. The unversioned /api/* routes
+// remain mounted as thin compatibility aliases for pre-v1 consumers
+// (offset/limit pagination, string error bodies); they are deprecated
+// and receive no new features — see docs/api.md.
+//
+// The server is written against digg.Store, the command/query
+// interface of the storage layer, not the concrete *digg.Platform —
+// the seam future shard or replica backends plug into.
+//
 // # Read-path architecture
 //
 // The server splits traffic into a lock-free snapshot path and a
 // locked fallback path.
 //
-// Every write — an HTTP POST, or a live.Service simulation step when
-// one is attached — mutates the platform under the write lock and then
-// republishes a ReadView: an immutable snapshot holding the front
-// page, upcoming queue, per-story summaries, top-user list and a
-// generation-derived ETag, all pre-serialized to JSON bytes. The view
-// is published through an atomic pointer, so the hot read endpoints
-// (/api/frontpage, /api/upcoming, /api/stories, /api/stories/{id},
-// /api/topusers, /api/users/{id}) serve whole responses by writing
-// cached bytes — no platform lock, no intermediate structs, no
-// encoding/json reflection, and zero allocations per request.
-// Publication is incremental: digg.Platform's generation and per-story
-// version counters let a rebuild re-encode only stories that changed,
-// and story details (vote lists) are encoded lazily on first request
-// and cached per (story, version). /api/frontpage and /api/upcoming
-// answer If-None-Match revalidations with 304 Not Modified.
+// Every write — an HTTP POST (single or batch), or a live.Service
+// simulation step when one is attached — mutates the store under the
+// write lock and then republishes a ReadView: an immutable snapshot
+// holding the front page, upcoming queue, per-story summaries, top-user
+// list and a generation-derived ETag, all pre-serialized to JSON bytes.
+// The view is published through an atomic pointer, so the hot read
+// endpoints (frontpage, upcoming, stories, story detail, topusers,
+// users) serve whole responses by writing cached bytes — no store
+// lock, no intermediate structs, no encoding/json reflection, and zero
+// allocations per request. Publication is incremental: digg.Platform's
+// generation and per-story version counters let a rebuild re-encode
+// only stories that changed, and story details (vote lists) are
+// encoded lazily on first request and cached per (story, version).
+// The queue endpoints answer If-None-Match revalidations with 304
+// Not Modified.
+//
+// v1 cursors (see apiv1.Cursor) carry an endpoint-specific boundary
+// key (submission index, promotion index, story id, or rank position)
+// chosen to stay stable across platform generations, plus generation
+// and story-version provenance stamps. Pages are cut straight from
+// whichever snapshot is published when the request lands, falling
+// back to a whole-page locked read past the pre-rendered depth — so a
+// paginated crawl under the live writer never duplicates and never
+// skips an entry that existed when the crawl began, no matter how
+// many generations publish between pages.
 //
 // The shared RWMutex remains for everything that needs a point-in-time
-// read of the mutable platform: POST /api/stories and
-// /api/stories/{id}/digg (the writes themselves), snapshot rebuilds,
-// detail-cache misses, and read requests that reach past the
+// read of the mutable store: the write endpoints themselves, snapshot
+// rebuilds, detail-cache misses, and read requests that reach past the
 // snapshot's pre-rendered depth (queue limits beyond 100, top-user
-// limits beyond 1024). /api/users/{id}/fans and /friends read only the
-// immutable social graph and take no lock at all.
+// limits beyond 1024). Fans/friends endpoints read only the immutable
+// social graph and take no lock at all.
 //
 // # Clocks: SetNowFunc vs AttachLive
 //
 // Use Server.AttachLive when a live.Service drives the platform: the
 // server adopts the service's lock and simulation clock, republishes
-// the snapshot after every step, and gains /api/stream and live
-// /api/stats. Use Server.SetNowFunc when the platform is static but
+// the snapshot after every step, and gains the stream and live stats
+// endpoints. Use Server.SetNowFunc when the platform is static but
 // the site clock should still advance (cmd/diggd's default mode maps
 // wall time onto sim minutes): nothing mutates, so no republication
 // happens — the upcoming queue instead filters its pre-rendered
@@ -47,78 +70,52 @@
 // tests that pin the clock.
 package httpapi
 
-import "diggsim/internal/digg"
+import (
+	"diggsim/internal/apiv1"
+	"diggsim/internal/digg"
+)
 
-// StorySummary is the list-view representation of a story (front page
-// and upcoming queue).
-type StorySummary struct {
-	ID          digg.StoryID `json:"id"`
-	Title       string       `json:"title"`
-	Submitter   digg.UserID  `json:"submitter"`
-	SubmittedAt int64        `json:"submitted_at"`
-	Promoted    bool         `json:"promoted"`
-	PromotedAt  int64        `json:"promoted_at,omitempty"`
-	Votes       int          `json:"votes"`
+// The wire types are defined once in the transport-agnostic contract
+// package internal/apiv1; these aliases keep the many existing
+// consumers of the httpapi names compiling unchanged.
+type (
+	// StorySummary is the list-view representation of a story.
+	StorySummary = apiv1.StorySummary
+	// VoteRecord is one vote in a story detail response.
+	VoteRecord = apiv1.VoteRecord
+	// StoryDetail is the full story view including its vote list.
+	StoryDetail = apiv1.StoryDetail
+	// UserInfo describes a user: fan/friend counts and rank.
+	UserInfo = apiv1.UserInfo
+	// SubmitRequest creates a story.
+	SubmitRequest = apiv1.SubmitRequest
+	// DiggRequest casts a vote.
+	DiggRequest = apiv1.DiggRequest
+	// DiggResponse reports the outcome of a vote.
+	DiggResponse = apiv1.DiggResponse
+	// APIError is the typed error returned by the client SDK; inspect
+	// its Code with errors.As(err, &apiErr).
+	APIError = apiv1.Error
+)
+
+// UserLinks lists the users watching (fans) or watched by (friends) a
+// user — the legacy /api/users/{id}/fans|friends body.
+type UserLinks struct {
+	ID    digg.UserID   `json:"id"`
+	Users []digg.UserID `json:"users"`
 }
 
-// VoteRecord is one vote in a story detail response, in chronological
-// order with the submitter first — exactly the structure the paper
-// scraped.
-type VoteRecord struct {
-	Voter digg.UserID `json:"voter"`
-	At    int64       `json:"at"`
-}
-
-// StoryDetail is the full story view including its vote list.
-type StoryDetail struct {
-	StorySummary
-	VoteList []VoteRecord `json:"vote_list"`
-}
-
-// StoryPage is a paginated story listing.
+// StoryPage is the legacy offset/limit story listing returned by
+// /api/stories. The v1 listing paginates with cursors instead
+// (apiv1.StoriesPage).
 type StoryPage struct {
 	Total   int            `json:"total"`
 	Offset  int            `json:"offset"`
 	Stories []StorySummary `json:"stories"`
 }
 
-// UserInfo describes a user: fan/friend counts and reputation rank
-// (0 when unranked).
-type UserInfo struct {
-	ID      digg.UserID `json:"id"`
-	Fans    int         `json:"fans"`
-	Friends int         `json:"friends"`
-	Rank    int         `json:"rank"`
-}
-
-// UserLinks lists the users watching (fans) or watched by (friends) a
-// user.
-type UserLinks struct {
-	ID    digg.UserID   `json:"id"`
-	Users []digg.UserID `json:"users"`
-}
-
-// SubmitRequest creates a story on a live server.
-type SubmitRequest struct {
-	Submitter digg.UserID `json:"submitter"`
-	Title     string      `json:"title"`
-	Interest  float64     `json:"interest"`
-	At        int64       `json:"at"`
-}
-
-// DiggRequest casts a vote on a live server.
-type DiggRequest struct {
-	Voter digg.UserID `json:"voter"`
-	At    int64       `json:"at"`
-}
-
-// DiggResponse reports the outcome of a vote.
-type DiggResponse struct {
-	InNetwork bool `json:"in_network"`
-	Promoted  bool `json:"promoted"`
-}
-
-// ErrorResponse is the JSON error envelope.
+// ErrorResponse is the legacy /api/* JSON error envelope (a bare
+// string). The v1 surface uses apiv1.ErrorEnvelope.
 type ErrorResponse struct {
 	Error string `json:"error"`
 }

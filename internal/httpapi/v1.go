@@ -1,0 +1,769 @@
+package httpapi
+
+// v1.go mounts the versioned /v1/* API surface: the apiv1 contract
+// types, the machine-readable error envelope, cursor pagination on
+// every list endpoint, and the batch write endpoints.
+//
+// Cursor serving strategy: every list cursor carries the platform
+// generation it was minted at plus an endpoint-specific boundary key
+// chosen to be stable under the live writer — the next story index for
+// /v1/stories (submission order is append-only), the promotion-order
+// index for /v1/frontpage (the promotion list is append-only), the
+// last story id for /v1/upcoming (only older stories can follow), the
+// rank index for /v1/topusers, and the link index for fans/friends
+// (the graph is immutable). Pages are cut from the lock-free snapshot
+// whenever it can satisfy them; pages that reach past the pre-rendered
+// depth fall back to a locked point-in-time read built entirely under
+// one RLock, so no page ever mixes two generations.
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"diggsim/internal/apiv1"
+	"diggsim/internal/digg"
+)
+
+// mountV1 registers the /v1 routes on mux.
+func (s *Server) mountV1(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/frontpage", s.handleV1FrontPage)
+	mux.HandleFunc("GET /v1/upcoming", s.handleV1Upcoming)
+	mux.HandleFunc("GET /v1/stories", s.handleV1Stories)
+	mux.HandleFunc("GET /v1/stories/{id}", s.handleV1Story)
+	mux.HandleFunc("POST /v1/stories", s.handleV1Submit)
+	mux.HandleFunc("POST /v1/stories/{id}/digg", s.handleV1Digg)
+	mux.HandleFunc("POST /v1/diggs:batch", s.handleV1BatchDigg)
+	mux.HandleFunc("POST /v1/stories:batch", s.handleV1BatchSubmit)
+	mux.HandleFunc("GET /v1/users/{id}", s.handleV1User)
+	mux.HandleFunc("GET /v1/users/{id}/fans", s.handleV1Fans)
+	mux.HandleFunc("GET /v1/users/{id}/friends", s.handleV1Friends)
+	mux.HandleFunc("GET /v1/topusers", s.handleV1TopUsers)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	if s.live != nil {
+		mux.HandleFunc("GET /v1/stream", s.handleStream)
+	}
+}
+
+// v1Err builds a v1 error value.
+func v1Err(status int, code, msg string) *apiv1.Error {
+	return &apiv1.Error{StatusCode: status, Code: code, Message: msg}
+}
+
+// v1ErrorFor maps a storage-layer error onto the stable v1 code set.
+func v1ErrorFor(err error) *apiv1.Error {
+	switch {
+	case errors.Is(err, digg.ErrUnknownUser):
+		return v1Err(http.StatusBadRequest, apiv1.CodeUnknownUser, err.Error())
+	case errors.Is(err, digg.ErrAlreadyVoted):
+		return v1Err(http.StatusConflict, apiv1.CodeAlreadyVoted, err.Error())
+	case errors.Is(err, digg.ErrStoryCompacted):
+		return v1Err(http.StatusGone, apiv1.CodeStoryGone, err.Error())
+	case errors.Is(err, digg.ErrNoStory):
+		return v1Err(http.StatusNotFound, apiv1.CodeNotFound, err.Error())
+	default:
+		return v1Err(http.StatusInternalServerError, apiv1.CodeInternal, err.Error())
+	}
+}
+
+// writeV1Error sends the machine-readable error envelope, mirroring
+// RetryAfter into the Retry-After header.
+func writeV1Error(w http.ResponseWriter, e *apiv1.Error) {
+	if e.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter))
+	}
+	writeJSON(w, e.StatusCode, apiv1.ErrorEnvelope{Error: e})
+}
+
+// queryRaw extracts one query parameter from the raw query string
+// without building a url.Values map.
+func queryRaw(rawQuery, key string) (string, bool) {
+	for len(rawQuery) > 0 {
+		var seg string
+		if i := strings.IndexByte(rawQuery, '&'); i >= 0 {
+			seg, rawQuery = rawQuery[:i], rawQuery[i+1:]
+		} else {
+			seg, rawQuery = rawQuery, ""
+		}
+		if eq := strings.IndexByte(seg, '='); eq >= 0 && seg[:eq] == key {
+			return seg[eq+1:], true
+		}
+	}
+	return "", false
+}
+
+// v1Limit parses the limit query parameter: absent or zero means def,
+// negative or unparsable (including overflow) is invalid_argument, and
+// anything above apiv1.MaxPageSize clamps.
+func v1Limit(rawQuery string, def int) (int, *apiv1.Error) {
+	limit, err := queryIntRaw(rawQuery, "limit", def)
+	if err != nil || limit < 0 {
+		return 0, v1Err(http.StatusBadRequest, apiv1.CodeInvalidArgument,
+			"limit must be a non-negative integer")
+	}
+	if limit == 0 {
+		limit = def
+	}
+	if limit > apiv1.MaxPageSize {
+		limit = apiv1.MaxPageSize
+	}
+	return limit, nil
+}
+
+// v1CursorPos decodes the optional cursor parameter for the given
+// endpoint family, returning defPos when absent and invalid_cursor on
+// any malformation or tampering.
+func v1CursorPos(rawQuery string, kind apiv1.CursorKind, defPos int64) (int64, bool, *apiv1.Error) {
+	raw, ok := queryRaw(rawQuery, "cursor")
+	if !ok || raw == "" {
+		return defPos, false, nil
+	}
+	p, err := apiv1.Cursor(raw).Decode(kind)
+	if err != nil {
+		return 0, false, v1Err(http.StatusBadRequest, apiv1.CodeInvalidCursor,
+			"cursor is malformed or was issued by a different endpoint")
+	}
+	return p.Pos, true, nil
+}
+
+func v1PathID(r *http.Request) (int, *apiv1.Error) {
+	id, err := pathID(r)
+	if err != nil {
+		return 0, v1Err(http.StatusBadRequest, apiv1.CodeInvalidArgument, err.Error())
+	}
+	return id, nil
+}
+
+// appendPageTail closes a `{"<field>":[...` page object with its total
+// and optional cursor. Cursors are base64url so they never need JSON
+// escaping.
+func appendPageTail(b []byte, total int, next apiv1.Cursor) []byte {
+	b = append(b, `],"total":`...)
+	b = strconv.AppendInt(b, int64(total), 10)
+	if next != "" {
+		b = append(b, `,"next_cursor":"`...)
+		b = append(b, next...)
+		b = append(b, '"')
+	}
+	return append(b, '}')
+}
+
+// segStart returns the byte offset where entry i starts inside a
+// queue/top buffer rendered as "[e0,e1,...]" with ends[i] marking the
+// offset just past entry i.
+func segStart(ends []int, i int) int {
+	if i == 0 {
+		return 1
+	}
+	return ends[i-1] + 1
+}
+
+// --- stories ---
+
+// handleV1Stories serves GET /v1/stories?cursor&limit: the full corpus
+// in submission order. Submission order is append-only, so the cursor
+// position (next story index) is exact across generations — a full
+// crawl under the live writer sees every story that existed when it
+// started, each exactly once.
+func (s *Server) handleV1Stories(w http.ResponseWriter, r *http.Request) {
+	limit, e := v1Limit(r.URL.RawQuery, 50)
+	if e != nil {
+		writeV1Error(w, e)
+		return
+	}
+	pos, _, e := v1CursorPos(r.URL.RawQuery, apiv1.CursorStories, 0)
+	if e != nil {
+		writeV1Error(w, e)
+		return
+	}
+	if pos < 0 {
+		writeV1Error(w, v1Err(http.StatusBadRequest, apiv1.CodeInvalidCursor, "negative cursor position"))
+		return
+	}
+	view := s.snap.view.Load()
+	if view == nil {
+		s.v1StoriesLocked(w, pos, limit)
+		return
+	}
+	total := len(view.summaries)
+	start := int(min64(pos, int64(total)))
+	end := start + limit
+	if end > total {
+		end = total
+	}
+	var next apiv1.Cursor
+	if end < total {
+		next = apiv1.CursorPayload{
+			Kind: apiv1.CursorStories, Gen: view.Gen,
+			Pos: int64(end), Ver: uint64(view.storyVer[end-1]),
+		}.Encode()
+	}
+	bp := encBufPool.Get().(*[]byte)
+	b := append((*bp)[:0], `{"stories":[`...)
+	for i := start; i < end; i++ {
+		if i > start {
+			b = append(b, ',')
+		}
+		b = append(b, view.summaries[i]...)
+	}
+	b = appendPageTail(b, total, next)
+	writeRaw(w, b)
+	*bp = b[:0]
+	encBufPool.Put(bp)
+}
+
+// v1StoriesLocked serves a stories page entirely from one locked
+// point-in-time read (startup, before the first publication).
+func (s *Server) v1StoriesLocked(w http.ResponseWriter, pos int64, limit int) {
+	s.mu.RLock()
+	all := s.store.Stories()
+	gen := s.store.Generation()
+	total := len(all)
+	start := int(min64(pos, int64(total)))
+	end := start + limit
+	if end > total {
+		end = total
+	}
+	page := apiv1.StoriesPage{Total: total, Stories: make([]StorySummary, 0, end-start)}
+	for _, st := range all[start:end] {
+		page.Stories = append(page.Stories, summarize(st))
+	}
+	var lastVer uint32
+	if end > start {
+		lastVer = s.store.StoryVersion(all[end-1].ID)
+	}
+	s.mu.RUnlock()
+	if end < total {
+		page.NextCursor = apiv1.CursorPayload{
+			Kind: apiv1.CursorStories, Gen: gen, Pos: int64(end), Ver: uint64(lastVer),
+		}.Encode()
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// --- front page ---
+
+// handleV1FrontPage serves GET /v1/frontpage?cursor&limit: promoted
+// stories, newest promotion first. The cursor holds the promotion-
+// order index of the next entry to serve; the promotion list is
+// append-only, so the index names the same story forever and a crawl
+// under the live writer never duplicates or skips an entry (newly
+// promoted stories simply sort before the crawl's starting point).
+func (s *Server) handleV1FrontPage(w http.ResponseWriter, r *http.Request) {
+	limit, e := v1Limit(r.URL.RawQuery, 15)
+	if e != nil {
+		writeV1Error(w, e)
+		return
+	}
+	// MaxInt64 is the "newest" sentinel: both serving paths clamp it to
+	// their current promotion count, so the cursor is validated exactly
+	// once regardless of which path answers.
+	pos, fromCursor, e := v1CursorPos(r.URL.RawQuery, apiv1.CursorFrontPage, math.MaxInt64)
+	if e != nil {
+		writeV1Error(w, e)
+		return
+	}
+	view := s.snap.view.Load()
+	if view == nil {
+		s.v1FrontPageLocked(w, pos, limit)
+		return
+	}
+	total := view.fpTotal
+	pos = min64(pos, int64(total)-1)
+	if pos < 0 {
+		s.writeV1EmptyStories(w, total)
+		return
+	}
+	remaining := int(pos) + 1
+	n := limit
+	if n > remaining {
+		n = remaining
+	}
+	// Entry index inside the view's newest-first rendering.
+	i0 := total - 1 - int(pos)
+	if i0+n > len(view.fpEnds) {
+		s.v1FrontPageLocked(w, pos, limit)
+		return
+	}
+	h := w.Header()
+	if !fromCursor {
+		// First pages are revalidatable: the whole response is a pure
+		// function of the published generation.
+		h["Etag"] = view.etag
+		h["Cache-Control"] = headerRevalidate
+		if etagMatches(r.Header.Get("If-None-Match"), view.etagStr) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	var next apiv1.Cursor
+	if nextPos := pos - int64(n); nextPos >= 0 {
+		next = apiv1.CursorPayload{
+			Kind: apiv1.CursorFrontPage, Gen: view.Gen, Pos: nextPos,
+		}.Encode()
+	}
+	bp := encBufPool.Get().(*[]byte)
+	b := append((*bp)[:0], `{"stories":[`...)
+	for i := i0; i < i0+n; i++ {
+		if i > i0 {
+			b = append(b, ',')
+		}
+		b = append(b, view.fpBuf[segStart(view.fpEnds, i):view.fpEnds[i]]...)
+	}
+	b = appendPageTail(b, total, next)
+	writeRaw(w, b)
+	*bp = b[:0]
+	encBufPool.Put(bp)
+}
+
+// v1FrontPageLocked serves a front-page cursor page from a locked
+// point-in-time read over the append-only promotion list. pos is the
+// already-validated cursor position (MaxInt64 for "newest").
+func (s *Server) v1FrontPageLocked(w http.ResponseWriter, pos int64, limit int) {
+	s.mu.RLock()
+	ids := s.store.PromotedIDs()
+	gen := s.store.Generation()
+	total := len(ids)
+	pos = min64(pos, int64(total)-1)
+	if pos < 0 {
+		s.mu.RUnlock()
+		s.writeV1EmptyStories(w, total)
+		return
+	}
+	n := limit
+	if remaining := int(pos) + 1; n > remaining {
+		n = remaining
+	}
+	page := apiv1.StoriesPage{Total: total, Stories: make([]StorySummary, 0, n)}
+	for k := 0; k < n; k++ {
+		st, err := s.store.Story(ids[int(pos)-k])
+		if err != nil {
+			continue // unreachable: promoted ids always resolve
+		}
+		page.Stories = append(page.Stories, summarize(st))
+	}
+	s.mu.RUnlock()
+	if nextPos := pos - int64(n); nextPos >= 0 {
+		page.NextCursor = apiv1.CursorPayload{
+			Kind: apiv1.CursorFrontPage, Gen: gen, Pos: nextPos,
+		}.Encode()
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// writeV1EmptyStories emits an exhausted stories page.
+func (s *Server) writeV1EmptyStories(w http.ResponseWriter, total int) {
+	bp := encBufPool.Get().(*[]byte)
+	b := append((*bp)[:0], `{"stories":[`...)
+	b = appendPageTail(b, total, "")
+	writeRaw(w, b)
+	*bp = b[:0]
+	encBufPool.Put(bp)
+}
+
+// --- upcoming ---
+
+// handleV1Upcoming serves GET /v1/upcoming?cursor&limit: unpromoted
+// stories visible at the serving clock, newest first. The cursor holds
+// the story id of the last served entry; only strictly older stories
+// follow, so a story promoted (removed from the queue) between pages
+// shifts nothing and nothing is served twice. Total counts all
+// unpromoted stories as of the serving generation, including ones not
+// yet visible at the clock.
+func (s *Server) handleV1Upcoming(w http.ResponseWriter, r *http.Request) {
+	limit, e := v1Limit(r.URL.RawQuery, 15)
+	if e != nil {
+		writeV1Error(w, e)
+		return
+	}
+	pos, fromCursor, e := v1CursorPos(r.URL.RawQuery, apiv1.CursorUpcoming, math.MaxInt64)
+	if e != nil {
+		writeV1Error(w, e)
+		return
+	}
+	now := s.clock()
+	view := s.snap.view.Load()
+	if view == nil {
+		s.v1UpcomingLocked(w, now, pos, limit)
+		return
+	}
+	entries := view.upEntries
+	// Collect up to limit+1 matching entries: the probe entry decides
+	// whether a next cursor is due without a second scan.
+	idx := make([]int, 0, limit+1)
+	skipped := false
+	for i := range entries {
+		if entries[i].submittedAt > int64(now) {
+			skipped = true
+			continue
+		}
+		if int64(entries[i].id) >= pos {
+			continue
+		}
+		idx = append(idx, i)
+		if len(idx) > limit {
+			break
+		}
+	}
+	if len(idx) <= limit && len(entries) < view.upTotal {
+		// The rendered window ran dry but deeper unpromoted stories
+		// exist: serve the whole page from the locked path instead of
+		// mixing sources.
+		s.v1UpcomingLocked(w, now, pos, limit)
+		return
+	}
+	n := len(idx)
+	more := n > limit
+	if more {
+		n = limit
+	}
+	h := w.Header()
+	if !fromCursor && !skipped {
+		h["Etag"] = view.etag
+		h["Cache-Control"] = headerRevalidate
+		if etagMatches(r.Header.Get("If-None-Match"), view.etagStr) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	var next apiv1.Cursor
+	if more {
+		last := entries[idx[n-1]]
+		next = apiv1.CursorPayload{
+			Kind: apiv1.CursorUpcoming, Gen: view.Gen,
+			Pos: int64(last.id), Ver: uint64(view.storyVer[last.id]),
+		}.Encode()
+	}
+	bp := encBufPool.Get().(*[]byte)
+	b := append((*bp)[:0], `{"stories":[`...)
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			b = append(b, ',')
+		}
+		e := entries[idx[k]]
+		b = append(b, view.upBuf[e.start:e.end]...)
+	}
+	b = appendPageTail(b, view.upTotal, next)
+	writeRaw(w, b)
+	*bp = b[:0]
+	encBufPool.Put(bp)
+}
+
+// v1UpcomingLocked serves an upcoming cursor page from one locked
+// point-in-time scan.
+func (s *Server) v1UpcomingLocked(w http.ResponseWriter, now digg.Minutes, pos int64, limit int) {
+	s.mu.RLock()
+	all := s.store.Stories()
+	gen := s.store.Generation()
+	total := s.store.NumStories() - s.store.PromotedCount()
+	out := make([]StorySummary, 0, limit)
+	var lastVer uint32
+	more := false
+	for i := len(all) - 1; i >= 0; i-- {
+		st := all[i]
+		if int64(st.ID) >= pos || st.Promoted || st.SubmittedAt > now {
+			continue
+		}
+		if len(out) == limit {
+			more = true
+			break
+		}
+		out = append(out, summarize(st))
+		lastVer = s.store.StoryVersion(st.ID)
+	}
+	s.mu.RUnlock()
+	page := apiv1.StoriesPage{Total: total, Stories: out}
+	if more {
+		page.NextCursor = apiv1.CursorPayload{
+			Kind: apiv1.CursorUpcoming, Gen: gen,
+			Pos: int64(out[len(out)-1].ID), Ver: uint64(lastVer),
+		}.Encode()
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// --- top users ---
+
+// handleV1TopUsers serves GET /v1/topusers?cursor&limit: the
+// reputation ranking, best first. The cursor is the next rank index —
+// exact while the generation is unchanged; across promotions the
+// ranking may shift, which is inherent to paginating a mutable
+// leaderboard and documented in docs/api.md.
+func (s *Server) handleV1TopUsers(w http.ResponseWriter, r *http.Request) {
+	limit, e := v1Limit(r.URL.RawQuery, 100)
+	if e != nil {
+		writeV1Error(w, e)
+		return
+	}
+	pos, _, e := v1CursorPos(r.URL.RawQuery, apiv1.CursorTopUsers, 0)
+	if e != nil {
+		writeV1Error(w, e)
+		return
+	}
+	if pos < 0 {
+		writeV1Error(w, v1Err(http.StatusBadRequest, apiv1.CodeInvalidCursor, "negative cursor position"))
+		return
+	}
+	view := s.snap.view.Load()
+	if view == nil {
+		s.v1TopUsersLocked(w, pos, limit)
+		return
+	}
+	total := view.topTotal
+	start := int(min64(pos, int64(total)))
+	end := start + limit
+	if end > total {
+		end = total
+	}
+	if end > len(view.topEnds) {
+		s.v1TopUsersLocked(w, pos, limit)
+		return
+	}
+	var next apiv1.Cursor
+	if end < total {
+		next = apiv1.CursorPayload{Kind: apiv1.CursorTopUsers, Gen: view.Gen, Pos: int64(end)}.Encode()
+	}
+	bp := encBufPool.Get().(*[]byte)
+	b := append((*bp)[:0], `{"users":[`...)
+	if end > start {
+		b = append(b, view.topBuf[segStart(view.topEnds, start):view.topEnds[end-1]]...)
+	}
+	b = appendPageTail(b, total, next)
+	writeRaw(w, b)
+	*bp = b[:0]
+	encBufPool.Put(bp)
+}
+
+func (s *Server) v1TopUsersLocked(w http.ResponseWriter, pos int64, limit int) {
+	s.mu.RLock()
+	total := len(s.store.Ranks())
+	gen := s.store.Generation()
+	start := int(min64(pos, int64(total)))
+	end := start + limit
+	if end > total {
+		end = total
+	}
+	users := s.store.TopUsers(end)
+	s.mu.RUnlock()
+	if start > len(users) {
+		start = len(users)
+	}
+	page := apiv1.TopUsersPage{Total: total, Users: users[start:]}
+	if end < total {
+		page.NextCursor = apiv1.CursorPayload{Kind: apiv1.CursorTopUsers, Gen: gen, Pos: int64(end)}.Encode()
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// --- users and links ---
+
+func (s *Server) handleV1User(w http.ResponseWriter, r *http.Request) {
+	id, e := v1PathID(r)
+	if e != nil {
+		writeV1Error(w, e)
+		return
+	}
+	bp, buf, ok := s.userInfoBytes(digg.UserID(id))
+	if !ok {
+		writeV1Error(w, v1Err(http.StatusNotFound, apiv1.CodeNotFound, "no such user"))
+		return
+	}
+	writeRaw(w, buf)
+	*bp = buf[:0]
+	encBufPool.Put(bp)
+}
+
+func (s *Server) handleV1Fans(w http.ResponseWriter, r *http.Request) {
+	s.handleV1Links(w, r, true)
+}
+
+func (s *Server) handleV1Friends(w http.ResponseWriter, r *http.Request) {
+	s.handleV1Links(w, r, false)
+}
+
+// handleV1Links serves GET /v1/users/{id}/fans|friends with cursor
+// pagination over the immutable link list (the cursor is a plain
+// index; the graph never changes, so it is exact forever).
+func (s *Server) handleV1Links(w http.ResponseWriter, r *http.Request, fans bool) {
+	id, e := v1PathID(r)
+	if e != nil {
+		writeV1Error(w, e)
+		return
+	}
+	limit, e := v1Limit(r.URL.RawQuery, apiv1.MaxPageSize)
+	if e != nil {
+		writeV1Error(w, e)
+		return
+	}
+	pos, _, e := v1CursorPos(r.URL.RawQuery, apiv1.CursorLinks, 0)
+	if e != nil {
+		writeV1Error(w, e)
+		return
+	}
+	if pos < 0 {
+		writeV1Error(w, v1Err(http.StatusBadRequest, apiv1.CodeInvalidCursor, "negative cursor position"))
+		return
+	}
+	u := digg.UserID(id)
+	links, ok := s.links(u, fans)
+	if !ok {
+		writeV1Error(w, v1Err(http.StatusNotFound, apiv1.CodeNotFound, "no such user"))
+		return
+	}
+	total := len(links)
+	start := int(min64(pos, int64(total)))
+	end := start + limit
+	if end > total {
+		end = total
+	}
+	page := apiv1.UserLinksPage{ID: u, Total: total, Users: links[start:end]}
+	if end < total {
+		page.NextCursor = apiv1.CursorPayload{Kind: apiv1.CursorLinks, Pos: int64(end)}.Encode()
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// --- story detail and writes ---
+
+func (s *Server) handleV1Story(w http.ResponseWriter, r *http.Request) {
+	id, e := v1PathID(r)
+	if e != nil {
+		writeV1Error(w, e)
+		return
+	}
+	buf, ok, err := s.storyDetailBytes(digg.StoryID(id))
+	if err != nil {
+		writeV1Error(w, v1Err(http.StatusNotFound, apiv1.CodeNotFound, err.Error()))
+		return
+	}
+	if ok {
+		writeRaw(w, buf)
+		return
+	}
+	// No snapshot covers the story yet: locked point-in-time read.
+	s.mu.RLock()
+	st, err := s.store.Story(digg.StoryID(id))
+	var out StoryDetail
+	if err == nil {
+		out = detail(st)
+	}
+	s.mu.RUnlock()
+	if err != nil {
+		writeV1Error(w, v1Err(http.StatusNotFound, apiv1.CodeNotFound, err.Error()))
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleV1Submit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeV1Error(w, v1Err(http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid JSON: "+err.Error()))
+		return
+	}
+	st, err := s.submit(req)
+	if err != nil {
+		writeV1Error(w, v1ErrorFor(err))
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) handleV1Digg(w http.ResponseWriter, r *http.Request) {
+	id, e := v1PathID(r)
+	if e != nil {
+		writeV1Error(w, e)
+		return
+	}
+	var req DiggRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeV1Error(w, v1Err(http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid JSON: "+err.Error()))
+		return
+	}
+	res, err := s.digg(digg.StoryID(id), req)
+	if err != nil {
+		writeV1Error(w, v1ErrorFor(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleV1BatchDigg serves POST /v1/diggs:batch: up to apiv1.MaxBatch
+// votes applied in one write transaction — one lock acquisition and
+// one snapshot republish for the whole batch, which is what lets
+// agent-driven load sustain several times the single-digg write rate.
+// Item failures are reported per item and do not abort the batch.
+func (s *Server) handleV1BatchDigg(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.BatchDiggRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeV1Error(w, v1Err(http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid JSON: "+err.Error()))
+		return
+	}
+	if len(req.Diggs) == 0 || len(req.Diggs) > apiv1.MaxBatch {
+		writeV1Error(w, v1Err(http.StatusBadRequest, apiv1.CodeInvalidArgument,
+			"batch must contain between 1 and "+strconv.Itoa(apiv1.MaxBatch)+" diggs"))
+		return
+	}
+	now := s.clock()
+	results := make([]apiv1.BatchDiggResult, len(req.Diggs))
+	s.mu.Lock()
+	for i, d := range req.Diggs {
+		at := digg.Minutes(d.At)
+		if at == 0 {
+			at = now
+		}
+		res, err := s.store.Digg(d.Story, d.Voter, at)
+		if err != nil {
+			results[i].Error = v1ErrorFor(err)
+			continue
+		}
+		results[i] = apiv1.BatchDiggResult{InNetwork: res.InNetwork, Promoted: res.Promoted, Votes: res.Votes}
+	}
+	s.mu.Unlock()
+	s.republish()
+	writeJSON(w, http.StatusOK, apiv1.BatchDiggResponse{Results: results})
+}
+
+// handleV1BatchSubmit serves POST /v1/stories:batch: up to
+// apiv1.MaxBatch submissions in one write transaction.
+func (s *Server) handleV1BatchSubmit(w http.ResponseWriter, r *http.Request) {
+	var req apiv1.BatchSubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeV1Error(w, v1Err(http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid JSON: "+err.Error()))
+		return
+	}
+	if len(req.Stories) == 0 || len(req.Stories) > apiv1.MaxBatch {
+		writeV1Error(w, v1Err(http.StatusBadRequest, apiv1.CodeInvalidArgument,
+			"batch must contain between 1 and "+strconv.Itoa(apiv1.MaxBatch)+" stories"))
+		return
+	}
+	now := s.clock()
+	results := make([]apiv1.BatchSubmitResult, len(req.Stories))
+	s.mu.Lock()
+	for i, sub := range req.Stories {
+		at := digg.Minutes(sub.At)
+		if at == 0 {
+			at = now
+		}
+		st, err := s.store.Submit(sub.Submitter, sub.Title, sub.Interest, at)
+		if err != nil {
+			results[i].Error = v1ErrorFor(err)
+			continue
+		}
+		sum := summarize(st)
+		results[i].Story = &sum
+	}
+	s.mu.Unlock()
+	s.republish()
+	writeJSON(w, http.StatusOK, apiv1.BatchSubmitResponse{Results: results})
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

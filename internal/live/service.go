@@ -94,7 +94,7 @@ type Service struct {
 	// mu guards the platform, stepper and submission sampler. HTTP
 	// read handlers share it through Locker().
 	mu       sync.RWMutex
-	platform *digg.Platform
+	platform digg.Store
 	stepper  *agent.Stepper
 	rng      *rng.RNG
 	zipf     *rng.Zipf
@@ -122,10 +122,10 @@ type Service struct {
 	afterStep func()
 }
 
-// NewService wraps the platform (typically carrying a pregenerated
-// corpus) in a live service. The platform must not be mutated by
-// anyone else except through the service's lock.
-func NewService(p *digg.Platform, cfg Config) (*Service, error) {
+// NewService wraps a digg.Store (typically a *digg.Platform carrying a
+// pregenerated corpus) in a live service. The store must not be
+// mutated by anyone else except through the service's lock.
+func NewService(p digg.Store, cfg Config) (*Service, error) {
 	if p == nil {
 		return nil, errors.New("live: nil platform")
 	}
@@ -144,7 +144,7 @@ func NewService(p *digg.Platform, cfg Config) (*Service, error) {
 		platform: p,
 		stepper:  stepper,
 		rng:      r,
-		byFans:   graph.TopByInDegree(p.Graph, p.Graph.NumNodes()),
+		byFans:   graph.TopByInDegree(p.SocialGraph(), p.SocialGraph().NumNodes()),
 	}
 	s.zipf = rng.NewZipf(r, len(s.byFans), cfg.SubmitterZipfS)
 	s.nextArrival = float64(cfg.StartAt) + r.ExpGap(cfg.SubmissionsPerHour/60)
