@@ -6,6 +6,7 @@
 //
 //	diggd [-addr :8080] [-small] [-seed N] [-live] [-speedup 600]
 //	      [-submissions-per-hour 60] [-export DIR] [-pprof ADDR]
+//	      [-data-dir DIR] [-fsync interval] [-checkpoint-interval 1m]
 //
 // The server generates a corpus at startup. In the default static mode
 // it then serves the corpus read-mostly (live submissions and votes are
@@ -22,10 +23,21 @@
 // GET /api/stream and live metrics at GET /api/stats. On shutdown,
 // -export DIR flushes the final platform state — pregenerated corpus
 // plus everything that happened live — to dataset CSV files.
+//
+// With -data-dir the platform is durable (internal/durable): every
+// write is logged to a segmented write-ahead log before it applies,
+// checkpoints land every -checkpoint-interval, and -fsync selects the
+// always/interval/os durability policy. A first boot generates the
+// corpus and seeds the directory; every later boot recovers — newest
+// checkpoint plus WAL tail — and continues serving with zero
+// observable state change. Graceful shutdown writes a final
+// checkpoint, so a clean restart replays nothing. Inspect a data
+// directory with `diggstats -wal DIR`; see docs/persistence.md.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,9 +50,22 @@ import (
 
 	"diggsim/internal/dataset"
 	"diggsim/internal/digg"
+	"diggsim/internal/durable"
 	"diggsim/internal/httpapi"
 	"diggsim/internal/live"
+	"diggsim/internal/wal"
 )
+
+// genesisInfo is the provenance blob stored in the data directory's
+// genesis record: the seed and full generation config, so the social
+// graph and every RNG substream of the corpus are reconstructible from
+// the directory alone, and a recovering boot serves with the same
+// calibration it was created with.
+type genesisInfo struct {
+	Seed      uint64         `json:"seed"`
+	CreatedAt string         `json:"created_at"`
+	Config    dataset.Config `json:"config"`
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -53,6 +78,9 @@ func main() {
 	subsPerHour := flag.Float64("submissions-per-hour", 60, "live mode: mean story submissions per simulation hour")
 	exportDir := flag.String("export", "", "live mode: flush the final platform state to dataset CSVs in this directory on shutdown")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for profiling live serving")
+	dataDir := flag.String("data-dir", "", "durable mode: write-ahead log + checkpoints in this directory; boots by recovery when it already holds a store")
+	fsync := flag.String("fsync", "interval", "durable mode fsync policy: always, interval or os")
+	ckptEvery := flag.Duration("checkpoint-interval", time.Minute, "durable mode: minimum interval between automatic checkpoints")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -64,16 +92,72 @@ func main() {
 		}()
 	}
 
+	syncPolicy, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fatal(err)
+	}
+	dopts := durable.Options{Sync: syncPolicy, CheckpointEvery: *ckptEvery}
+
 	cfg := dataset.DefaultConfig()
 	if *small {
 		cfg = dataset.SmallConfig()
 	}
 	cfg.Seed = *seed
-	fmt.Fprintf(os.Stderr, "diggd: generating corpus (%d users, %d submissions)...\n",
-		cfg.Users, cfg.Submissions)
-	ds, err := dataset.Generate(cfg)
-	if err != nil {
-		fatal(err)
+
+	// Establish the store: recover an existing data directory, or
+	// generate the corpus (and, with -data-dir, seed a new directory
+	// around it). Everything downstream compiles against digg.Store,
+	// so durability is only this constructor choice.
+	var (
+		store   digg.Store
+		dstore  *durable.Store
+		rankOf  func(digg.UserID) int
+		startAt digg.Minutes
+		stories int
+	)
+	if *dataDir != "" && durable.Exists(*dataDir) {
+		dstore, err = durable.Open(*dataDir, dopts)
+		if err != nil {
+			fatal(err)
+		}
+		rec := dstore.Recovery()
+		var gi genesisInfo
+		if err := json.Unmarshal(dstore.Genesis(), &gi); err == nil && gi.Config.Users > 0 {
+			cfg = gi.Config
+		}
+		store = dstore
+		startAt = latestActivity(dstore, cfg.SnapshotAt)
+		stories = dstore.NumStories()
+		fmt.Fprintf(os.Stderr,
+			"diggd: recovered %s: %d stories, generation %d (checkpoint lsn %d + %d replayed records, %d rejected%s)\n",
+			*dataDir, stories, rec.Generation, rec.CheckpointLSN, rec.Replayed, rec.Rejected,
+			tornNote(rec.TailTruncated))
+	} else {
+		fmt.Fprintf(os.Stderr, "diggd: generating corpus (%d users, %d submissions)...\n",
+			cfg.Users, cfg.Submissions)
+		ds, err := dataset.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		store = ds.Platform
+		startAt = cfg.SnapshotAt
+		stories = len(ds.Stories)
+		rankOf = ds.RankOf
+		if *dataDir != "" {
+			genesis, err := json.Marshal(genesisInfo{
+				Seed: *seed, CreatedAt: time.Now().UTC().Format(time.RFC3339), Config: cfg,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			dstore, err = durable.Create(*dataDir, ds.Platform, genesis, dopts)
+			if err != nil {
+				fatal(err)
+			}
+			store = dstore
+			fmt.Fprintf(os.Stderr, "diggd: created durable store in %s (fsync=%s, checkpoint every %s)\n",
+				*dataDir, syncPolicy, *ckptEvery)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -85,12 +169,12 @@ func main() {
 	if *liveMode {
 		// Live ranks must reflect live promotions, so rank lookups go to
 		// the platform instead of the frozen generation-time snapshot.
-		srv = httpapi.NewServer(ds.Platform, cfg.SnapshotAt, nil)
-		svc, err = live.NewService(ds.Platform, live.Config{
+		srv = httpapi.NewServer(store, startAt, nil)
+		svc, err = live.NewService(store, live.Config{
 			Speedup:            *speedup,
 			SubmissionsPerHour: *subsPerHour,
-			Seed:               *seed + 1,
-			StartAt:            cfg.SnapshotAt,
+			Seed:               *seed + 1 + store.Generation(),
+			StartAt:            startAt,
 			Agent:              cfg.Agent,
 			SubmitterZipfS:     cfg.SubmitterZipfS,
 			InterestExponent:   cfg.InterestExponent,
@@ -104,11 +188,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "diggd: live mode, speedup %.0fx, %.0f submissions/sim-hour\n",
 			*speedup, *subsPerHour)
 	} else {
-		srv = httpapi.NewServer(ds.Platform, cfg.SnapshotAt, ds.RankOf)
 		// Static mode: the corpus is frozen but the site clock still
 		// advances in real time from the snapshot, so the upcoming-queue
 		// view (and default timestamps for manual posts) never go stale.
-		clock := live.NewClock(time.Now(), cfg.SnapshotAt, 1)
+		// After recovery there is no generation-time rank snapshot;
+		// rankOf stays nil and ranks come from the store.
+		srv = httpapi.NewServer(store, startAt, rankOf)
+		clock := live.NewClock(time.Now(), startAt, 1)
 		srv.SetNowFunc(func() digg.Minutes { return clock.Now(time.Now()) })
 	}
 
@@ -131,7 +217,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "diggd: serving %d stories on %s\n", len(ds.Stories), *addr)
+		fmt.Fprintf(os.Stderr, "diggd: serving %d stories on %s\n", stories, *addr)
 		errCh <- httpServer.ListenAndServe()
 	}()
 	// On a signal, both ctx.Done and the live goroutine's nil send race
@@ -154,7 +240,17 @@ func main() {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := httpServer.Shutdown(shutdownCtx); err != nil {
-		fatal(err)
+		// Long-lived SSE streams (GET /api/stream) never finish on
+		// their own, so a connected subscriber always rides into the
+		// drain deadline. Force-close the remaining connections rather
+		// than dying: the export and final-checkpoint paths below must
+		// still run, or a clean restart would replay the WAL tail.
+		if !errors.Is(err, context.DeadlineExceeded) {
+			fatal(err)
+		}
+		if err := httpServer.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if svc != nil {
 		if !liveDrained {
@@ -171,7 +267,46 @@ func main() {
 				len(out.Stories), len(out.FrontPage), *exportDir)
 		}
 	}
+	if dstore != nil {
+		// Final checkpoint + WAL sync: the HTTP server has drained and
+		// the live stepper has stopped, so no writer remains and the
+		// next boot replays zero records.
+		if err := dstore.Checkpoint(); err != nil {
+			fatal(err)
+		}
+		if err := dstore.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "diggd: final checkpoint at generation %d in %s\n",
+			dstore.Generation(), *dataDir)
+	}
 	fmt.Fprintln(os.Stderr, "diggd: shut down cleanly")
+}
+
+// latestActivity returns the latest simulation minute with recorded
+// activity — the clock base a recovering server resumes from, so the
+// timeline continues instead of rewinding to the corpus snapshot.
+func latestActivity(s digg.Store, floor digg.Minutes) digg.Minutes {
+	t := floor
+	for _, st := range s.Stories() {
+		if st.SubmittedAt > t {
+			t = st.SubmittedAt
+		}
+		if n := len(st.Votes); n > 0 && st.Votes[n-1].At > t {
+			t = st.Votes[n-1].At
+		}
+		if st.Promoted && st.PromotedAt > t {
+			t = st.PromotedAt
+		}
+	}
+	return t
+}
+
+func tornNote(torn bool) string {
+	if torn {
+		return ", torn tail truncated"
+	}
+	return ""
 }
 
 func fatal(err error) {

@@ -3,9 +3,16 @@
 // the trained classifier and its cross-validation — the offline half of
 // the paper's workflow, runnable on any scrape.
 //
+// With -wal it instead inspects a diggd durable data directory
+// (written with `diggd -data-dir`): WAL segments and record counts,
+// the newest checkpoint's generation, the replay span a recovery would
+// process, and the genesis provenance — the operator's view of what a
+// restart will do, without touching the directory.
+//
 // Usage:
 //
 //	diggstats -data DIR [-tree] [-cv]
+//	diggstats -wal DIR
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"diggsim/internal/cascade"
 	"diggsim/internal/core"
 	"diggsim/internal/dataset"
+	"diggsim/internal/durable"
 	"diggsim/internal/mltree"
 	"diggsim/internal/rng"
 	"diggsim/internal/stats"
@@ -23,13 +31,25 @@ import (
 )
 
 func main() {
-	data := flag.String("data", "", "dataset directory (required)")
+	data := flag.String("data", "", "dataset directory")
+	walDir := flag.String("wal", "", "inspect a diggd durable data directory (WAL + checkpoints) instead of analyzing a dataset")
 	showTree := flag.Bool("tree", true, "print the learned decision tree")
 	runCV := flag.Bool("cv", true, "run 10-fold cross-validation")
 	seed := flag.Uint64("seed", 99, "cross-validation shuffle seed")
 	flag.Parse()
+	if *walDir != "" {
+		info, err := durable.Inspect(*walDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(info.String())
+		if info.Corrupt != nil || info.Checkpoint == nil {
+			os.Exit(1)
+		}
+		return
+	}
 	if *data == "" {
-		fmt.Fprintln(os.Stderr, "diggstats: -data is required")
+		fmt.Fprintln(os.Stderr, "diggstats: -data is required (or -wal to inspect a data directory)")
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -59,9 +59,26 @@
 // digg.Store, the command/query interface extracted from the
 // in-memory *digg.Platform: httpapi.Server, live.Service, the agent
 // stepper and the dataset exporter all compile against the interface,
-// so future backends — a sharded store, replicas, a persistent
-// write-ahead store — plug in underneath the HTTP surface without
-// touching any caller. Cursors ride the snapshot infrastructure:
+// so backends plug in underneath the HTTP surface without touching
+// any caller.
+//
+// The first such backend is the durability layer (internal/wal +
+// internal/durable): diggd -data-dir wraps the platform in a
+// durable.Store that write-ahead logs every command — a segmented
+// binary log with fixed CRC32-C record headers and a genesis record
+// holding the run's seed and config — before applying it, takes
+// periodic atomically-renamed full-state checkpoints, and truncates
+// log segments the newest checkpoint covers. A restart recovers the
+// newest valid checkpoint plus the replayed WAL tail (torn trailing
+// records are truncated, mid-log corruption refuses recovery) and
+// reproduces the platform with zero observable state change. Batch
+// endpoints and each live tick group their whole write burst through
+// the optional digg.Batcher capability into one WAL append and one
+// fsync, so durable batch throughput stays within ~12% of the
+// in-memory rate, while reads never touch the WAL at all (the
+// lock-free snapshot path is unchanged). Three -fsync policies trade
+// machine-crash durability against write latency; `diggstats -wal`
+// inspects a data directory. See docs/persistence.md. Cursors ride the snapshot infrastructure:
 // pages are cut lock-free from pre-rendered bytes whenever the
 // published snapshot can satisfy them, with a whole-page locked
 // fallback past the pre-rendered depth; the cursor's boundary key

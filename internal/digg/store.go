@@ -67,6 +67,29 @@ type Store interface {
 	CompactStory(id StoryID) error
 }
 
+// Batcher is an optional Store capability for grouping the durability
+// cost of many commands. Callers that apply a burst of writes under
+// one lock acquisition (the v1 batch endpoints, the live stepper's
+// per-tick command stream) bracket the burst with BeginBatch/EndBatch;
+// a store that persists commands (internal/durable) then stages the
+// burst's log records in memory and commits them as a single
+// write-ahead append and one fsync in EndBatch. Between the calls the
+// commands apply to the in-memory state as usual, so reads issued
+// inside the batch (and the command results themselves) see their own
+// writes; the durability acknowledgment is EndBatch returning nil.
+//
+// Discover it by type assertion — a Store without the capability needs
+// no bracketing:
+//
+//	if b, ok := store.(digg.Batcher); ok { b.BeginBatch(); defer ... }
+//
+// Like the command methods, BeginBatch and EndBatch require the
+// caller's external write synchronization. Batches do not nest.
+type Batcher interface {
+	BeginBatch()
+	EndBatch() error
+}
+
 // Platform is the canonical in-memory single-shard Store.
 var _ Store = (*Platform)(nil)
 

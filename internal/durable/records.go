@@ -1,0 +1,168 @@
+package durable
+
+// records.go defines the WAL record types and their payload codecs.
+// One record per digg.Store command, plus the genesis record that
+// anchors a log: the framing, CRCs and segmentation live in
+// internal/wal; this file only encodes command arguments.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"diggsim/internal/digg"
+)
+
+// WAL record types. Values are part of the on-disk format; never
+// renumber, only append.
+const (
+	// RecGenesis is the log's first record: an opaque, caller-supplied
+	// provenance blob (cmd/diggd stores the generation seed and full
+	// dataset config as JSON, making the social graph and RNG
+	// substreams reconstructible from the data directory alone).
+	RecGenesis byte = 1
+	// RecSubmit logs a Store.Submit command.
+	RecSubmit byte = 2
+	// RecInstallStory logs a Store.InstallStory command with the full
+	// pre-simulated story payload.
+	RecInstallStory byte = 3
+	// RecDigg logs a Store.Digg command.
+	RecDigg byte = 4
+	// RecCompactStory logs a Store.CompactStory command.
+	RecCompactStory byte = 5
+)
+
+// recordTypeName names a record type for inspection output.
+func recordTypeName(t byte) string {
+	switch t {
+	case RecGenesis:
+		return "genesis"
+	case RecSubmit:
+		return "submit"
+	case RecInstallStory:
+		return "install_story"
+	case RecDigg:
+		return "digg"
+	case RecCompactStory:
+		return "compact_story"
+	default:
+		return fmt.Sprintf("type(%d)", t)
+	}
+}
+
+// ErrBadRecord is wrapped by every command payload decode failure. A
+// CRC-valid record that fails to decode means the log was written by
+// an incompatible version — recovery treats it as hard corruption.
+var ErrBadRecord = errors.New("durable: bad record payload")
+
+func appendSubmit(b []byte, u digg.UserID, title string, interest float64, t digg.Minutes) []byte {
+	b = binary.AppendVarint(b, int64(u))
+	b = binary.AppendUvarint(b, uint64(len(title)))
+	b = append(b, title...)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(interest))
+	return binary.AppendVarint(b, int64(t))
+}
+
+func decodeSubmit(p []byte) (u digg.UserID, title string, interest float64, t digg.Minutes, err error) {
+	uu, n := binary.Varint(p)
+	if n <= 0 {
+		return 0, "", 0, 0, fmt.Errorf("%w: submit user", ErrBadRecord)
+	}
+	p = p[n:]
+	ln, n := binary.Uvarint(p)
+	if n <= 0 || ln > uint64(len(p)-n) {
+		return 0, "", 0, 0, fmt.Errorf("%w: submit title", ErrBadRecord)
+	}
+	p = p[n:]
+	title = string(p[:ln])
+	p = p[ln:]
+	if len(p) < 8 {
+		return 0, "", 0, 0, fmt.Errorf("%w: submit interest", ErrBadRecord)
+	}
+	interest = math.Float64frombits(binary.LittleEndian.Uint64(p))
+	p = p[8:]
+	tt, n := binary.Varint(p)
+	if n <= 0 || n != len(p) {
+		return 0, "", 0, 0, fmt.Errorf("%w: submit time", ErrBadRecord)
+	}
+	return digg.UserID(uu), title, interest, digg.Minutes(tt), nil
+}
+
+func appendDigg(b []byte, id digg.StoryID, u digg.UserID, t digg.Minutes) []byte {
+	b = binary.AppendVarint(b, int64(id))
+	b = binary.AppendVarint(b, int64(u))
+	return binary.AppendVarint(b, int64(t))
+}
+
+func decodeDigg(p []byte) (id digg.StoryID, u digg.UserID, t digg.Minutes, err error) {
+	vals := [3]int64{}
+	for i := range vals {
+		v, n := binary.Varint(p)
+		if n <= 0 {
+			return 0, 0, 0, fmt.Errorf("%w: digg field %d", ErrBadRecord, i)
+		}
+		vals[i] = v
+		p = p[n:]
+	}
+	if len(p) != 0 {
+		return 0, 0, 0, fmt.Errorf("%w: digg trailing bytes", ErrBadRecord)
+	}
+	return digg.StoryID(vals[0]), digg.UserID(vals[1]), digg.Minutes(vals[2]), nil
+}
+
+func appendCompact(b []byte, id digg.StoryID) []byte {
+	return binary.AppendVarint(b, int64(id))
+}
+
+func decodeCompact(p []byte) (digg.StoryID, error) {
+	v, n := binary.Varint(p)
+	if n <= 0 || n != len(p) {
+		return 0, fmt.Errorf("%w: compact story id", ErrBadRecord)
+	}
+	return digg.StoryID(v), nil
+}
+
+// applyRecord replays one logged command onto the platform. The
+// returned rejected flag marks commands the platform refused — the
+// same refusal it issued during the original run (replay is
+// deterministic, so a rejected command rejects identically and changes
+// nothing either time). A decode failure is a hard error.
+func applyRecord(p *digg.Platform, typ byte, payload []byte) (rejected bool, err error) {
+	switch typ {
+	case RecGenesis:
+		// Provenance only; carries no state.
+		return false, nil
+	case RecSubmit:
+		u, title, interest, t, err := decodeSubmit(payload)
+		if err != nil {
+			return false, err
+		}
+		_, cmdErr := p.Submit(u, title, interest, t)
+		return cmdErr != nil, nil
+	case RecInstallStory:
+		st, rest, err := digg.DecodeStory(payload)
+		if err != nil {
+			return false, err
+		}
+		if len(rest) != 0 {
+			return false, fmt.Errorf("%w: install story trailing bytes", ErrBadRecord)
+		}
+		return p.InstallStory(st) != nil, nil
+	case RecDigg:
+		id, u, t, err := decodeDigg(payload)
+		if err != nil {
+			return false, err
+		}
+		_, cmdErr := p.Digg(id, u, t)
+		return cmdErr != nil, nil
+	case RecCompactStory:
+		id, err := decodeCompact(payload)
+		if err != nil {
+			return false, err
+		}
+		return p.CompactStory(id) != nil, nil
+	default:
+		return false, fmt.Errorf("%w: unknown record type %d", ErrBadRecord, typ)
+	}
+}

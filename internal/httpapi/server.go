@@ -35,6 +35,11 @@ type Server struct {
 	// fallback readers interleave on one mutex.
 	mu    *sync.RWMutex
 	store digg.Store
+	// batcher is the store's optional batch-grouping capability
+	// (digg.Batcher). When present — a durable store — the batch write
+	// endpoints bracket their loop in it, so all <= apiv1.MaxBatch
+	// writes of a request cost one write-ahead append and one fsync.
+	batcher digg.Batcher
 	// graph is the store's immutable social graph, cached so the user
 	// endpoints never need the store lock or an interface call.
 	graph *graph.Graph
@@ -74,6 +79,7 @@ func NewServer(store digg.Store, now digg.Minutes, rankOf func(digg.UserID) int)
 		rankOf: rankOf,
 		snap:   newSnapshotStore(),
 	}
+	s.batcher, _ = store.(digg.Batcher)
 	if rankOf == nil {
 		s.rankOf = store.UserRank
 		s.storeRanks = true

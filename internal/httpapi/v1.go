@@ -710,6 +710,12 @@ func (s *Server) handleV1BatchDigg(w http.ResponseWriter, r *http.Request) {
 	now := s.clock()
 	results := make([]apiv1.BatchDiggResult, len(req.Diggs))
 	s.mu.Lock()
+	// On a durable store the whole batch commits as one write-ahead
+	// append and one fsync (EndBatch is the durability acknowledgment);
+	// per-item rejections still report per item.
+	if s.batcher != nil {
+		s.batcher.BeginBatch()
+	}
 	for i, d := range req.Diggs {
 		at := digg.Minutes(d.At)
 		if at == 0 {
@@ -722,8 +728,16 @@ func (s *Server) handleV1BatchDigg(w http.ResponseWriter, r *http.Request) {
 		}
 		results[i] = apiv1.BatchDiggResult{InNetwork: res.InNetwork, Promoted: res.Promoted, Votes: res.Votes}
 	}
+	var werr error
+	if s.batcher != nil {
+		werr = s.batcher.EndBatch()
+	}
 	s.mu.Unlock()
 	s.republish()
+	if werr != nil {
+		writeV1Error(w, v1ErrorFor(werr))
+		return
+	}
 	writeJSON(w, http.StatusOK, apiv1.BatchDiggResponse{Results: results})
 }
 
@@ -743,6 +757,9 @@ func (s *Server) handleV1BatchSubmit(w http.ResponseWriter, r *http.Request) {
 	now := s.clock()
 	results := make([]apiv1.BatchSubmitResult, len(req.Stories))
 	s.mu.Lock()
+	if s.batcher != nil {
+		s.batcher.BeginBatch()
+	}
 	for i, sub := range req.Stories {
 		at := digg.Minutes(sub.At)
 		if at == 0 {
@@ -756,8 +773,16 @@ func (s *Server) handleV1BatchSubmit(w http.ResponseWriter, r *http.Request) {
 		sum := summarize(st)
 		results[i].Story = &sum
 	}
+	var werr error
+	if s.batcher != nil {
+		werr = s.batcher.EndBatch()
+	}
 	s.mu.Unlock()
 	s.republish()
+	if werr != nil {
+		writeV1Error(w, v1ErrorFor(werr))
+		return
+	}
 	writeJSON(w, http.StatusOK, apiv1.BatchSubmitResponse{Results: results})
 }
 

@@ -95,10 +95,15 @@ type Service struct {
 	// read handlers share it through Locker().
 	mu       sync.RWMutex
 	platform digg.Store
-	stepper  *agent.Stepper
-	rng      *rng.RNG
-	zipf     *rng.Zipf
-	byFans   []digg.UserID
+	// batcher is the store's optional batch-grouping capability: when
+	// present (a durable store), each step's whole command burst —
+	// submissions, votes, compactions — commits as one write-ahead
+	// append and one fsync instead of one per command.
+	batcher digg.Batcher
+	stepper *agent.Stepper
+	rng     *rng.RNG
+	zipf    *rng.Zipf
+	byFans  []digg.UserID
 	// nextArrival is the continuous sim-time of the next scheduled
 	// submission.
 	nextArrival float64
@@ -146,6 +151,7 @@ func NewService(p digg.Store, cfg Config) (*Service, error) {
 		rng:      r,
 		byFans:   graph.TopByInDegree(p.SocialGraph(), p.SocialGraph().NumNodes()),
 	}
+	s.batcher, _ = p.(digg.Batcher)
 	s.zipf = rng.NewZipf(r, len(s.byFans), cfg.SubmitterZipfS)
 	s.nextArrival = float64(cfg.StartAt) + r.ExpGap(cfg.SubmissionsPerHour/60)
 	s.simNow.Store(int64(cfg.StartAt))
@@ -199,6 +205,11 @@ func (s *Service) Run(ctx context.Context) error {
 // so subscribers never delay readers or the writer. StepTo is the
 // deterministic test seam — Run merely calls it on a ticker — and is
 // a no-op when simNow is not ahead of the current sim time.
+//
+// When the store supports batch grouping (digg.Batcher — the durable
+// store does), the step's whole command burst is bracketed in one
+// batch, so a tick costs one write-ahead append and one fsync no
+// matter how many votes land in it.
 func (s *Service) StepTo(simNow digg.Minutes) error {
 	if simNow <= s.Now() {
 		return nil
@@ -206,6 +217,31 @@ func (s *Service) StepTo(simNow digg.Minutes) error {
 	var out []Event
 
 	s.mu.Lock()
+	if s.batcher != nil {
+		s.batcher.BeginBatch()
+	}
+	err := s.stepLocked(simNow, &out)
+	if s.batcher != nil {
+		if berr := s.batcher.EndBatch(); err == nil {
+			err = berr
+		}
+	}
+	s.mu.Unlock()
+
+	if s.afterStep != nil {
+		s.afterStep()
+	}
+	for _, ev := range out {
+		s.bus.Publish(ev)
+	}
+	return err
+}
+
+// stepLocked is StepTo's body; the caller holds the write lock (and
+// the durability batch, if any) around it.
+func (s *Service) stepLocked(simNow digg.Minutes, outp *[]Event) error {
+	out := *outp
+	defer func() { *outp = out }()
 	rate := s.cfg.SubmissionsPerHour / 60
 	for s.nextArrival <= float64(simNow) {
 		at := digg.Minutes(s.nextArrival)
@@ -214,7 +250,6 @@ func (s *Service) StepTo(simNow digg.Minutes) error {
 		title := fmt.Sprintf("live-story-%d", s.platform.NumStories())
 		st, err := s.stepper.StartStory(submitter, title, interest, at)
 		if err != nil {
-			s.mu.Unlock()
 			return err
 		}
 		s.submits.Add(1)
@@ -254,14 +289,6 @@ func (s *Service) StepTo(simNow digg.Minutes) error {
 	s.totalStories.Store(int64(s.platform.NumStories()))
 	s.promotedStories.Store(int64(s.platform.PromotedCount()))
 	s.activeStories.Store(int64(s.stepper.Active()))
-	s.mu.Unlock()
-
-	if s.afterStep != nil {
-		s.afterStep()
-	}
-	for _, ev := range out {
-		s.bus.Publish(ev)
-	}
 	return err
 }
 

@@ -1,0 +1,183 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Reader iterates the records of a log in LSN order. It is read-only
+// and tolerant of a torn tail; it must not run concurrently with a
+// Writer on the same directory (the durable store replays before it
+// opens its writer).
+type Reader struct {
+	segs []SegmentInfo
+	// seg is the index of the segment currently being read.
+	seg  int
+	f    *os.File
+	br   *bufio.Reader
+	next uint64 // LSN of the next record
+	off  int64  // byte offset of the next record within the segment
+	buf  []byte // payload scratch, reused across records
+
+	torn     bool
+	tornPath string
+	tornOff  int64
+	done     bool
+}
+
+// OpenReader opens the log in dir for reading, positioned so that the
+// first Next returns the first record with LSN >= at (pass 0 to read
+// the whole log). Records before at inside the starting segment are
+// skipped but still CRC-verified, so corruption never passes silently.
+func OpenReader(dir string, at uint64) (*Reader, error) {
+	segs, err := ListSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{segs: segs}
+	if len(segs) == 0 {
+		r.done = true
+		return r, nil
+	}
+	// Start at the last segment whose first LSN is <= at.
+	start := 0
+	for i, s := range segs {
+		if s.FirstLSN <= at {
+			start = i
+		}
+	}
+	if err := r.openSegment(start); err != nil {
+		return nil, err
+	}
+	// Skip (but verify) records below the requested position.
+	for r.next < at {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+func (r *Reader) openSegment(i int) error {
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+	f, err := os.Open(r.segs[i].Path)
+	if err != nil {
+		return err
+	}
+	r.seg = i
+	r.f = f
+	if r.br == nil {
+		r.br = bufio.NewReaderSize(f, 1<<16)
+	} else {
+		r.br.Reset(f)
+	}
+	r.next = r.segs[i].FirstLSN
+	r.off = 0
+	return nil
+}
+
+// lastSegment reports whether the segment currently being read is the
+// final one, where an invalid record means a torn tail rather than
+// corruption.
+func (r *Reader) lastSegment() bool { return r.seg == len(r.segs)-1 }
+
+// fail classifies an invalid record: torn tail in the final segment,
+// hard ErrCorrupt anywhere else.
+func (r *Reader) fail(what string) error {
+	if r.lastSegment() {
+		r.torn = true
+		r.tornPath = r.segs[r.seg].Path
+		r.tornOff = r.off
+		r.done = true
+		return io.EOF
+	}
+	r.done = true
+	return fmt.Errorf("%w: %s at %s offset %d", ErrCorrupt, what, r.segs[r.seg].Path, r.off)
+}
+
+// Next returns the next record, io.EOF at the end of the log (including
+// after a truncated tail — check Torn), or an error wrapping ErrCorrupt
+// on mid-log corruption. The returned payload is only valid until the
+// following Next call.
+func (r *Reader) Next() (Record, error) {
+	for {
+		if r.done {
+			return Record{}, io.EOF
+		}
+		var hdr [headerSize]byte
+		n, err := io.ReadFull(r.br, hdr[:])
+		if err == io.EOF && n == 0 {
+			// Clean end of this segment.
+			if r.lastSegment() {
+				r.done = true
+				return Record{}, io.EOF
+			}
+			// Contiguity check: the next segment must pick up exactly
+			// where this one ended, or records have gone missing.
+			if r.segs[r.seg+1].FirstLSN != r.next {
+				r.done = true
+				return Record{}, fmt.Errorf("%w: segment %s starts at lsn %d, want %d",
+					ErrCorrupt, r.segs[r.seg+1].Path, r.segs[r.seg+1].FirstLSN, r.next)
+			}
+			if err := r.openSegment(r.seg + 1); err != nil {
+				r.done = true
+				return Record{}, err
+			}
+			continue
+		}
+		if err != nil {
+			return Record{}, r.fail("partial record header")
+		}
+		length := binary.LittleEndian.Uint32(hdr[1:5])
+		if length > MaxRecordSize {
+			return Record{}, r.fail(fmt.Sprintf("record length %d exceeds limit", length))
+		}
+		if cap(r.buf) < int(length) {
+			r.buf = make([]byte, length)
+		}
+		payload := r.buf[:length]
+		if _, err := io.ReadFull(r.br, payload); err != nil {
+			return Record{}, r.fail("partial record payload")
+		}
+		crc := crc32.Update(0, castagnoli, hdr[:5])
+		crc = crc32.Update(crc, castagnoli, payload)
+		if crc != binary.LittleEndian.Uint32(hdr[5:9]) {
+			return Record{}, r.fail("record checksum mismatch")
+		}
+		rec := Record{LSN: r.next, Type: hdr[0], Payload: payload}
+		r.next++
+		r.off += int64(headerSize) + int64(length)
+		return rec, nil
+	}
+}
+
+// End returns the LSN one past the last valid record read so far; after
+// the reader has returned io.EOF it is the end of the valid log.
+func (r *Reader) End() uint64 { return r.next }
+
+// Torn reports whether the log ends in a torn (partially written or
+// checksum-failing) tail, and if so in which file and at which byte
+// offset the valid data ends. OpenWriter truncates exactly there.
+func (r *Reader) Torn() (path string, off int64, torn bool) {
+	return r.tornPath, r.tornOff, r.torn
+}
+
+// Close releases the reader's file handle.
+func (r *Reader) Close() error {
+	if r.f != nil {
+		err := r.f.Close()
+		r.f = nil
+		return err
+	}
+	return nil
+}
