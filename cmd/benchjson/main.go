@@ -1,0 +1,189 @@
+// Command benchjson runs the repo's key serving and write-path
+// benchmarks and emits one machine-readable JSON document, so perf
+// numbers can be committed alongside the code they measure and
+// compared across PRs without scraping `go test -bench` text by hand.
+//
+// Usage:
+//
+//	benchjson [-out BENCH_shard.json] [-benchtime 1s] [-count 1]
+//	          [-bench REGEX] [pkg ...]
+//
+// With no packages, the default benchmark set covers the read path
+// (BenchmarkServedReads, BenchmarkServedReadsWhileLive), the batch
+// write path (BenchmarkBatchDigg, BenchmarkDurableBatchDigg), and the
+// sharded write path (BenchmarkShardedBatchDigg at 1 and 4 shards).
+// The output records the host's core count: sharded speedups are
+// core-bound, so a number measured on one core is not comparable to
+// one measured on eight.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// run is one parsed benchmark result line.
+type run struct {
+	Name       string             `json:"name"`
+	Package    string             `json:"package"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// report is the emitted document.
+type report struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	CPU         string `json:"cpu,omitempty"`
+	Benchtime   string `json:"benchtime"`
+	Count       int    `json:"count"`
+	Bench       string `json:"bench"`
+	Notes       string `json:"notes,omitempty"`
+	Benchmarks  []run  `json:"benchmarks"`
+}
+
+// defaultBench selects the key serving/write-path benchmarks named in
+// the perf acceptance criteria.
+const defaultBench = "BenchmarkServedReads$|BenchmarkServedReadsWhileLive$|BenchmarkBatchDigg$|BenchmarkDurableBatchDigg$|BenchmarkShardedBatchDigg"
+
+var defaultPkgs = []string{"./internal/httpapi/", "./internal/shard/"}
+
+func main() {
+	out := flag.String("out", "BENCH_shard.json", "output file (- for stdout)")
+	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")
+	count := flag.Int("count", 1, "go test -count value")
+	bench := flag.String("bench", defaultBench, "go test -bench regex")
+	notes := flag.String("notes", "", "free-form note recorded in the document")
+	flag.Parse()
+	pkgs := flag.Args()
+	if len(pkgs) == 0 {
+		pkgs = defaultPkgs
+	}
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Benchtime:   *benchtime,
+		Count:       *count,
+		Bench:       *bench,
+		Notes:       *notes,
+	}
+
+	for _, pkg := range pkgs {
+		runs, cpu, err := benchPackage(pkg, *bench, *benchtime, *count)
+		if err != nil {
+			fatal(err)
+		}
+		if cpu != "" {
+			rep.CPU = cpu
+		}
+		rep.Benchmarks = append(rep.Benchmarks, runs...)
+	}
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	doc = append(doc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(doc)
+		return
+	}
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rep.Benchmarks), *out)
+}
+
+// benchPackage shells out to go test and parses the text protocol:
+// each result line is NAME <iterations> then value/unit pairs.
+func benchPackage(pkg, bench, benchtime string, count int) ([]run, string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchtime", benchtime, "-count", strconv.Itoa(count), pkg)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, "", fmt.Errorf("go test -bench %s %s: %w", bench, pkg, err)
+	}
+	var runs []run
+	var cpu string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = rest
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := run{
+			// Strip the trailing -GOMAXPROCS suffix go test appends.
+			Name:       trimProcsSuffix(fields[0]),
+			Package:    pkg,
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			default:
+				r.Metrics[unit] = v
+			}
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		runs = append(runs, r)
+	}
+	return runs, cpu, sc.Err()
+}
+
+// trimProcsSuffix drops go test's -N parallelism suffix from a
+// benchmark name (Benchmark/sub-8 -> Benchmark/sub) without touching
+// hyphenated sub-benchmark names.
+func trimProcsSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

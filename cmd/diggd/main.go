@@ -7,6 +7,7 @@
 //	diggd [-addr :8080] [-small] [-seed N] [-live] [-speedup 600]
 //	      [-submissions-per-hour 60] [-export DIR] [-pprof ADDR]
 //	      [-data-dir DIR] [-fsync interval] [-checkpoint-interval 1m]
+//	      [-shards N]
 //
 // The server generates a corpus at startup. In the default static mode
 // it then serves the corpus read-mostly (live submissions and votes are
@@ -33,6 +34,13 @@
 // observable state change. Graceful shutdown writes a final
 // checkpoint, so a clean restart replays nothing. Inspect a data
 // directory with `diggstats -wal DIR`; see docs/persistence.md.
+//
+// With -shards N (N >= 2) stories are partitioned across N shard-local
+// stores (internal/shard): writes route by story id, batch writes
+// apply per-shard concurrently, and with -data-dir each shard keeps
+// its own write-ahead log under DIR/shard-NNNN/, so a batch costs one
+// overlapped fsync per shard instead of a serial one. Recovery opens
+// every shard WAL and reconciles them; see docs/sharding.md.
 package main
 
 import (
@@ -53,6 +61,7 @@ import (
 	"diggsim/internal/durable"
 	"diggsim/internal/httpapi"
 	"diggsim/internal/live"
+	"diggsim/internal/shard"
 	"diggsim/internal/wal"
 )
 
@@ -81,7 +90,11 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable mode: write-ahead log + checkpoints in this directory; boots by recovery when it already holds a store")
 	fsync := flag.String("fsync", "interval", "durable mode fsync policy: always, interval or os")
 	ckptEvery := flag.Duration("checkpoint-interval", time.Minute, "durable mode: minimum interval between automatic checkpoints")
+	shards := flag.Int("shards", 1, "partition stories across N shard-local stores; with -data-dir each shard keeps its own WAL (see docs/sharding.md)")
 	flag.Parse()
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards must be >= 1, got %d", *shards))
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -114,8 +127,51 @@ func main() {
 		rankOf  func(digg.UserID) int
 		startAt digg.Minutes
 		stories int
+		// persist is whichever durable store (plain or sharded) needs a
+		// final checkpoint at shutdown.
+		persist interface {
+			Checkpoint() error
+			Close() error
+			Generation() uint64
+		}
 	)
-	if *dataDir != "" && durable.Exists(*dataDir) {
+	// A data directory is either unsharded (WAL at its root) or sharded
+	// (shard-0000/ ... subdirectories); the layout on disk wins over
+	// the -shards flag on recovery, and mixing them is refused rather
+	// than guessed at.
+	if *dataDir != "" && *shards > 1 && durable.Exists(*dataDir) {
+		fatal(fmt.Errorf("%s holds an unsharded store; recover it without -shards or start a fresh directory", *dataDir))
+	}
+	if *dataDir != "" && *shards == 1 && shard.Exists(*dataDir) {
+		fatal(fmt.Errorf("%s holds a sharded store; recover it with -shards (any value >= 2) or start a fresh directory", *dataDir))
+	}
+	if *dataDir != "" && *shards > 1 && shard.Exists(*dataDir) {
+		sstore, err := shard.Open(*dataDir, dopts)
+		if err != nil {
+			fatal(err)
+		}
+		rec := sstore.Recovery()
+		var replayed, rejected uint64
+		torn := 0
+		for _, r := range rec.Shards {
+			replayed += uint64(r.Replayed)
+			rejected += uint64(r.Rejected)
+			if r.TailTruncated {
+				torn++
+			}
+		}
+		var gi genesisInfo
+		if err := json.Unmarshal(sstore.Genesis(), &gi); err == nil && gi.Config.Users > 0 {
+			cfg = gi.Config
+		}
+		store, persist = sstore, sstore
+		startAt = latestActivity(sstore, cfg.SnapshotAt)
+		stories = sstore.NumStories()
+		fmt.Fprintf(os.Stderr,
+			"diggd: recovered %s: %d shards, %d stories, generation %d (%d replayed records, %d rejected, %d trimmed for cross-shard consistency%s)\n",
+			*dataDir, sstore.ShardCount(), stories, rec.Generation, replayed, rejected, rec.Trimmed,
+			tornShardsNote(torn))
+	} else if *dataDir != "" && durable.Exists(*dataDir) {
 		dstore, err = durable.Open(*dataDir, dopts)
 		if err != nil {
 			fatal(err)
@@ -125,7 +181,7 @@ func main() {
 		if err := json.Unmarshal(dstore.Genesis(), &gi); err == nil && gi.Config.Users > 0 {
 			cfg = gi.Config
 		}
-		store = dstore
+		store, persist = dstore, dstore
 		startAt = latestActivity(dstore, cfg.SnapshotAt)
 		stories = dstore.NumStories()
 		fmt.Fprintf(os.Stderr,
@@ -150,13 +206,30 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			dstore, err = durable.Create(*dataDir, ds.Platform, genesis, dopts)
+			if *shards > 1 {
+				sstore, err := shard.Create(*dataDir, ds.Platform, *shards, genesis, dopts)
+				if err != nil {
+					fatal(err)
+				}
+				store, persist = sstore, sstore
+				fmt.Fprintf(os.Stderr, "diggd: created %d-shard durable store in %s (fsync=%s, checkpoint every %s)\n",
+					*shards, *dataDir, syncPolicy, *ckptEvery)
+			} else {
+				dstore, err = durable.Create(*dataDir, ds.Platform, genesis, dopts)
+				if err != nil {
+					fatal(err)
+				}
+				store, persist = dstore, dstore
+				fmt.Fprintf(os.Stderr, "diggd: created durable store in %s (fsync=%s, checkpoint every %s)\n",
+					*dataDir, syncPolicy, *ckptEvery)
+			}
+		} else if *shards > 1 {
+			sstore, err := shard.FromPlatform(ds.Platform, *shards)
 			if err != nil {
 				fatal(err)
 			}
-			store = dstore
-			fmt.Fprintf(os.Stderr, "diggd: created durable store in %s (fsync=%s, checkpoint every %s)\n",
-				*dataDir, syncPolicy, *ckptEvery)
+			store = sstore
+			fmt.Fprintf(os.Stderr, "diggd: sharded in-memory store, %d shards\n", *shards)
 		}
 	}
 
@@ -267,18 +340,19 @@ func main() {
 				len(out.Stories), len(out.FrontPage), *exportDir)
 		}
 	}
-	if dstore != nil {
+	if persist != nil {
 		// Final checkpoint + WAL sync: the HTTP server has drained and
 		// the live stepper has stopped, so no writer remains and the
-		// next boot replays zero records.
-		if err := dstore.Checkpoint(); err != nil {
+		// next boot replays zero records (sharded stores checkpoint
+		// every shard).
+		if err := persist.Checkpoint(); err != nil {
 			fatal(err)
 		}
-		if err := dstore.Close(); err != nil {
+		if err := persist.Close(); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "diggd: final checkpoint at generation %d in %s\n",
-			dstore.Generation(), *dataDir)
+			persist.Generation(), *dataDir)
 	}
 	fmt.Fprintln(os.Stderr, "diggd: shut down cleanly")
 }
@@ -305,6 +379,13 @@ func latestActivity(s digg.Store, floor digg.Minutes) digg.Minutes {
 func tornNote(torn bool) string {
 	if torn {
 		return ", torn tail truncated"
+	}
+	return ""
+}
+
+func tornShardsNote(n int) string {
+	if n > 0 {
+		return fmt.Sprintf(", torn tails truncated in %d shard(s)", n)
 	}
 	return ""
 }

@@ -7,7 +7,9 @@
 // (written with `diggd -data-dir`): WAL segments and record counts,
 // the newest checkpoint's generation, the replay span a recovery would
 // process, and the genesis provenance — the operator's view of what a
-// restart will do, without touching the directory.
+// restart will do, without touching the directory. A sharded directory
+// (diggd -shards N: shard-0000/ ... subdirectories) gets one report
+// per shard; the exit status is 1 if any shard is corrupt.
 //
 // Usage:
 //
@@ -26,6 +28,7 @@ import (
 	"diggsim/internal/durable"
 	"diggsim/internal/mltree"
 	"diggsim/internal/rng"
+	"diggsim/internal/shard"
 	"diggsim/internal/stats"
 	"diggsim/internal/timeseries"
 )
@@ -38,14 +41,7 @@ func main() {
 	seed := flag.Uint64("seed", 99, "cross-validation shuffle seed")
 	flag.Parse()
 	if *walDir != "" {
-		info, err := durable.Inspect(*walDir)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(info.String())
-		if info.Corrupt != nil || info.Checkpoint == nil {
-			os.Exit(1)
-		}
+		inspectWAL(*walDir)
 		return
 	}
 	if *data == "" {
@@ -116,6 +112,46 @@ func main() {
 	}
 	if auc, err := p.AUC(examples); err == nil {
 		fmt.Printf("training AUC: %.3f\n", auc)
+	}
+}
+
+// inspectWAL reports on a diggd data directory — unsharded (WAL at
+// the root) or sharded (shard-NNNN/ subdirectories, each inspected in
+// turn). Exits 1 if any shard is corrupt or missing its checkpoint.
+func inspectWAL(dir string) {
+	if shard.Exists(dir) {
+		dirs, err := shard.ShardDirs(dir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sharded data directory: %d shards\n", len(dirs))
+		unhealthy := 0
+		for i, sd := range dirs {
+			fmt.Printf("\n--- shard %d (%s) ---\n", i, sd)
+			info, err := durable.Inspect(sd)
+			if err != nil {
+				fmt.Println("inspect failed:", err)
+				unhealthy++
+				continue
+			}
+			fmt.Print(info.String())
+			if info.Corrupt != nil || info.Checkpoint == nil {
+				unhealthy++
+			}
+		}
+		if unhealthy > 0 {
+			fmt.Printf("\n%d of %d shards unhealthy\n", unhealthy, len(dirs))
+			os.Exit(1)
+		}
+		return
+	}
+	info, err := durable.Inspect(dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(info.String())
+	if info.Corrupt != nil || info.Checkpoint == nil {
+		os.Exit(1)
 	}
 }
 

@@ -87,6 +87,31 @@
 // without duplicating or skipping an entry even as new generations
 // publish between pages.
 //
+// Above a certain write rate one platform lock and one WAL fsync
+// become the ceiling, so the write path shards (internal/shard):
+// diggd -shards N partitions stories across N shard-local platforms —
+// story ID modulo N over interleaved dense ID sequences, so the
+// merged story sequence is bit-identical to a single platform's —
+// each shard optionally wrapped in its own durable.Store with a
+// private WAL directory (data-dir/shard-0000, ...). Batch writes
+// split into per-shard sub-batches applied concurrently, one WAL
+// append and one overlapped fsync per shard per burst, so vote
+// throughput scales with cores (BenchmarkShardedBatchDigg; first
+// data point in BENCH_shard.json via cmd/benchjson); reads
+// scatter-gather through merged story and promotion views that
+// preserve single-platform ordering. The composite generation is the
+// sum of the per-shard generations — strictly monotonic, so ETags
+// and snapshot republishing are unchanged — and v1 cursors carry the
+// per-shard generation vector, keeping the no-duplicate/no-skip
+// pagination guarantee and refusing cursors minted under a different
+// shard layout. Crash recovery opens every shard independently and
+// trims unacknowledged stories past the first hole in the merged ID
+// sequence (a burst acks only after every shard's fsync), so a torn
+// tail in one shard's WAL cannot leave phantom stories. GET /metrics
+// exposes per-shard write/replay/generation counters in Prometheus
+// text format, and diggstats -wal reports shard-by-shard health. See
+// docs/sharding.md.
+//
 // See README.md for the package map, DESIGN.md for the system inventory
 // and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
 // results. The benchmarks in bench_test.go regenerate one experiment

@@ -53,6 +53,8 @@ var ErrInvalidCursor = errors.New("apiv1: invalid cursor")
 type CursorPayload struct {
 	Kind CursorKind
 	// Gen is the platform generation the issuing page was served from.
+	// Against a sharded store this is the composite generation (the sum
+	// of the shard generations).
 	Gen uint64
 	// Pos is the endpoint-specific position or boundary key (see the
 	// CursorKind constants).
@@ -60,16 +62,27 @@ type CursorPayload struct {
 	// Ver is the version counter of the last story served, when the
 	// listing is story-shaped (0 otherwise).
 	Ver uint64
+	// ShardGens is the per-shard generation vector the issuing page was
+	// served from — empty against an unsharded store. Like Gen and Ver
+	// it is a provenance stamp: resume needs only Pos, but the server
+	// rejects a cursor whose vector length disagrees with the serving
+	// store's shard count, since positions minted under one shard
+	// layout are not meaningful under another.
+	ShardGens []uint64
 }
 
 // Encode renders the payload as an opaque URL-safe token with an
 // integrity checksum.
 func (p CursorPayload) Encode() Cursor {
-	b := make([]byte, 0, 1+3*binary.MaxVarintLen64+4)
+	b := make([]byte, 0, 1+(4+len(p.ShardGens))*binary.MaxVarintLen64+4)
 	b = append(b, byte(p.Kind))
 	b = binary.AppendUvarint(b, p.Gen)
 	b = binary.AppendVarint(b, p.Pos)
 	b = binary.AppendUvarint(b, p.Ver)
+	b = binary.AppendUvarint(b, uint64(len(p.ShardGens)))
+	for _, g := range p.ShardGens {
+		b = binary.AppendUvarint(b, g)
+	}
 	h := fnv.New32a()
 	h.Write(b)
 	b = binary.BigEndian.AppendUint32(b, h.Sum32())
@@ -104,7 +117,30 @@ func (c Cursor) Decode(kind CursorKind) (CursorPayload, error) {
 		return CursorPayload{}, ErrInvalidCursor
 	}
 	rest = rest[n:]
-	if p.Ver, n = binary.Uvarint(rest); n <= 0 || len(rest) != n {
+	if p.Ver, n = binary.Uvarint(rest); n <= 0 {
+		return CursorPayload{}, ErrInvalidCursor
+	}
+	rest = rest[n:]
+	nShards, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return CursorPayload{}, ErrInvalidCursor
+	}
+	rest = rest[n:]
+	// Each shard generation is at least one byte; a corrupt count can
+	// never drive a huge allocation past this bound.
+	if nShards > uint64(len(rest)) {
+		return CursorPayload{}, ErrInvalidCursor
+	}
+	if nShards > 0 {
+		p.ShardGens = make([]uint64, nShards)
+		for i := range p.ShardGens {
+			if p.ShardGens[i], n = binary.Uvarint(rest); n <= 0 {
+				return CursorPayload{}, ErrInvalidCursor
+			}
+			rest = rest[n:]
+		}
+	}
+	if len(rest) != 0 {
 		return CursorPayload{}, ErrInvalidCursor
 	}
 	return p, nil

@@ -2,7 +2,10 @@ package apiv1
 
 import (
 	"encoding/base64"
+	"encoding/binary"
 	"errors"
+	"hash/fnv"
+	"reflect"
 	"testing"
 )
 
@@ -14,6 +17,8 @@ func TestCursorRoundTrip(t *testing.T) {
 		{Kind: CursorUpcoming, Gen: 7, Pos: -1, Ver: 1},
 		{Kind: CursorTopUsers, Gen: 1, Pos: 1023},
 		{Kind: CursorLinks, Pos: 500},
+		{Kind: CursorStories, Gen: 10, Pos: 4, Ver: 2, ShardGens: []uint64{3, 0, 7, 1 << 50}},
+		{Kind: CursorFrontPage, Gen: 1, Pos: 1, ShardGens: []uint64{1}},
 	}
 	for _, want := range cases {
 		c := want.Encode()
@@ -21,10 +26,41 @@ func TestCursorRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Decode(%+v): %v", want, err)
 		}
-		if got != want {
+		if !reflect.DeepEqual(got, want) {
 			t.Errorf("round trip: got %+v want %+v", got, want)
 		}
 	}
+}
+
+// TestCursorShardVectorBounded exercises the allocation guard: a
+// forged count far beyond the remaining bytes must be rejected (not
+// drive a huge make).
+func TestCursorShardVectorBounded(t *testing.T) {
+	// Build a structurally valid body with an absurd shard count and a
+	// correct checksum, bypassing Encode.
+	p := CursorPayload{Kind: CursorStories, Gen: 1, Pos: 2, Ver: 3}
+	c := p.Encode()
+	raw, err := base64.RawURLEncoding.DecodeString(string(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := raw[:len(raw)-4]
+	// The count field of a vector-free cursor is the final 0 byte;
+	// replace it with a giant varint count and re-checksum.
+	body = body[:len(body)-1]
+	body = append(body, 0xff, 0xff, 0xff, 0xff, 0x0f) // ~64 GiB worth of entries
+	forged := appendChecksum(body)
+	if _, err := forged.Decode(CursorStories); !errors.Is(err, ErrInvalidCursor) {
+		t.Errorf("oversized shard count accepted (err=%v)", err)
+	}
+}
+
+// appendChecksum seals a hand-built cursor body the way Encode does.
+func appendChecksum(body []byte) Cursor {
+	h := fnv.New32a()
+	h.Write(body)
+	sealed := binary.BigEndian.AppendUint32(append([]byte(nil), body...), h.Sum32())
+	return Cursor(base64.RawURLEncoding.EncodeToString(sealed))
 }
 
 func TestCursorKindMismatch(t *testing.T) {

@@ -111,6 +111,16 @@ type Platform struct {
 	Graph  *graph.Graph
 	Policy PromotionPolicy
 
+	// idOffset/idStep define the story ID scheme: the platform's k-th
+	// story (dense local index k) carries global ID idOffset + k*idStep.
+	// A standalone platform uses the identity scheme (0, 1); shard i of
+	// an N-way sharded store uses (i, N), so the shards' ID sequences
+	// interleave into one dense global sequence while each shard keeps
+	// its O(1) dense-array bookkeeping. A zero idStep (a Platform built
+	// without a constructor) reads as the identity scheme.
+	idOffset StoryID
+	idStep   StoryID
+
 	stories  []*Story
 	voted    []*dense.Set // per-story voter sets (nil once compacted)
 	visible  []*dense.Set // per-story Friends-interface audience
@@ -166,8 +176,54 @@ func NewPlatform(g *graph.Graph, policy PromotionPolicy) *Platform {
 	return &Platform{
 		Graph:               g,
 		Policy:              policy,
+		idStep:              1,
 		promotedBySubmitter: make(map[UserID]int),
 	}
+}
+
+// NewShardPlatform creates a platform that owns shard `offset` of an
+// N-way (`step`) interleaved global story ID space: its k-th story is
+// assigned ID offset + k*step. Stories/NumStories still report the
+// shard's local dense sequence; Story, Digg and every other by-ID
+// accessor address stories by their global IDs. A sharded store
+// (internal/shard) composes N such platforms into one dense global
+// sequence. NewShardPlatform(g, policy, 0, 1) is NewPlatform.
+func NewShardPlatform(g *graph.Graph, policy PromotionPolicy, offset, step StoryID) *Platform {
+	if step < 1 || offset < 0 || offset >= step {
+		panic(fmt.Sprintf("digg: invalid shard ID scheme (offset %d, step %d)", offset, step))
+	}
+	p := NewPlatform(g, policy)
+	p.idOffset, p.idStep = offset, step
+	return p
+}
+
+// IDScheme returns the platform's story ID scheme: global ID =
+// offset + localIndex*step. Standalone platforms report (0, 1).
+func (p *Platform) IDScheme() (offset, step StoryID) {
+	if p.idStep < 1 {
+		return 0, 1
+	}
+	return p.idOffset, p.idStep
+}
+
+// index maps a global story ID to the platform's dense local index, or
+// -1 when the ID is not owned by this platform or not yet submitted.
+func (p *Platform) index(id StoryID) int {
+	off, step := p.IDScheme()
+	if id < off || (id-off)%step != 0 {
+		return -1
+	}
+	i := int((id - off) / step)
+	if i >= len(p.stories) {
+		return -1
+	}
+	return i
+}
+
+// nextID returns the global ID the next submitted story will carry.
+func (p *Platform) nextID() StoryID {
+	off, step := p.IDScheme()
+	return off + StoryID(len(p.stories))*step
 }
 
 // NumStories returns the number of submitted stories.
@@ -183,10 +239,11 @@ func (p *Platform) Generation() uint64 { return p.gen }
 // +1 per vote), or 0 if the story does not exist. A story's summary
 // and vote list are unchanged while its version is unchanged.
 func (p *Platform) StoryVersion(id StoryID) uint32 {
-	if id < 0 || int(id) >= len(p.storyVer) {
+	i := p.index(id)
+	if i < 0 {
 		return 0
 	}
-	return p.storyVer[id]
+	return p.storyVer[i]
 }
 
 // ErrNoStory is returned (wrapped with the id) when a story id does
@@ -197,10 +254,11 @@ var ErrNoStory = errors.New("digg: no story")
 // Story returns the story with the given id, or an error wrapping
 // ErrNoStory if it does not exist.
 func (p *Platform) Story(id StoryID) (*Story, error) {
-	if id < 0 || int(id) >= len(p.stories) {
+	i := p.index(id)
+	if i < 0 {
 		return nil, fmt.Errorf("%w %d", ErrNoStory, id)
 	}
-	return p.stories[id], nil
+	return p.stories[i], nil
 }
 
 // Stories returns all stories in submission order. The slice is shared;
@@ -226,7 +284,7 @@ func (p *Platform) Submit(u UserID, title string, interest float64, t Minutes) (
 		return nil, ErrUnknownUser
 	}
 	s := &Story{
-		ID:          StoryID(len(p.stories)),
+		ID:          p.nextID(),
 		Title:       title,
 		Submitter:   u,
 		SubmittedAt: t,
@@ -257,8 +315,8 @@ func (p *Platform) Submit(u UserID, title string, interest float64, t Minutes) (
 // pre-simulated stories in submission order instead of replaying every
 // vote through Digg.
 func (p *Platform) InstallStory(s *Story) error {
-	if int(s.ID) != len(p.stories) {
-		return fmt.Errorf("digg: InstallStory out of order: story %d, next index %d", s.ID, len(p.stories))
+	if s.ID != p.nextID() {
+		return fmt.Errorf("digg: InstallStory out of order: story %d, next id %d", s.ID, p.nextID())
 	}
 	if s.Submitter < 0 || int(s.Submitter) >= p.Graph.NumNodes() {
 		return ErrUnknownUser
@@ -291,17 +349,18 @@ type DiggResult struct {
 // of the submitter or any prior voter) at voting time. After the vote,
 // u's fans join the audience and the promotion policy is consulted.
 func (p *Platform) Digg(id StoryID, u UserID, t Minutes) (DiggResult, error) {
-	s, err := p.Story(id)
-	if err != nil {
-		return DiggResult{}, err
+	i := p.index(id)
+	if i < 0 {
+		return DiggResult{}, fmt.Errorf("%w %d", ErrNoStory, id)
 	}
+	s := p.stories[i]
 	if u < 0 || int(u) >= p.Graph.NumNodes() {
 		return DiggResult{}, ErrUnknownUser
 	}
-	if p.voted[id] == nil {
+	if p.voted[i] == nil {
 		return DiggResult{}, ErrStoryCompacted
 	}
-	if p.voted[id].Contains(int(u)) {
+	if p.voted[i].Contains(int(u)) {
 		return DiggResult{}, ErrAlreadyVoted
 	}
 	if n := len(s.Votes); n > 0 && t < s.Votes[n-1].At {
@@ -311,13 +370,13 @@ func (p *Platform) Digg(id StoryID, u UserID, t Minutes) (DiggResult, error) {
 		// pending votes clamp forward to the newest recorded time.
 		t = s.Votes[n-1].At
 	}
-	inNet := p.visible[id].Contains(int(u))
+	inNet := p.visible[i].Contains(int(u))
 	s.Votes = append(s.Votes, Vote{Voter: u, At: t, InNetwork: inNet})
-	p.storyVer[id]++
+	p.storyVer[i]++
 	p.gen++
-	p.voted[id].Add(int(u))
+	p.voted[i].Add(int(u))
 	for _, fan := range p.Graph.Fans(u) {
-		p.visible[id].Add(int(fan))
+		p.visible[i].Add(int(fan))
 	}
 	res := DiggResult{InNetwork: inNet, Votes: len(s.Votes)}
 	if !s.Promoted && p.Policy.ShouldPromote(s, t) {
@@ -336,19 +395,21 @@ func (p *Platform) Digg(id StoryID, u UserID, t Minutes) (DiggResult, error) {
 // terms). The submitter and voters themselves are not counted unless
 // they are also fans of a voter.
 func (p *Platform) Audience(id StoryID) int {
-	if id < 0 || int(id) >= len(p.visible) || p.visible[id] == nil {
+	i := p.index(id)
+	if i < 0 || p.visible[i] == nil {
 		return 0
 	}
-	return p.visible[id].Len()
+	return p.visible[i].Len()
 }
 
 // CanSee reports whether user u currently sees story id through the
 // Friends interface.
 func (p *Platform) CanSee(id StoryID, u UserID) bool {
-	if id < 0 || int(id) >= len(p.visible) || p.visible[id] == nil || u < 0 {
+	i := p.index(id)
+	if i < 0 || p.visible[i] == nil || u < 0 {
 		return false
 	}
-	return p.visible[id].Contains(int(u))
+	return p.visible[i].Contains(int(u))
 }
 
 // CompactStory releases the per-story voter and audience bookkeeping
@@ -357,16 +418,77 @@ func (p *Platform) CanSee(id StoryID, u UserID) bool {
 // story will be rejected, and Audience/CanSee report zero. Large-corpus
 // generation calls this after each story to bound memory.
 func (p *Platform) CompactStory(id StoryID) error {
-	if _, err := p.Story(id); err != nil {
-		return err
+	i := p.index(id)
+	if i < 0 {
+		return fmt.Errorf("%w %d", ErrNoStory, id)
 	}
-	if p.voted[id] != nil {
-		p.setPool = append(p.setPool, p.voted[id], p.visible[id])
-		p.voted[id] = nil
-		p.visible[id] = nil
+	if p.voted[i] != nil {
+		p.setPool = append(p.setPool, p.voted[i], p.visible[i])
+		p.voted[i] = nil
+		p.visible[i] = nil
 		p.gen++ // Audience/CanSee observably change
 	}
 	return nil
+}
+
+// TrimStories truncates the platform to its first keep stories (local
+// dense order), discarding later submissions along with their votes,
+// promotion entries and comments, and returns how many stories were
+// dropped. It exists for sharded crash recovery: when one shard's WAL
+// is durable past another's, the trailing stories beyond the first
+// hole in the merged global ID sequence belong to writes that were
+// never acknowledged, and recovery trims them so the merged sequence
+// stays dense. Callers must checkpoint immediately afterwards so the
+// shard's WAL cannot resurrect the trimmed records.
+func (p *Platform) TrimStories(keep int) int {
+	if keep < 0 {
+		keep = 0
+	}
+	n := len(p.stories)
+	if keep >= n {
+		return 0
+	}
+	off, step := p.IDScheme()
+	cut := off + StoryID(keep)*step
+	// Owned IDs are monotone in the local index, so id >= cut exactly
+	// identifies trimmed stories wherever they appear.
+	kept := p.promoted[:0]
+	ranksDirty := false
+	for _, id := range p.promoted {
+		if id >= cut {
+			sub := p.stories[p.index(id)].Submitter
+			if p.promotedBySubmitter[sub]--; p.promotedBySubmitter[sub] == 0 {
+				delete(p.promotedBySubmitter, sub)
+			}
+			ranksDirty = true
+			continue
+		}
+		kept = append(kept, id)
+	}
+	p.promoted = kept
+	keptComments := p.comments[:0]
+	for _, c := range p.comments {
+		if c.Story < cut {
+			keptComments = append(keptComments, c)
+		}
+	}
+	p.comments = keptComments
+	for i := keep; i < n; i++ {
+		if p.voted[i] != nil {
+			p.setPool = append(p.setPool, p.voted[i], p.visible[i])
+		}
+		p.voted[i], p.visible[i] = nil, nil
+		p.stories[i] = nil
+	}
+	p.stories = p.stories[:keep]
+	p.storyVer = p.storyVer[:keep]
+	p.voted = p.voted[:keep]
+	p.visible = p.visible[:keep]
+	if ranksDirty {
+		p.invalidateRanks()
+	}
+	p.gen++
+	return n - keep
 }
 
 // Upcoming returns stories that are not yet promoted, newest first,
@@ -392,7 +514,7 @@ func (p *Platform) Upcoming(now Minutes, limit int) []*Story {
 func (p *Platform) FrontPage(limit int) []*Story {
 	var out []*Story
 	for i := len(p.promoted) - 1; i >= 0; i-- {
-		out = append(out, p.stories[p.promoted[i]])
+		out = append(out, p.stories[p.index(p.promoted[i])])
 		if limit > 0 && len(out) >= limit {
 			break
 		}

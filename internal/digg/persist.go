@@ -24,7 +24,10 @@ import (
 )
 
 // stateVersion tags the platform state encoding; bump on layout change.
-const stateVersion = 1
+// Version 2 added the story ID scheme (idOffset/idStep) so per-shard
+// checkpoints are self-describing; version 1 blobs decode as the
+// identity scheme.
+const stateVersion = 2
 
 // ErrBadEncoding is wrapped by every story/state decode failure.
 var ErrBadEncoding = errors.New("digg: bad binary encoding")
@@ -206,6 +209,9 @@ func decodeStory(d *byteDecoder) *Story {
 // durable store runs it under the serving layer's write lock).
 func (p *Platform) AppendState(b []byte) []byte {
 	b = append(b, stateVersion)
+	off, step := p.IDScheme()
+	b = binary.AppendUvarint(b, uint64(off))
+	b = binary.AppendUvarint(b, uint64(step))
 	b = binary.AppendUvarint(b, p.gen)
 	b = binary.AppendUvarint(b, uint64(len(p.stories)))
 	for i, s := range p.stories {
@@ -241,10 +247,19 @@ func (p *Platform) AppendState(b []byte) []byte {
 // reputation ranking are identical to the checkpointed platform's.
 func RestorePlatform(g *graph.Graph, policy PromotionPolicy, data []byte) (*Platform, error) {
 	d := &byteDecoder{b: data}
-	if v := d.u8(); d.err == nil && v != stateVersion {
-		return nil, fmt.Errorf("%w: state version %d, want %d", ErrBadEncoding, v, stateVersion)
+	v := d.u8()
+	if d.err == nil && (v < 1 || v > stateVersion) {
+		return nil, fmt.Errorf("%w: state version %d, want <= %d", ErrBadEncoding, v, stateVersion)
 	}
 	p := NewPlatform(g, policy)
+	if v >= 2 {
+		off := StoryID(d.uvarint())
+		step := StoryID(d.uvarint())
+		if d.err == nil && (step < 1 || off < 0 || off >= step) {
+			return nil, fmt.Errorf("%w: invalid ID scheme (offset %d, step %d)", ErrBadEncoding, off, step)
+		}
+		p.idOffset, p.idStep = off, step
+	}
 	p.gen = d.uvarint()
 	// A serialized story is at least ~20 bytes; 4 is a safe floor that
 	// still prevents allocation amplification.
@@ -263,8 +278,8 @@ func RestorePlatform(g *graph.Graph, policy PromotionPolicy, data []byte) (*Plat
 		if d.err != nil {
 			return nil, d.err
 		}
-		if int(s.ID) != i {
-			return nil, fmt.Errorf("%w: story %d at index %d", ErrBadEncoding, s.ID, i)
+		if want := p.nextID(); s.ID != want {
+			return nil, fmt.Errorf("%w: story %d at index %d, want id %d", ErrBadEncoding, s.ID, i, want)
 		}
 		if len(s.Votes) == 0 {
 			return nil, fmt.Errorf("%w: story %d has no votes", ErrBadEncoding, s.ID)
@@ -300,11 +315,12 @@ func RestorePlatform(g *graph.Graph, policy PromotionPolicy, data []byte) (*Plat
 		if d.err != nil {
 			return nil, d.err
 		}
-		if id < 0 || int(id) >= len(p.stories) || !p.stories[id].Promoted {
+		idx := p.index(id)
+		if idx < 0 || !p.stories[idx].Promoted {
 			return nil, fmt.Errorf("%w: promotion order references story %d", ErrBadEncoding, id)
 		}
 		p.promoted = append(p.promoted, id)
-		p.promotedBySubmitter[p.stories[id].Submitter]++
+		p.promotedBySubmitter[p.stories[idx].Submitter]++
 	}
 	nComments := d.count(4)
 	if d.err != nil {

@@ -90,6 +90,69 @@ type Batcher interface {
 	EndBatch() error
 }
 
+// DiggOp is one vote in a bulk write.
+type DiggOp struct {
+	Story StoryID
+	User  UserID
+	At    Minutes
+}
+
+// DiggOutcome is the per-op result of a bulk vote application:
+// exactly what the equivalent Digg call would have returned.
+type DiggOutcome struct {
+	Result DiggResult
+	Err    error
+}
+
+// SubmitOp is one submission in a bulk write.
+type SubmitOp struct {
+	User     UserID
+	Title    string
+	Interest float64
+	At       Minutes
+}
+
+// SubmitOutcome is the per-op result of a bulk submission: exactly
+// what the equivalent Submit call would have returned.
+type SubmitOutcome struct {
+	Story *Story
+	Err   error
+}
+
+// BulkWriter is an optional Store capability for applying a burst of
+// same-kind commands as one unit. A sharded store implements it by
+// splitting the burst into per-shard sub-batches applied concurrently
+// (one WAL append and one fsync per shard per burst), which is where
+// multi-core write throughput comes from — bracketing a serial loop
+// with Batcher alone still applies every command on one goroutine.
+//
+// Semantics match the serial loop exactly: outcomes land at the index
+// of their op, each op sees the writes of earlier ops on the same
+// story, and per-op rejections (ErrAlreadyVoted, ErrUnknownUser, ...)
+// are reported in the outcome, not the return value. The returned
+// error is batch-level: a durability failure that leaves the burst
+// unacknowledged as a whole. out must be len(ops).
+//
+// Like the other commands, calls require the caller's external write
+// synchronization; implementations manage any internal batching, so
+// callers must NOT bracket a BulkWriter call with Batcher.
+type BulkWriter interface {
+	DiggMany(ops []DiggOp, out []DiggOutcome) error
+	SubmitMany(ops []SubmitOp, out []SubmitOutcome) error
+}
+
+// Sharded is an optional Store capability reporting the shard layout.
+// The serving layer uses it to stamp cursors and read views with the
+// composite generation vector so pagination guarantees survive
+// sharding; an unsharded store simply lacks the capability.
+type Sharded interface {
+	// ShardCount returns the number of shards (>= 1).
+	ShardCount() int
+	// ShardGenerations appends the per-shard generation vector to dst
+	// and returns it. The sum equals Generation().
+	ShardGenerations(dst []uint64) []uint64
+}
+
 // Platform is the canonical in-memory single-shard Store.
 var _ Store = (*Platform)(nil)
 

@@ -60,6 +60,11 @@ type Options struct {
 	// (DefaultCheckpointEvery when zero; negative disables automatic
 	// checkpoints — tests and benchmarks call Checkpoint explicitly).
 	CheckpointEvery time.Duration
+	// Graph, when non-nil, is used by Open instead of reading the data
+	// directory's graph file. A sharded store opens N shard directories
+	// that all persist the same social graph; injecting the instance
+	// makes them share one in-memory copy instead of decoding N.
+	Graph *graph.Graph
 }
 
 func (o Options) withDefaults() Options {
@@ -241,9 +246,12 @@ func removeDebris(dir string) error {
 // identical to the pre-crash platform as of its last durable point.
 func Open(dir string, opts Options) (*Store, error) {
 	opts = opts.withDefaults()
-	g, err := readGraphFile(dir)
-	if err != nil {
-		return nil, err
+	g := opts.Graph
+	if g == nil {
+		var err error
+		if g, err = readGraphFile(dir); err != nil {
+			return nil, err
+		}
 	}
 	ck, _, err := newestCheckpoint(dir)
 	if err != nil {

@@ -1,0 +1,72 @@
+package httpapi
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"diggsim/internal/shard"
+)
+
+// handleMetricsProm serves GET /metrics in the Prometheus text
+// exposition format (version 0.0.4): the middleware's request counters
+// plus platform gauges, and — when the store is sharded — per-shard
+// write, replay, generation, and story series labeled by shard index.
+// Shard generations are plain counters on the platforms, so they are
+// read under the server's read lock like any other store query.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	var b bytes.Buffer
+	if s.metrics != nil {
+		m := s.metrics.Snapshot()
+		promCounter(&b, "diggsim_http_requests_total", "HTTP requests served, including rejected ones.", m.Requests)
+		promCounter(&b, "diggsim_http_errors_total", "HTTP responses with status >= 400.", m.Errors)
+		promCounter(&b, "diggsim_http_rate_limited_total", "HTTP requests rejected with 429 by the rate limiter.", m.RateLimited)
+		fmt.Fprintf(&b, "# HELP diggsim_http_in_flight Requests currently being served.\n")
+		fmt.Fprintf(&b, "# TYPE diggsim_http_in_flight gauge\n")
+		fmt.Fprintf(&b, "diggsim_http_in_flight %d\n", m.InFlight)
+	}
+
+	s.mu.RLock()
+	gen := s.store.Generation()
+	stories := s.store.NumStories()
+	promoted := s.store.PromotedCount()
+	var stats []shard.Stat
+	if st, ok := s.store.(interface{ Stats() []shard.Stat }); ok {
+		stats = st.Stats()
+	}
+	s.mu.RUnlock()
+
+	promCounter(&b, "diggsim_store_generation", "Store write generation (sum of shard generations when sharded).", gen)
+	fmt.Fprintf(&b, "# HELP diggsim_store_stories Stories in the store.\n# TYPE diggsim_store_stories gauge\n")
+	fmt.Fprintf(&b, "diggsim_store_stories %d\n", stories)
+	fmt.Fprintf(&b, "# HELP diggsim_store_promoted Stories promoted to the front page.\n# TYPE diggsim_store_promoted gauge\n")
+	fmt.Fprintf(&b, "diggsim_store_promoted %d\n", promoted)
+
+	if len(stats) > 0 {
+		fmt.Fprintf(&b, "# HELP diggsim_shard_writes_total Commands applied per shard since process start.\n# TYPE diggsim_shard_writes_total counter\n")
+		for _, st := range stats {
+			fmt.Fprintf(&b, "diggsim_shard_writes_total{shard=%s} %d\n", strconv.Quote(strconv.Itoa(st.Shard)), st.Writes)
+		}
+		fmt.Fprintf(&b, "# HELP diggsim_shard_replayed_total WAL records replayed per shard at recovery.\n# TYPE diggsim_shard_replayed_total counter\n")
+		for _, st := range stats {
+			fmt.Fprintf(&b, "diggsim_shard_replayed_total{shard=%s} %d\n", strconv.Quote(strconv.Itoa(st.Shard)), st.Replayed)
+		}
+		fmt.Fprintf(&b, "# HELP diggsim_shard_generation Per-shard write generation.\n# TYPE diggsim_shard_generation counter\n")
+		for _, st := range stats {
+			fmt.Fprintf(&b, "diggsim_shard_generation{shard=%s} %d\n", strconv.Quote(strconv.Itoa(st.Shard)), st.Generation)
+		}
+		fmt.Fprintf(&b, "# HELP diggsim_shard_stories Stories owned per shard.\n# TYPE diggsim_shard_stories gauge\n")
+		for _, st := range stats {
+			fmt.Fprintf(&b, "diggsim_shard_stories{shard=%s} %d\n", strconv.Quote(strconv.Itoa(st.Shard)), st.Stories)
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(b.Bytes())
+}
+
+// promCounter writes one unlabeled counter with its HELP/TYPE header.
+func promCounter(b *bytes.Buffer, name, help string, v uint64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}

@@ -40,6 +40,18 @@ type Server struct {
 	// endpoints bracket their loop in it, so all <= apiv1.MaxBatch
 	// writes of a request cost one write-ahead append and one fsync.
 	batcher digg.Batcher
+	// bulk is the store's optional concurrent bulk-write capability
+	// (digg.BulkWriter). When present — a sharded store — the batch
+	// write endpoints hand it the whole burst instead of looping, so
+	// per-shard sub-batches apply and fsync concurrently. BulkWriter
+	// manages its own batching, so the two capabilities are mutually
+	// exclusive on the write path: bulk wins when both exist.
+	bulk digg.BulkWriter
+	// sharded is the store's optional shard-layout capability
+	// (digg.Sharded). When present, cursors and read views carry the
+	// per-shard generation vector and decoded cursors are validated
+	// against the serving shard count.
+	sharded digg.Sharded
 	// graph is the store's immutable social graph, cached so the user
 	// endpoints never need the store lock or an interface call.
 	graph *graph.Graph
@@ -80,6 +92,8 @@ func NewServer(store digg.Store, now digg.Minutes, rankOf func(digg.UserID) int)
 		snap:   newSnapshotStore(),
 	}
 	s.batcher, _ = store.(digg.Batcher)
+	s.bulk, _ = store.(digg.BulkWriter)
+	s.sharded, _ = store.(digg.Sharded)
 	if rankOf == nil {
 		s.rankOf = store.UserRank
 		s.storeRanks = true
@@ -141,6 +155,7 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /metrics", s.handleMetricsProm)
 	// Deprecated unversioned aliases (offset/limit, string errors).
 	mux.HandleFunc("GET /api/frontpage", s.handleFrontPage)
 	mux.HandleFunc("GET /api/stories", s.handleStoryList)

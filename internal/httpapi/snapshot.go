@@ -51,8 +51,12 @@ type queueEntry struct {
 // and never mutated, so any number of handlers may serve from a view
 // while newer views are published behind them.
 type ReadView struct {
-	// Gen is the digg.Platform generation this view was built at.
+	// Gen is the store generation this view was built at (against a
+	// sharded store, the composite generation: the shard-vector sum).
 	Gen uint64
+	// ShardGens is the per-shard generation vector at build time (nil
+	// for an unsharded store). Cursors minted from this view embed it.
+	ShardGens []uint64
 
 	fpBuf   []byte // "[{...},...]" promoted stories, newest first
 	fpEnds  []int  // fpEnds[i] = offset just past entry i (no ']')
@@ -159,6 +163,9 @@ func (st *snapshotStore) build(p digg.Store, gen uint64) *ReadView {
 		Gen:       gen,
 		summaries: make([][]byte, n),
 		storyVer:  make([]uint32, n),
+	}
+	if sh, ok := p.(digg.Sharded); ok {
+		v.ShardGens = sh.ShardGenerations(nil)
 	}
 	for i := range st.sums {
 		v.summaries[i] = st.sums[i].buf

@@ -115,8 +115,12 @@ func v1Limit(rawQuery string, def int) (int, *apiv1.Error) {
 
 // v1CursorPos decodes the optional cursor parameter for the given
 // endpoint family, returning defPos when absent and invalid_cursor on
-// any malformation or tampering.
-func v1CursorPos(rawQuery string, kind apiv1.CursorKind, defPos int64) (int64, bool, *apiv1.Error) {
+// any malformation or tampering. A cursor whose shard-generation
+// vector disagrees in length with the serving store's shard layout is
+// rejected too: list positions minted under one shard count are not
+// meaningful under another. Link cursors are exempt — the social
+// graph is immutable, so their positions are exact under any layout.
+func (s *Server) v1CursorPos(rawQuery string, kind apiv1.CursorKind, defPos int64) (int64, bool, *apiv1.Error) {
 	raw, ok := queryRaw(rawQuery, "cursor")
 	if !ok || raw == "" {
 		return defPos, false, nil
@@ -126,7 +130,27 @@ func v1CursorPos(rawQuery string, kind apiv1.CursorKind, defPos int64) (int64, b
 		return 0, false, v1Err(http.StatusBadRequest, apiv1.CodeInvalidCursor,
 			"cursor is malformed or was issued by a different endpoint")
 	}
+	if kind != apiv1.CursorLinks {
+		want := 0
+		if s.sharded != nil {
+			want = s.sharded.ShardCount()
+		}
+		if len(p.ShardGens) != want {
+			return 0, false, v1Err(http.StatusBadRequest, apiv1.CodeInvalidCursor,
+				"cursor was issued under a different shard layout")
+		}
+	}
 	return p.Pos, true, nil
+}
+
+// shardGensLocked snapshots the per-shard generation vector for
+// cursor minting (nil against an unsharded store). Callers hold at
+// least the store read lock.
+func (s *Server) shardGensLocked() []uint64 {
+	if s.sharded == nil {
+		return nil
+	}
+	return s.sharded.ShardGenerations(nil)
 }
 
 func v1PathID(r *http.Request) (int, *apiv1.Error) {
@@ -174,7 +198,7 @@ func (s *Server) handleV1Stories(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, e)
 		return
 	}
-	pos, _, e := v1CursorPos(r.URL.RawQuery, apiv1.CursorStories, 0)
+	pos, _, e := s.v1CursorPos(r.URL.RawQuery, apiv1.CursorStories, 0)
 	if e != nil {
 		writeV1Error(w, e)
 		return
@@ -199,6 +223,7 @@ func (s *Server) handleV1Stories(w http.ResponseWriter, r *http.Request) {
 		next = apiv1.CursorPayload{
 			Kind: apiv1.CursorStories, Gen: view.Gen,
 			Pos: int64(end), Ver: uint64(view.storyVer[end-1]),
+			ShardGens: view.ShardGens,
 		}.Encode()
 	}
 	bp := encBufPool.Get().(*[]byte)
@@ -221,6 +246,7 @@ func (s *Server) v1StoriesLocked(w http.ResponseWriter, pos int64, limit int) {
 	s.mu.RLock()
 	all := s.store.Stories()
 	gen := s.store.Generation()
+	gens := s.shardGensLocked()
 	total := len(all)
 	start := int(min64(pos, int64(total)))
 	end := start + limit
@@ -239,6 +265,7 @@ func (s *Server) v1StoriesLocked(w http.ResponseWriter, pos int64, limit int) {
 	if end < total {
 		page.NextCursor = apiv1.CursorPayload{
 			Kind: apiv1.CursorStories, Gen: gen, Pos: int64(end), Ver: uint64(lastVer),
+			ShardGens: gens,
 		}.Encode()
 	}
 	writeJSON(w, http.StatusOK, page)
@@ -261,7 +288,7 @@ func (s *Server) handleV1FrontPage(w http.ResponseWriter, r *http.Request) {
 	// MaxInt64 is the "newest" sentinel: both serving paths clamp it to
 	// their current promotion count, so the cursor is validated exactly
 	// once regardless of which path answers.
-	pos, fromCursor, e := v1CursorPos(r.URL.RawQuery, apiv1.CursorFrontPage, math.MaxInt64)
+	pos, fromCursor, e := s.v1CursorPos(r.URL.RawQuery, apiv1.CursorFrontPage, math.MaxInt64)
 	if e != nil {
 		writeV1Error(w, e)
 		return
@@ -303,6 +330,7 @@ func (s *Server) handleV1FrontPage(w http.ResponseWriter, r *http.Request) {
 	if nextPos := pos - int64(n); nextPos >= 0 {
 		next = apiv1.CursorPayload{
 			Kind: apiv1.CursorFrontPage, Gen: view.Gen, Pos: nextPos,
+			ShardGens: view.ShardGens,
 		}.Encode()
 	}
 	bp := encBufPool.Get().(*[]byte)
@@ -326,6 +354,7 @@ func (s *Server) v1FrontPageLocked(w http.ResponseWriter, pos int64, limit int) 
 	s.mu.RLock()
 	ids := s.store.PromotedIDs()
 	gen := s.store.Generation()
+	gens := s.shardGensLocked()
 	total := len(ids)
 	pos = min64(pos, int64(total)-1)
 	if pos < 0 {
@@ -349,6 +378,7 @@ func (s *Server) v1FrontPageLocked(w http.ResponseWriter, pos int64, limit int) 
 	if nextPos := pos - int64(n); nextPos >= 0 {
 		page.NextCursor = apiv1.CursorPayload{
 			Kind: apiv1.CursorFrontPage, Gen: gen, Pos: nextPos,
+			ShardGens: gens,
 		}.Encode()
 	}
 	writeJSON(w, http.StatusOK, page)
@@ -379,7 +409,7 @@ func (s *Server) handleV1Upcoming(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, e)
 		return
 	}
-	pos, fromCursor, e := v1CursorPos(r.URL.RawQuery, apiv1.CursorUpcoming, math.MaxInt64)
+	pos, fromCursor, e := s.v1CursorPos(r.URL.RawQuery, apiv1.CursorUpcoming, math.MaxInt64)
 	if e != nil {
 		writeV1Error(w, e)
 		return
@@ -435,6 +465,7 @@ func (s *Server) handleV1Upcoming(w http.ResponseWriter, r *http.Request) {
 		next = apiv1.CursorPayload{
 			Kind: apiv1.CursorUpcoming, Gen: view.Gen,
 			Pos: int64(last.id), Ver: uint64(view.storyVer[last.id]),
+			ShardGens: view.ShardGens,
 		}.Encode()
 	}
 	bp := encBufPool.Get().(*[]byte)
@@ -458,6 +489,7 @@ func (s *Server) v1UpcomingLocked(w http.ResponseWriter, now digg.Minutes, pos i
 	s.mu.RLock()
 	all := s.store.Stories()
 	gen := s.store.Generation()
+	gens := s.shardGensLocked()
 	total := s.store.NumStories() - s.store.PromotedCount()
 	out := make([]StorySummary, 0, limit)
 	var lastVer uint32
@@ -480,6 +512,7 @@ func (s *Server) v1UpcomingLocked(w http.ResponseWriter, now digg.Minutes, pos i
 		page.NextCursor = apiv1.CursorPayload{
 			Kind: apiv1.CursorUpcoming, Gen: gen,
 			Pos: int64(out[len(out)-1].ID), Ver: uint64(lastVer),
+			ShardGens: gens,
 		}.Encode()
 	}
 	writeJSON(w, http.StatusOK, page)
@@ -498,7 +531,7 @@ func (s *Server) handleV1TopUsers(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, e)
 		return
 	}
-	pos, _, e := v1CursorPos(r.URL.RawQuery, apiv1.CursorTopUsers, 0)
+	pos, _, e := s.v1CursorPos(r.URL.RawQuery, apiv1.CursorTopUsers, 0)
 	if e != nil {
 		writeV1Error(w, e)
 		return
@@ -524,7 +557,10 @@ func (s *Server) handleV1TopUsers(w http.ResponseWriter, r *http.Request) {
 	}
 	var next apiv1.Cursor
 	if end < total {
-		next = apiv1.CursorPayload{Kind: apiv1.CursorTopUsers, Gen: view.Gen, Pos: int64(end)}.Encode()
+		next = apiv1.CursorPayload{
+			Kind: apiv1.CursorTopUsers, Gen: view.Gen, Pos: int64(end),
+			ShardGens: view.ShardGens,
+		}.Encode()
 	}
 	bp := encBufPool.Get().(*[]byte)
 	b := append((*bp)[:0], `{"users":[`...)
@@ -541,6 +577,7 @@ func (s *Server) v1TopUsersLocked(w http.ResponseWriter, pos int64, limit int) {
 	s.mu.RLock()
 	total := len(s.store.Ranks())
 	gen := s.store.Generation()
+	gens := s.shardGensLocked()
 	start := int(min64(pos, int64(total)))
 	end := start + limit
 	if end > total {
@@ -553,7 +590,10 @@ func (s *Server) v1TopUsersLocked(w http.ResponseWriter, pos int64, limit int) {
 	}
 	page := apiv1.TopUsersPage{Total: total, Users: users[start:]}
 	if end < total {
-		page.NextCursor = apiv1.CursorPayload{Kind: apiv1.CursorTopUsers, Gen: gen, Pos: int64(end)}.Encode()
+		page.NextCursor = apiv1.CursorPayload{
+			Kind: apiv1.CursorTopUsers, Gen: gen, Pos: int64(end),
+			ShardGens: gens,
+		}.Encode()
 	}
 	writeJSON(w, http.StatusOK, page)
 }
@@ -598,7 +638,7 @@ func (s *Server) handleV1Links(w http.ResponseWriter, r *http.Request, fans bool
 		writeV1Error(w, e)
 		return
 	}
-	pos, _, e := v1CursorPos(r.URL.RawQuery, apiv1.CursorLinks, 0)
+	pos, _, e := s.v1CursorPos(r.URL.RawQuery, apiv1.CursorLinks, 0)
 	if e != nil {
 		writeV1Error(w, e)
 		return
@@ -709,30 +749,56 @@ func (s *Server) handleV1BatchDigg(w http.ResponseWriter, r *http.Request) {
 	}
 	now := s.clock()
 	results := make([]apiv1.BatchDiggResult, len(req.Diggs))
-	s.mu.Lock()
-	// On a durable store the whole batch commits as one write-ahead
-	// append and one fsync (EndBatch is the durability acknowledgment);
-	// per-item rejections still report per item.
-	if s.batcher != nil {
-		s.batcher.BeginBatch()
-	}
-	for i, d := range req.Diggs {
-		at := digg.Minutes(d.At)
-		if at == 0 {
-			at = now
-		}
-		res, err := s.store.Digg(d.Story, d.Voter, at)
-		if err != nil {
-			results[i].Error = v1ErrorFor(err)
-			continue
-		}
-		results[i] = apiv1.BatchDiggResult{InNetwork: res.InNetwork, Promoted: res.Promoted, Votes: res.Votes}
-	}
 	var werr error
-	if s.batcher != nil {
-		werr = s.batcher.EndBatch()
+	if s.bulk != nil {
+		// Sharded fast path: the store partitions the burst into
+		// per-shard sub-batches and applies them concurrently, each with
+		// its own WAL append + fsync, all overlapped. BulkWriter owns
+		// the durability bracketing — no Batcher calls here.
+		ops := make([]digg.DiggOp, len(req.Diggs))
+		for i, d := range req.Diggs {
+			at := digg.Minutes(d.At)
+			if at == 0 {
+				at = now
+			}
+			ops[i] = digg.DiggOp{Story: d.Story, User: d.Voter, At: at}
+		}
+		out := make([]digg.DiggOutcome, len(ops))
+		s.mu.Lock()
+		werr = s.bulk.DiggMany(ops, out)
+		s.mu.Unlock()
+		for i, o := range out {
+			if o.Err != nil {
+				results[i].Error = v1ErrorFor(o.Err)
+				continue
+			}
+			results[i] = apiv1.BatchDiggResult{InNetwork: o.Result.InNetwork, Promoted: o.Result.Promoted, Votes: o.Result.Votes}
+		}
+	} else {
+		s.mu.Lock()
+		// On a durable store the whole batch commits as one write-ahead
+		// append and one fsync (EndBatch is the durability acknowledgment);
+		// per-item rejections still report per item.
+		if s.batcher != nil {
+			s.batcher.BeginBatch()
+		}
+		for i, d := range req.Diggs {
+			at := digg.Minutes(d.At)
+			if at == 0 {
+				at = now
+			}
+			res, err := s.store.Digg(d.Story, d.Voter, at)
+			if err != nil {
+				results[i].Error = v1ErrorFor(err)
+				continue
+			}
+			results[i] = apiv1.BatchDiggResult{InNetwork: res.InNetwork, Promoted: res.Promoted, Votes: res.Votes}
+		}
+		if s.batcher != nil {
+			werr = s.batcher.EndBatch()
+		}
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 	s.republish()
 	if werr != nil {
 		writeV1Error(w, v1ErrorFor(werr))
@@ -756,28 +822,51 @@ func (s *Server) handleV1BatchSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	now := s.clock()
 	results := make([]apiv1.BatchSubmitResult, len(req.Stories))
-	s.mu.Lock()
-	if s.batcher != nil {
-		s.batcher.BeginBatch()
-	}
-	for i, sub := range req.Stories {
-		at := digg.Minutes(sub.At)
-		if at == 0 {
-			at = now
-		}
-		st, err := s.store.Submit(sub.Submitter, sub.Title, sub.Interest, at)
-		if err != nil {
-			results[i].Error = v1ErrorFor(err)
-			continue
-		}
-		sum := summarize(st)
-		results[i].Story = &sum
-	}
 	var werr error
-	if s.batcher != nil {
-		werr = s.batcher.EndBatch()
+	if s.bulk != nil {
+		ops := make([]digg.SubmitOp, len(req.Stories))
+		for i, sub := range req.Stories {
+			at := digg.Minutes(sub.At)
+			if at == 0 {
+				at = now
+			}
+			ops[i] = digg.SubmitOp{User: sub.Submitter, Title: sub.Title, Interest: sub.Interest, At: at}
+		}
+		out := make([]digg.SubmitOutcome, len(ops))
+		s.mu.Lock()
+		werr = s.bulk.SubmitMany(ops, out)
+		s.mu.Unlock()
+		for i, o := range out {
+			if o.Err != nil {
+				results[i].Error = v1ErrorFor(o.Err)
+				continue
+			}
+			sum := summarize(o.Story)
+			results[i].Story = &sum
+		}
+	} else {
+		s.mu.Lock()
+		if s.batcher != nil {
+			s.batcher.BeginBatch()
+		}
+		for i, sub := range req.Stories {
+			at := digg.Minutes(sub.At)
+			if at == 0 {
+				at = now
+			}
+			st, err := s.store.Submit(sub.Submitter, sub.Title, sub.Interest, at)
+			if err != nil {
+				results[i].Error = v1ErrorFor(err)
+				continue
+			}
+			sum := summarize(st)
+			results[i].Story = &sum
+		}
+		if s.batcher != nil {
+			werr = s.batcher.EndBatch()
+		}
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 	s.republish()
 	if werr != nil {
 		writeV1Error(w, v1ErrorFor(werr))

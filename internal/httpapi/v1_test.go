@@ -24,6 +24,7 @@ import (
 	"diggsim/internal/graph"
 	"diggsim/internal/live"
 	"diggsim/internal/rng"
+	"diggsim/internal/shard"
 )
 
 func TestV1EndpointsEndToEnd(t *testing.T) {
@@ -553,11 +554,27 @@ func TestV1ClientConditionalGet(t *testing.T) {
 // and no skipped story. Run with -race this also checks the locking
 // discipline of the v1 read paths.
 func TestV1CursorCrawlUnderLiveWriter(t *testing.T) {
+	runCursorCrawlUnderLiveWriter(t, func(g *graph.Graph, pol digg.PromotionPolicy) digg.Store {
+		return digg.NewPlatform(g, pol)
+	})
+}
+
+// TestV1CursorCrawlUnderLiveWriterSharded runs the identical crawl
+// assertions against a 4-way sharded store: the shard-generation
+// vector in cursors and the merged scatter-gather views must preserve
+// every pagination guarantee the single-platform store gives.
+func TestV1CursorCrawlUnderLiveWriterSharded(t *testing.T) {
+	runCursorCrawlUnderLiveWriter(t, func(g *graph.Graph, pol digg.PromotionPolicy) digg.Store {
+		return shard.New(g, pol, 4)
+	})
+}
+
+func runCursorCrawlUnderLiveWriter(t *testing.T, newStore func(*graph.Graph, digg.PromotionPolicy) digg.Store) {
 	g, err := graph.PreferentialAttachment(rng.New(7), 1500, 4, 0.3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := digg.NewPlatform(g, &digg.ClassicPromotion{VoteThreshold: 12, Window: digg.Day})
+	p := newStore(g, &digg.ClassicPromotion{VoteThreshold: 12, Window: digg.Day})
 	r := rng.New(8)
 	for i := 0; i < 120; i++ {
 		st, err := p.Submit(digg.UserID(r.Intn(1500)), fmt.Sprintf("seed-%d", i), 0.6, digg.Minutes(i))

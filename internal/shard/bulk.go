@@ -1,0 +1,233 @@
+package shard
+
+// bulk.go is where the multi-core write throughput lives: the Batcher
+// capability fans one burst's durability cost out to one WAL append +
+// fsync per shard (committed concurrently), and the BulkWriter
+// capability additionally applies the burst's commands concurrently,
+// one goroutine per shard with work.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"diggsim/internal/digg"
+	"diggsim/internal/durable"
+)
+
+// BeginBatch opens a batch on every durable shard. In-memory shards
+// need no bracketing.
+func (s *Store) BeginBatch() {
+	for _, ds := range s.stores {
+		if ds != nil {
+			ds.BeginBatch()
+		}
+	}
+}
+
+// EndBatch commits every shard's staged batch concurrently — the
+// fsyncs overlap — and returns the first error. A serial caller (the
+// live service's per-tick bracket) thus pays roughly one fsync of
+// latency per tick no matter how many shards its writes landed on.
+func (s *Store) EndBatch() error {
+	errs := make([]error, s.n)
+	var wg sync.WaitGroup
+	for i, ds := range s.stores {
+		if ds == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, ds *durable.Store) {
+			defer wg.Done()
+			errs[i] = ds.EndBatch()
+		}(i, ds)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promo is a promotion observed while applying a bulk burst.
+type promo struct {
+	id digg.StoryID
+	at digg.Minutes
+}
+
+// DiggMany applies a burst of votes, split into per-shard sub-batches
+// applied concurrently: each shard's goroutine brackets its sub-batch
+// in the shard's own WAL batch, so the burst costs one WAL append and
+// one fsync per shard, all overlapped. Outcomes land at the index of
+// their op. Promotions triggered anywhere in the burst are appended
+// to the merged promotion order in (PromotedAt, ID) order, which is
+// deterministic and matches what recovery's k-way merge rebuilds.
+func (s *Store) DiggMany(ops []digg.DiggOp, out []digg.DiggOutcome) error {
+	if len(out) != len(ops) {
+		panic(fmt.Sprintf("shard: DiggMany out len %d, ops len %d", len(out), len(ops)))
+	}
+	perShard := s.partitionDiggs(ops, out)
+	promos := make([][]promo, s.n)
+	errs := make([]error, s.n)
+	var wg sync.WaitGroup
+	for sh, idxs := range perShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int, idxs []int) {
+			defer wg.Done()
+			shard := s.shards[sh]
+			if ds := s.stores[sh]; ds != nil {
+				ds.BeginBatch()
+			}
+			applied := uint64(0)
+			for _, i := range idxs {
+				op := ops[i]
+				res, err := shard.Digg(op.Story, op.User, op.At)
+				out[i] = digg.DiggOutcome{Result: res, Err: err}
+				if err != nil {
+					continue
+				}
+				applied++
+				if res.Promoted {
+					promos[sh] = append(promos[sh], promo{op.Story, s.stories[op.Story].PromotedAt})
+				}
+			}
+			s.stats[sh].writes.Add(applied)
+			if ds := s.stores[sh]; ds != nil {
+				errs[sh] = ds.EndBatch()
+			}
+		}(sh, idxs)
+	}
+	wg.Wait()
+	s.mergePromotions(promos)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partitionDiggs groups op indices by owning shard, rejecting unknown
+// story IDs up front (writing their outcomes) so goroutines only see
+// routable work.
+func (s *Store) partitionDiggs(ops []digg.DiggOp, out []digg.DiggOutcome) [][]int {
+	perShard := make([][]int, s.n)
+	for i, op := range ops {
+		if op.Story < 0 || int(op.Story) >= len(s.stories) {
+			out[i] = digg.DiggOutcome{Err: fmt.Errorf("%w %d", digg.ErrNoStory, op.Story)}
+			continue
+		}
+		sh := s.shardOf(op.Story)
+		perShard[sh] = append(perShard[sh], i)
+	}
+	return perShard
+}
+
+// mergePromotions folds per-shard promotion lists into the merged
+// order, sorted by (PromotedAt, ID). Each shard's list is already in
+// that shard's apply order; the global sort makes the merged order
+// independent of goroutine scheduling.
+func (s *Store) mergePromotions(promos [][]promo) {
+	var all []promo
+	for _, ps := range promos {
+		all = append(all, ps...)
+	}
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		return all[i].id < all[j].id
+	})
+	for _, p := range all {
+		s.promoted = append(s.promoted, p.id)
+		s.promotedBySubmitter[s.stories[p.id].Submitter]++
+	}
+	s.invalidateRanks()
+}
+
+// SubmitMany applies a burst of submissions. Global story IDs are a
+// single dense sequence, so the router pre-validates each op (the
+// only per-op rejection Submit can issue is ErrUnknownUser), assigns
+// the next IDs to the valid ops in order, and routes each to the
+// shard owning its ID; per-shard sub-batches then apply concurrently
+// and necessarily mint exactly the assigned IDs, because each shard
+// receives its ops in global-sequence order.
+func (s *Store) SubmitMany(ops []digg.SubmitOp, out []digg.SubmitOutcome) error {
+	if len(out) != len(ops) {
+		panic(fmt.Sprintf("shard: SubmitMany out len %d, ops len %d", len(out), len(ops)))
+	}
+	perShard := make([][]int, s.n)
+	base := digg.StoryID(len(s.stories))
+	assigned := 0
+	ids := make([]digg.StoryID, len(ops))
+	for i, op := range ops {
+		if op.User < 0 || int(op.User) >= s.graph.NumNodes() {
+			out[i] = digg.SubmitOutcome{Err: digg.ErrUnknownUser}
+			ids[i] = -1
+			continue
+		}
+		id := base + digg.StoryID(assigned)
+		assigned++
+		ids[i] = id
+		sh := s.shardOf(id)
+		perShard[sh] = append(perShard[sh], i)
+	}
+	if assigned == 0 {
+		return nil
+	}
+	errs := make([]error, s.n)
+	var wg sync.WaitGroup
+	for sh, idxs := range perShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh int, idxs []int) {
+			defer wg.Done()
+			shard := s.shards[sh]
+			if ds := s.stores[sh]; ds != nil {
+				ds.BeginBatch()
+			}
+			for _, i := range idxs {
+				op := ops[i]
+				st, err := shard.Submit(op.User, op.Title, op.Interest, op.At)
+				out[i] = digg.SubmitOutcome{Story: st, Err: err}
+			}
+			s.stats[sh].writes.Add(uint64(len(idxs)))
+			if ds := s.stores[sh]; ds != nil {
+				errs[sh] = ds.EndBatch()
+			}
+		}(sh, idxs)
+	}
+	wg.Wait()
+	// Extend the merged sequence with the minted stories at their
+	// assigned IDs.
+	s.stories = append(s.stories, make([]*digg.Story, assigned)...)
+	for i, id := range ids {
+		if id < 0 {
+			continue
+		}
+		o := out[i]
+		if o.Err != nil || o.Story == nil || o.Story.ID != id {
+			// Unreachable: users were pre-validated and each shard
+			// mints its interleaved IDs in the routed order. Divergence
+			// here means the merged sequence can no longer be trusted.
+			panic(fmt.Sprintf("shard: SubmitMany op %d expected story %d, got %+v", i, id, o))
+		}
+		s.stories[id] = o.Story
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"diggsim/internal/digg"
+	"diggsim/internal/durable"
+	"diggsim/internal/rng"
+	"diggsim/internal/wal"
+)
+
+func testOpts() durable.Options {
+	return durable.Options{Policy: testPolicy(), Sync: wal.SyncAlways, CheckpointEvery: -1}
+}
+
+// newSourcePlatform builds a deterministic corpus-like platform; two
+// calls with the same seed produce observably identical platforms, so
+// a durable sharded store and an in-memory reference can be grown from
+// "the same" source without sharing story objects.
+func newSourcePlatform(t testing.TB, seed uint64) *digg.Platform {
+	t.Helper()
+	p := digg.NewPlatform(testGraph(t), testPolicy())
+	r := rng.New(seed)
+	for i := 0; i < 12; i++ {
+		st, err := p.Submit(digg.UserID(r.Intn(400)), "seed-story", 0.4, digg.Minutes(i*5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < 2+r.Intn(6); v++ {
+			_, _ = p.Digg(st.ID, digg.UserID(r.Intn(400)), digg.Minutes(i*5+v+1))
+		}
+	}
+	return p
+}
+
+func TestShardedCleanShutdownReplaysZero(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, newSourcePlatform(t, 41), 3, []byte(`{"seed":41}`), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := FromPlatform(newSourcePlatform(t, 41), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(t, s, 42, 200)
+	mutate(t, ref, 42, 200)
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rec := s2.Recovery()
+	if len(rec.Shards) != 3 || rec.Trimmed != 0 {
+		t.Fatalf("recovery: %+v", rec)
+	}
+	for i, r := range rec.Shards {
+		if r.Replayed != 0 {
+			t.Fatalf("shard %d replayed %d records after clean shutdown", i, r.Replayed)
+		}
+	}
+	compareStores(t, ref, s2)
+	if g := []byte(`{"seed":41}`); string(s2.Genesis()) != string(g) {
+		t.Fatalf("genesis: %q", s2.Genesis())
+	}
+	if s2.ShardCount() != 3 || s2.Dir() != dir {
+		t.Fatalf("shape: %d shards, dir %q", s2.ShardCount(), s2.Dir())
+	}
+}
+
+func TestShardedHardStopReplaysTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, newSourcePlatform(t, 51), 4, nil, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := FromPlatform(newSourcePlatform(t, 51), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(t, s, 52, 250)
+	mutate(t, ref, 52, 250)
+	// Hard stop: no checkpoint, no close; SyncAlways means every
+	// acknowledged record is on disk.
+
+	s2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	rec := s2.Recovery()
+	if rec.Trimmed != 0 {
+		t.Fatalf("nothing was torn, yet %d stories trimmed", rec.Trimmed)
+	}
+	replayed := 0
+	for _, r := range rec.Shards {
+		replayed += r.Replayed
+	}
+	if replayed == 0 {
+		t.Fatal("hard stop should leave WAL tails to replay")
+	}
+	compareStores(t, ref, s2)
+	stats := s2.Stats()
+	for i, r := range rec.Shards {
+		if stats[i].Replayed != uint64(r.Replayed) {
+			t.Fatalf("shard %d stat replayed %d, recovery %d", i, stats[i].Replayed, r.Replayed)
+		}
+	}
+}
+
+// TestPartialTornShardTails tears the WAL tail of one shard out of
+// three, losing that shard's last acknowledged submission. Recovery
+// must truncate the torn shard, then trim every OTHER shard's stories
+// past the first hole in the global ID sequence — a cross-shard
+// consistency cut — and still serve a dense, internally consistent
+// prefix of the pre-crash state.
+func TestPartialTornShardTails(t *testing.T) {
+	const n = 3
+	dir := t.TempDir()
+	s, err := Create(dir, newSourcePlatform(t, 61), n, nil, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := FromPlatform(newSourcePlatform(t, 61), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate(t, s, 62, 150)
+	mutate(t, ref, 62, 150)
+	// Tail of pure submissions so the torn record is a submission and
+	// the global sequence necessarily holes at its ID.
+	base := s.NumStories()
+	for i := 0; i < 7; i++ {
+		at := digg.Minutes(5000 + i)
+		if _, err := s.Submit(digg.UserID(i), "tail", 0.5, at); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.Submit(digg.UserID(i), "tail", 0.5, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear the last record of the shard owning the 6th tail story.
+	tornShard := (base + 5) % n
+	segs, err := wal.ListSegments(filepath.Join(dir, shardDirName(tornShard)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := segs[len(segs)-1]
+	if err := os.Truncate(last.Path, last.Size-3); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := s2.Recovery()
+	if !rec.Shards[tornShard].TailTruncated {
+		t.Fatalf("shard %d torn tail not reported: %+v", tornShard, rec)
+	}
+	// The torn submission holes the sequence at base+5; base+6 (owned
+	// by another shard) survives its own WAL but must be trimmed.
+	wantStories := base + 5
+	if s2.NumStories() != wantStories {
+		t.Fatalf("recovered %d stories, want %d", s2.NumStories(), wantStories)
+	}
+	if rec.Trimmed != 1 {
+		t.Fatalf("trimmed %d stories, want 1 (the orphaned post-hole story)", rec.Trimmed)
+	}
+	// Everything below the cut is intact, including vote history.
+	for i := 0; i < wantStories; i++ {
+		id := digg.StoryID(i)
+		want, got := mustStory(t, ref, id), mustStory(t, s2, id)
+		if want.ID != got.ID || want.Title != got.Title || len(want.Votes) != len(got.Votes) {
+			t.Fatalf("story %d differs after partial-torn recovery:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	for _, id := range s2.PromotedIDs() {
+		if int(id) >= wantStories {
+			t.Fatalf("promotion order references trimmed story %d", id)
+		}
+	}
+	// The cut shard was checkpointed at trim time: a second recovery is
+	// clean — nothing new trimmed, same state.
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if rec3 := s3.Recovery(); rec3.Trimmed != 0 {
+		t.Fatalf("second recovery trimmed %d more stories", rec3.Trimmed)
+	}
+	compareStores(t, s2, s3)
+
+	// The recovered store accepts new writes: the next submission takes
+	// the first rebuilt global ID.
+	st, err := s3.Submit(1, "after-recovery", 0.5, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != digg.StoryID(wantStories) {
+		t.Fatalf("post-recovery submission minted id %d, want %d", st.ID, wantStories)
+	}
+}
+
+func TestOpenRejectsGappyShardDirs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, newSourcePlatform(t, 71), 2, nil, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(dir, shardDirName(1)), filepath.Join(dir, shardDirName(3))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, testOpts()); err == nil {
+		t.Fatal("gappy shard layout accepted")
+	}
+}
