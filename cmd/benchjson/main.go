@@ -15,6 +15,16 @@
 // The output records the host's core count: sharded speedups are
 // core-bound, so a number measured on one core is not comparable to
 // one measured on eight.
+//
+// The parser is histogram-aware: benchmarks that report latency
+// quantiles via b.ReportMetric with units like read-p99-ns (see
+// httpapi's BenchmarkMixedWorkload) get those points lifted out of the
+// flat metric map into a quantiles_ns object, so a distribution is
+// first-class in the document instead of buried among ad-hoc units.
+// BENCH_obs.json is such a run:
+//
+//	benchjson -out BENCH_obs.json -bench 'BenchmarkMixedWorkload$' \
+//	    -notes "..." ./internal/httpapi/
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -38,6 +49,11 @@ type run struct {
 	Iterations int64              `json:"iterations"`
 	NsPerOp    float64            `json:"ns_per_op"`
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	// Quantiles holds latency-distribution points reported by
+	// histogram-aware benchmarks (metric units shaped like
+	// read-p99-ns), keyed without the -ns suffix; values are
+	// nanoseconds.
+	Quantiles map[string]float64 `json:"quantiles_ns,omitempty"`
 }
 
 // report is the emitted document.
@@ -54,6 +70,10 @@ type report struct {
 	Notes       string `json:"notes,omitempty"`
 	Benchmarks  []run  `json:"benchmarks"`
 }
+
+// quantileUnit matches the metric units histogram-aware benchmarks
+// use for distribution points: <series>-p<NN>-ns, e.g. write-p50-ns.
+var quantileUnit = regexp.MustCompile(`^[a-z]+-p[0-9]+(?:\.[0-9]+)?-ns$`)
 
 // defaultBench selects the key serving/write-path benchmarks named in
 // the perf acceptance criteria.
@@ -154,9 +174,14 @@ func benchPackage(pkg, bench, benchtime string, count int) ([]run, string, error
 			if err != nil {
 				continue
 			}
-			switch unit := fields[i+1]; unit {
-			case "ns/op":
+			switch unit := fields[i+1]; {
+			case unit == "ns/op":
 				r.NsPerOp = v
+			case quantileUnit.MatchString(unit):
+				if r.Quantiles == nil {
+					r.Quantiles = map[string]float64{}
+				}
+				r.Quantiles[strings.TrimSuffix(unit, "-ns")] = v
 			default:
 				r.Metrics[unit] = v
 			}

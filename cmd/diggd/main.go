@@ -7,7 +7,7 @@
 //	diggd [-addr :8080] [-small] [-seed N] [-live] [-speedup 600]
 //	      [-submissions-per-hour 60] [-export DIR] [-pprof ADDR]
 //	      [-data-dir DIR] [-fsync interval] [-checkpoint-interval 1m]
-//	      [-shards N]
+//	      [-shards N] [-slow-threshold 250ms] [-profile-dir DIR]
 //
 // The server generates a corpus at startup. In the default static mode
 // it then serves the corpus read-mostly (live submissions and votes are
@@ -41,6 +41,15 @@
 // its own write-ahead log under DIR/shard-NNNN/, so a batch costs one
 // overlapped fsync per shard instead of a serial one. Recovery opens
 // every shard WAL and reconciles them; see docs/sharding.md.
+//
+// Observability (docs/observability.md): every request carries an
+// X-Trace-Id; requests at or above -slow-threshold are retained with
+// their spans in the slow-trace ring (GET /debug/obs) and logged.
+// Latency histograms for the serve/write/durability paths export in
+// Prometheus format at GET /metrics. With -profile-dir the server
+// continuously rotates CPU and heap profiles into DIR so the window
+// covering a latency regression is already on disk. Lifecycle logging
+// is structured (log/slog text) on stderr.
 package main
 
 import (
@@ -49,6 +58,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served by -pprof
 	"os"
@@ -61,9 +71,15 @@ import (
 	"diggsim/internal/durable"
 	"diggsim/internal/httpapi"
 	"diggsim/internal/live"
+	"diggsim/internal/obs"
 	"diggsim/internal/shard"
 	"diggsim/internal/wal"
 )
+
+// logger is the structured lifecycle log: startup, recovery, shutdown
+// and slow-request lines all go through it, so diggd's stderr is
+// machine-parseable (slog text format, key=value).
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 // genesisInfo is the provenance blob stored in the data directory's
 // genesis record: the seed and full generation config, so the social
@@ -91,6 +107,9 @@ func main() {
 	fsync := flag.String("fsync", "interval", "durable mode fsync policy: always, interval or os")
 	ckptEvery := flag.Duration("checkpoint-interval", time.Minute, "durable mode: minimum interval between automatic checkpoints")
 	shards := flag.Int("shards", 1, "partition stories across N shard-local stores; with -data-dir each shard keeps its own WAL (see docs/sharding.md)")
+	slowThreshold := flag.Duration("slow-threshold", 250*time.Millisecond, "retain and log traces of requests at least this slow (0 disables slow-trace capture)")
+	profileDir := flag.String("profile-dir", "", "continuously rotate CPU and heap profiles into this directory (see docs/observability.md)")
+	profilePeriod := flag.Duration("profile-period", 30*time.Second, "length of each continuous-profiling capture window")
 	flag.Parse()
 	if *shards < 1 {
 		fatal(fmt.Errorf("-shards must be >= 1, got %d", *shards))
@@ -98,9 +117,9 @@ func main() {
 
 	if *pprofAddr != "" {
 		go func() {
-			fmt.Fprintf(os.Stderr, "diggd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			logger.Info("pprof listening", "url", "http://"+*pprofAddr+"/debug/pprof/")
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "diggd: pprof:", err)
+				logger.Error("pprof server failed", "err", err)
 			}
 		}()
 	}
@@ -167,10 +186,15 @@ func main() {
 		store, persist = sstore, sstore
 		startAt = latestActivity(sstore, cfg.SnapshotAt)
 		stories = sstore.NumStories()
-		fmt.Fprintf(os.Stderr,
-			"diggd: recovered %s: %d shards, %d stories, generation %d (%d replayed records, %d rejected, %d trimmed for cross-shard consistency%s)\n",
-			*dataDir, sstore.ShardCount(), stories, rec.Generation, replayed, rejected, rec.Trimmed,
-			tornShardsNote(torn))
+		logger.Info("recovered sharded store",
+			"dir", *dataDir,
+			"shards", sstore.ShardCount(),
+			"stories", stories,
+			"generation", rec.Generation,
+			"replayed", replayed,
+			"rejected", rejected,
+			"trimmed", rec.Trimmed,
+			"torn_shards", torn)
 	} else if *dataDir != "" && durable.Exists(*dataDir) {
 		dstore, err = durable.Open(*dataDir, dopts)
 		if err != nil {
@@ -184,13 +208,16 @@ func main() {
 		store, persist = dstore, dstore
 		startAt = latestActivity(dstore, cfg.SnapshotAt)
 		stories = dstore.NumStories()
-		fmt.Fprintf(os.Stderr,
-			"diggd: recovered %s: %d stories, generation %d (checkpoint lsn %d + %d replayed records, %d rejected%s)\n",
-			*dataDir, stories, rec.Generation, rec.CheckpointLSN, rec.Replayed, rec.Rejected,
-			tornNote(rec.TailTruncated))
+		logger.Info("recovered durable store",
+			"dir", *dataDir,
+			"stories", stories,
+			"generation", rec.Generation,
+			"checkpoint_lsn", rec.CheckpointLSN,
+			"replayed", rec.Replayed,
+			"rejected", rec.Rejected,
+			"torn_tail", rec.TailTruncated)
 	} else {
-		fmt.Fprintf(os.Stderr, "diggd: generating corpus (%d users, %d submissions)...\n",
-			cfg.Users, cfg.Submissions)
+		logger.Info("generating corpus", "users", cfg.Users, "submissions", cfg.Submissions)
 		ds, err := dataset.Generate(cfg)
 		if err != nil {
 			fatal(err)
@@ -212,16 +239,16 @@ func main() {
 					fatal(err)
 				}
 				store, persist = sstore, sstore
-				fmt.Fprintf(os.Stderr, "diggd: created %d-shard durable store in %s (fsync=%s, checkpoint every %s)\n",
-					*shards, *dataDir, syncPolicy, *ckptEvery)
+				logger.Info("created sharded durable store",
+					"dir", *dataDir, "shards", *shards, "fsync", syncPolicy.String(), "checkpoint_every", *ckptEvery)
 			} else {
 				dstore, err = durable.Create(*dataDir, ds.Platform, genesis, dopts)
 				if err != nil {
 					fatal(err)
 				}
 				store, persist = dstore, dstore
-				fmt.Fprintf(os.Stderr, "diggd: created durable store in %s (fsync=%s, checkpoint every %s)\n",
-					*dataDir, syncPolicy, *ckptEvery)
+				logger.Info("created durable store",
+					"dir", *dataDir, "fsync", syncPolicy.String(), "checkpoint_every", *ckptEvery)
 			}
 		} else if *shards > 1 {
 			sstore, err := shard.FromPlatform(ds.Platform, *shards)
@@ -229,12 +256,27 @@ func main() {
 				fatal(err)
 			}
 			store = sstore
-			fmt.Fprintf(os.Stderr, "diggd: sharded in-memory store, %d shards\n", *shards)
+			logger.Info("sharded in-memory store", "shards", *shards)
 		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *profileDir != "" {
+		go func() {
+			opts := obs.ProfilerOptions{
+				Period: *profilePeriod,
+				Logf: func(format string, args ...any) {
+					logger.Info("profiler", "msg", fmt.Sprintf(format, args...))
+				},
+			}
+			if err := obs.CaptureProfiles(ctx, *profileDir, opts); err != nil {
+				logger.Error("continuous profiling stopped", "err", err)
+			}
+		}()
+		logger.Info("continuous profiling", "dir", *profileDir, "period", *profilePeriod)
+	}
 
 	var svc *live.Service
 	var srv *httpapi.Server
@@ -258,8 +300,7 @@ func main() {
 		}
 		srv.AttachLive(svc)
 		go func() { liveErr <- svc.Run(ctx) }()
-		fmt.Fprintf(os.Stderr, "diggd: live mode, speedup %.0fx, %.0f submissions/sim-hour\n",
-			*speedup, *subsPerHour)
+		logger.Info("live mode", "speedup", *speedup, "submissions_per_sim_hour", *subsPerHour)
 	} else {
 		// Static mode: the corpus is frozen but the site clock still
 		// advances in real time from the snapshot, so the upcoming-queue
@@ -277,6 +318,11 @@ func main() {
 	if *verbose {
 		handler = httpapi.LoggingMiddleware(os.Stderr, handler)
 	}
+	// Tracer sits inside the rate limiter so rejected requests are not
+	// traced, and outside the router so every served request gets an
+	// X-Trace-Id and a chance at the slow-trace ring.
+	tracer := httpapi.NewTracer(*slowThreshold, logger)
+	handler = tracer.Middleware(handler)
 	if *rate > 0 {
 		limiter := httpapi.NewRateLimiter(*rate, int(*rate)+1)
 		handler = limiter.Middleware(handler)
@@ -290,7 +336,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "diggd: serving %d stories on %s\n", stories, *addr)
+		logger.Info("serving", "stories", stories, "addr", *addr)
 		errCh <- httpServer.ListenAndServe()
 	}()
 	// On a signal, both ctx.Done and the live goroutine's nil send race
@@ -336,8 +382,8 @@ func main() {
 			if err := out.Save(*exportDir); err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "diggd: exported %d stories (%d promoted) to %s\n",
-				len(out.Stories), len(out.FrontPage), *exportDir)
+			logger.Info("exported final state",
+				"stories", len(out.Stories), "promoted", len(out.FrontPage), "dir", *exportDir)
 		}
 	}
 	if persist != nil {
@@ -351,10 +397,9 @@ func main() {
 		if err := persist.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "diggd: final checkpoint at generation %d in %s\n",
-			persist.Generation(), *dataDir)
+		logger.Info("final checkpoint", "generation", persist.Generation(), "dir", *dataDir)
 	}
-	fmt.Fprintln(os.Stderr, "diggd: shut down cleanly")
+	logger.Info("shut down cleanly")
 }
 
 // latestActivity returns the latest simulation minute with recorded
@@ -376,21 +421,7 @@ func latestActivity(s digg.Store, floor digg.Minutes) digg.Minutes {
 	return t
 }
 
-func tornNote(torn bool) string {
-	if torn {
-		return ", torn tail truncated"
-	}
-	return ""
-}
-
-func tornShardsNote(n int) string {
-	if n > 0 {
-		return fmt.Sprintf(", torn tails truncated in %d shard(s)", n)
-	}
-	return ""
-}
-
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "diggd:", err)
+	logger.Error(err.Error())
 	os.Exit(1)
 }

@@ -11,17 +11,31 @@
 // (diggd -shards N: shard-0000/ ... subdirectories) gets one report
 // per shard; the exit status is 1 if any shard is corrupt.
 //
+// With -obs it queries a running diggd's observability dump
+// (GET /debug/obs) and pretty-prints every latency instrument's
+// quantile summary plus the retained slow traces — the terminal
+// counterpart of the Prometheus exposition at GET /metrics; see
+// docs/observability.md.
+//
 // Usage:
 //
 //	diggstats -data DIR [-tree] [-cv]
 //	diggstats -wal DIR
+//	diggstats -obs http://localhost:8080
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
 
+	"diggsim/internal/apiv1"
 	"diggsim/internal/cascade"
 	"diggsim/internal/core"
 	"diggsim/internal/dataset"
@@ -36,6 +50,7 @@ import (
 func main() {
 	data := flag.String("data", "", "dataset directory")
 	walDir := flag.String("wal", "", "inspect a diggd durable data directory (WAL + checkpoints) instead of analyzing a dataset")
+	obsURL := flag.String("obs", "", "query a running diggd's observability dump (base URL, e.g. http://localhost:8080)")
 	showTree := flag.Bool("tree", true, "print the learned decision tree")
 	runCV := flag.Bool("cv", true, "run 10-fold cross-validation")
 	seed := flag.Uint64("seed", 99, "cross-validation shuffle seed")
@@ -44,8 +59,12 @@ func main() {
 		inspectWAL(*walDir)
 		return
 	}
+	if *obsURL != "" {
+		inspectObs(*obsURL)
+		return
+	}
 	if *data == "" {
-		fmt.Fprintln(os.Stderr, "diggstats: -data is required (or -wal to inspect a data directory)")
+		fmt.Fprintln(os.Stderr, "diggstats: -data is required (or -wal to inspect a data directory, -obs to query a live server)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -152,6 +171,84 @@ func inspectWAL(dir string) {
 	fmt.Print(info.String())
 	if info.Corrupt != nil || info.Checkpoint == nil {
 		os.Exit(1)
+	}
+}
+
+// inspectObs fetches a running diggd's GET /debug/obs dump and
+// renders the operator's terminal view of it: one table row per
+// instrument series (quantiles in milliseconds, same numbers the
+// Prometheus exposition carries in seconds), then the retained slow
+// traces newest-first with their span breakdowns.
+func inspectObs(base string) {
+	url := strings.TrimSuffix(base, "/") + "/debug/obs"
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("GET %s: %s", url, resp.Status))
+	}
+	var dump apiv1.ObsDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		fatal(fmt.Errorf("decoding %s: %w", url, err))
+	}
+
+	// Group-stable ordering: registration order already groups series
+	// of one family together; a secondary sort by labels keeps
+	// per-shard and per-route series tidy without splitting families.
+	sort.SliceStable(dump.Instruments, func(i, j int) bool {
+		a, b := dump.Instruments[i], dump.Instruments[j]
+		if a.Name != b.Name {
+			return false // keep registration order across families
+		}
+		return a.Labels < b.Labels
+	})
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "INSTRUMENT\tCOUNT\tP50\tP90\tP99\tP99.9\tMAX\tTOTAL")
+	for _, in := range dump.Instruments {
+		name := in.Name
+		if in.Labels != "" {
+			name += "{" + in.Labels + "}"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			name, in.Count,
+			fmtMillis(in.P50Millis), fmtMillis(in.P90Millis),
+			fmtMillis(in.P99Millis), fmtMillis(in.P999Millis),
+			fmtMillis(in.MaxMillis), fmtMillis(in.TotalMillis))
+	}
+	tw.Flush()
+
+	fmt.Printf("\nslow traces: %d total", dump.SlowTotal)
+	if n := len(dump.SlowTraces); n > 0 {
+		fmt.Printf(", %d retained (newest first)", n)
+	}
+	fmt.Println()
+	for _, tr := range dump.SlowTraces {
+		start := time.UnixMilli(tr.StartUnixMillis).UTC().Format("15:04:05.000")
+		fmt.Printf("  %s %s %s %s -> %d in %s\n",
+			tr.ID, start, tr.Method, tr.Path, tr.Status, fmtMillis(tr.DurationMillis))
+		for _, sp := range tr.Spans {
+			fmt.Printf("    +%s %s %s\n", fmtMillis(sp.OffsetMillis), sp.Name, fmtMillis(sp.DurationMillis))
+		}
+	}
+}
+
+// fmtMillis renders a millisecond value at the precision that matters
+// for it: microsecond detail below 1ms, tenths above, seconds when
+// large.
+func fmtMillis(ms float64) string {
+	switch {
+	case ms == 0:
+		return "0"
+	case ms < 1:
+		return fmt.Sprintf("%.0fµs", ms*1000)
+	case ms < 1000:
+		return fmt.Sprintf("%.1fms", ms)
+	default:
+		return fmt.Sprintf("%.2fs", ms/1000)
 	}
 }
 

@@ -112,6 +112,25 @@
 // text format, and diggstats -wal reports shard-by-shard health. See
 // docs/sharding.md.
 //
+// Production observability (internal/obs) makes every layer's latency
+// a measured distribution rather than a guess: lock-free,
+// allocation-free log-bucketed histograms (two atomic adds per
+// observation, quantiles interpolated from mergeable snapshots on the
+// cold path) record HTTP request latency per route class, WAL append
+// vs fsync, checkpoint build vs write, per-shard batch apply and
+// scatter-gather merge, snapshot rebuilds, and live step duration —
+// without breaking the read path's 0-alloc guarantee (the wrapper is
+// two monotonic clock reads inside the route table). GET /metrics
+// exports them as Prometheus histogram series; GET /debug/obs dumps
+// p50/p90/p99/p999 summaries plus a ring of recent slow traces, each
+// request tagged with an X-Trace-Id and span-timed through the batch
+// write pipeline (decode, apply, republish); diggstats -obs
+// pretty-prints the dump, and diggd -profile-dir continuously rotates
+// CPU/heap profiles so the profile covering a regression window is
+// already on disk. BENCH_obs.json records read/write latency
+// quantiles under a mixed workload via the histogram-aware
+// cmd/benchjson. See docs/observability.md.
+//
 // See README.md for the package map, DESIGN.md for the system inventory
 // and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
 // results. The benchmarks in bench_test.go regenerate one experiment

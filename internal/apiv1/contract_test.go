@@ -78,6 +78,32 @@ func contractCases() map[string]any {
 		"error_invalid_argument": ErrorEnvelope{Error: &Error{
 			Code: CodeInvalidArgument, Message: "limit must be a non-negative integer",
 		}},
+		"obs_dump": ObsDump{
+			Instruments: []ObsInstrument{
+				{
+					Name: "diggsim_http_request_seconds", Labels: `route="frontpage"`,
+					Count: 120000, TotalMillis: 54000,
+					P50Millis: 0.00042, P90Millis: 0.00061, P99Millis: 0.0014,
+					P999Millis: 0.21, MaxMillis: 0.26,
+				},
+				{
+					Name:  "diggsim_wal_fsync_seconds",
+					Count: 480, TotalMillis: 1920,
+					P50Millis: 3.6, P90Millis: 5.1, P99Millis: 9.8,
+					P999Millis: 14, MaxMillis: 16,
+				},
+			},
+			SlowTotal: 3,
+			SlowTraces: []ObsTrace{{
+				ID: "4f2a9c01d3e87b65", Method: "POST", Path: "/v1/diggs:batch",
+				Status: 200, StartUnixMillis: 1151712000000, DurationMillis: 312.5,
+				Spans: []ObsSpan{
+					{Name: "decode", OffsetMillis: 0.01, DurationMillis: 1.2},
+					{Name: "apply", OffsetMillis: 1.3, DurationMillis: 298.4},
+					{Name: "republish", OffsetMillis: 299.8, DurationMillis: 12.6},
+				},
+			}},
+		},
 	}
 }
 

@@ -32,7 +32,19 @@ import (
 
 	"diggsim/internal/digg"
 	"diggsim/internal/graph"
+	"diggsim/internal/obs"
 	"diggsim/internal/wal"
+)
+
+// Checkpoint cost splits into state encode (CPU, scales with corpus
+// size) and file write (disk, includes the tmp-file fsync + rename);
+// both run synchronously on the write path when the schedule is due,
+// so their tails show up directly in write latency.
+var (
+	histCkptBuild = obs.Default.Histogram("diggsim_checkpoint_build_seconds", "",
+		"Checkpoint state-encode latency (Platform.AppendState).")
+	histCkptWrite = obs.Default.Histogram("diggsim_checkpoint_write_seconds", "",
+		"Checkpoint file write latency (tmp write, fsync, rename).")
 )
 
 // DefaultCheckpointEvery is the automatic checkpoint cadence when
@@ -525,12 +537,17 @@ func (s *Store) Checkpoint() error {
 		return err
 	}
 	lsn := s.w.NextLSN()
+	buildStart := time.Now()
 	s.stateBuf = s.p.AppendState(s.stateBuf[:0])
-	if _, err := writeCheckpoint(s.dir, checkpoint{
+	histCkptBuild.Observe(time.Since(buildStart))
+	writeStart := time.Now()
+	_, werr := writeCheckpoint(s.dir, checkpoint{
 		LSN: lsn, Gen: s.p.Generation(), Genesis: s.genesis, State: s.stateBuf,
-	}); err != nil {
-		s.err = err
-		return err
+	})
+	histCkptWrite.Observe(time.Since(writeStart))
+	if werr != nil {
+		s.err = werr
+		return werr
 	}
 	if err := pruneCheckpoints(s.dir, lsn); err != nil {
 		s.err = err

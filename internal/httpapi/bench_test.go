@@ -18,19 +18,20 @@ import (
 )
 
 // benchPlatform builds a platform with enough stories and votes for
-// realistic list/detail payloads.
-func benchPlatform(b *testing.B) *digg.Platform {
-	b.Helper()
+// realistic list/detail payloads. It takes testing.TB so the 0-alloc
+// guard test shares the exact corpus the benchmarks measure.
+func benchPlatform(tb testing.TB) *digg.Platform {
+	tb.Helper()
 	g, err := graph.PreferentialAttachment(rng.New(3), 2000, 4, 0.3)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	p := digg.NewPlatform(g, &digg.ClassicPromotion{VoteThreshold: 10, Window: digg.Day})
 	r := rng.New(4)
 	for i := 0; i < 300; i++ {
 		st, err := p.Submit(digg.UserID(r.Intn(2000)), fmt.Sprintf("story-%d", i), 0.5, digg.Minutes(i))
 		if err != nil {
-			b.Fatal(err)
+			tb.Fatal(err)
 		}
 		votes := 5 + r.Intn(30)
 		for v := 0; v < votes; v++ {

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"diggsim/internal/obs"
 	"diggsim/internal/shard"
 )
 
@@ -37,7 +38,10 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 
-	promCounter(&b, "diggsim_store_generation", "Store write generation (sum of shard generations when sharded).", gen)
+	// The generation can reset when a fresh data directory replaces an
+	// old one, so it is a gauge, not a counter (Prometheus counter
+	// semantics would misread the reset as a rate spike).
+	promGauge(&b, "diggsim_store_generation", "Store write generation (sum of shard generations when sharded).", gen)
 	fmt.Fprintf(&b, "# HELP diggsim_store_stories Stories in the store.\n# TYPE diggsim_store_stories gauge\n")
 	fmt.Fprintf(&b, "diggsim_store_stories %d\n", stories)
 	fmt.Fprintf(&b, "# HELP diggsim_store_promoted Stories promoted to the front page.\n# TYPE diggsim_store_promoted gauge\n")
@@ -52,7 +56,7 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		for _, st := range stats {
 			fmt.Fprintf(&b, "diggsim_shard_replayed_total{shard=%s} %d\n", strconv.Quote(strconv.Itoa(st.Shard)), st.Replayed)
 		}
-		fmt.Fprintf(&b, "# HELP diggsim_shard_generation Per-shard write generation.\n# TYPE diggsim_shard_generation counter\n")
+		fmt.Fprintf(&b, "# HELP diggsim_shard_generation Per-shard write generation.\n# TYPE diggsim_shard_generation gauge\n")
 		for _, st := range stats {
 			fmt.Fprintf(&b, "diggsim_shard_generation{shard=%s} %d\n", strconv.Quote(strconv.Itoa(st.Shard)), st.Generation)
 		}
@@ -62,6 +66,22 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if s.live != nil {
+		ls := s.live.Stats()
+		promGauge(&b, "diggsim_live_sim_minutes", "Current simulation time in sim-minutes.", uint64(ls.SimNow))
+		promCounter(&b, "diggsim_live_submits_total", "Stories submitted by the live simulation.", ls.Submits)
+		promCounter(&b, "diggsim_live_diggs_total", "Votes applied by the live simulation.", ls.Diggs)
+		promCounter(&b, "diggsim_live_promotions_total", "Front-page promotions by the live simulation.", ls.Promotions)
+		promGauge(&b, "diggsim_live_bus_subscribers", "Subscribers on the live event bus.", uint64(ls.Subscribers))
+		promCounter(&b, "diggsim_live_bus_events_total", "Events published to the live bus.", ls.EventsPublished)
+		promCounter(&b, "diggsim_live_bus_dropped_total", "Events dropped because a subscriber's ring was full.", ls.EventsDropped)
+		promGauge(&b, "diggsim_live_bus_max_queue", "High-water mark of any subscriber's queue (bus lag).", uint64(ls.MaxSubscriberQueue))
+	}
+
+	// The obs registry: latency histograms and counters recorded across
+	// the serve/write/durability layers.
+	obs.Default.WritePrometheus(&b)
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(b.Bytes())
 }
@@ -69,4 +89,9 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 // promCounter writes one unlabeled counter with its HELP/TYPE header.
 func promCounter(b *bytes.Buffer, name, help string, v uint64) {
 	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+// promGauge writes one unlabeled gauge with its HELP/TYPE header.
+func promGauge(b *bytes.Buffer, name, help string, v uint64) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 }

@@ -1,0 +1,167 @@
+package httpapi
+
+// obs.go wires the serving layer into the internal/obs core: per-
+// route-class latency histograms wrapped around every handler at mount
+// time, snapshot-rebuild instruments, the Tracer middleware that mints
+// X-Trace-Id headers and retains slow traces, and the GET /debug/obs
+// dump.
+//
+// The per-route histograms live inside Server.Handler's route table —
+// not in a middleware — so the instrumented path is exactly the one
+// the 0-alloc read benchmarks drive: a timed handler costs two
+// monotonic clock reads and two uncontended atomic adds per request,
+// nothing more. Trace-ID minting allocates (a 16-byte header string),
+// so it lives in the separate Tracer middleware that cmd/diggd stacks
+// outside the router; servers embedded in benchmarks or tests that
+// skip the middleware keep the allocation-free path.
+
+import (
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"diggsim/internal/apiv1"
+	"diggsim/internal/obs"
+)
+
+// Snapshot-rebuild instruments (see snapshot.go's republish/build).
+var (
+	histSnapshotRebuild = obs.Default.Histogram("diggsim_snapshot_rebuild_seconds", "",
+		"Read-view rebuild latency per republish, including re-encoding changed stories.")
+	ctrStoriesEncoded = obs.Default.Counter("diggsim_snapshot_stories_encoded_total",
+		"Story summaries re-encoded across snapshot rebuilds (cache misses; unchanged stories are reused).")
+)
+
+// routeHist returns the request-latency histogram of one route class.
+// Both API generations of an endpoint (/api/* alias and /v1/*) share a
+// class: they serve the same read path, and the class cardinality is
+// what an operator dashboards by.
+func routeHist(class string) *obs.Histogram {
+	return obs.Default.Histogram("diggsim_http_request_seconds",
+		`route="`+class+`"`, "HTTP request latency by route class.")
+}
+
+// timed wraps a handler with its route class's latency histogram. The
+// histogram is resolved once at mount time; per request the wrapper
+// adds two monotonic clock reads (obs.Now — cheaper than time.Now,
+// which also reads the wall clock) and one Observe (two atomic adds),
+// keeping instrumented handlers on the allocation-free path.
+func timed(class string, fn http.HandlerFunc) http.HandlerFunc {
+	h := routeHist(class)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := obs.Now()
+		fn(w, r)
+		h.Observe(time.Duration(obs.Now() - start))
+	}
+}
+
+// Tracer is the tracing middleware: it mints a trace ID per request,
+// exposes it as the X-Trace-Id response header, attaches a pooled
+// obs.Trace to the request context so handlers can record spans
+// (obs.SpanFrom), and — for requests at or above SlowThreshold —
+// retains the finished trace in the slow-trace ring and logs one
+// structured line. Place it outside the router and inside any
+// rate-limiting middleware whose rejections should not be traced.
+type Tracer struct {
+	// SlowThreshold is the duration at or above which a request's trace
+	// is retained and logged. Zero disables slow-trace capture (the
+	// header and context trace are still provided).
+	SlowThreshold time.Duration
+	// Ring receives slow traces; nil means obs.DefaultRing.
+	Ring *obs.TraceRing
+	// Log, when non-nil, receives one Warn line per slow request.
+	Log *slog.Logger
+
+	pool sync.Pool
+}
+
+// NewTracer returns a tracer with the given slow threshold, recording
+// into obs.DefaultRing and logging slow requests to log (nil disables
+// logging).
+func NewTracer(slow time.Duration, log *slog.Logger) *Tracer {
+	return &Tracer{SlowThreshold: slow, Ring: obs.DefaultRing, Log: log}
+}
+
+// Middleware wraps next with tracing.
+func (t *Tracer) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := obs.NewTraceID()
+		idStr := obs.TraceIDString(id)
+		tr, _ := t.pool.Get().(*obs.Trace)
+		if tr == nil {
+			tr = obs.NewTrace(id, start)
+		} else {
+			tr.Reset(id, start)
+		}
+		w.Header().Set("X-Trace-Id", idStr)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		dur := time.Since(start)
+		if t.SlowThreshold > 0 && dur >= t.SlowThreshold {
+			ring := t.Ring
+			if ring == nil {
+				ring = obs.DefaultRing
+			}
+			spans := tr.Spans()
+			ring.Add(obs.TraceEntry{
+				ID: idStr, Method: r.Method, Path: r.URL.Path, Status: sw.status,
+				Start: start, Duration: dur, Spans: spans,
+			})
+			if t.Log != nil {
+				t.Log.Warn("slow request",
+					"trace_id", idStr,
+					"method", r.Method,
+					"path", r.URL.Path,
+					"status", sw.status,
+					"duration", dur,
+					"spans", len(spans),
+				)
+			}
+		}
+		t.pool.Put(tr)
+	})
+}
+
+// handleObsDump serves GET /debug/obs: every instrument's quantile
+// summary plus the retained slow traces, as JSON (apiv1.ObsDump).
+func (s *Server) handleObsDump(w http.ResponseWriter, r *http.Request) {
+	stats := obs.Default.Instruments()
+	dump := apiv1.ObsDump{
+		Instruments: make([]apiv1.ObsInstrument, len(stats)),
+		SlowTotal:   obs.DefaultRing.Total(),
+	}
+	for i, st := range stats {
+		dump.Instruments[i] = apiv1.ObsInstrument{
+			Name:        st.Name,
+			Labels:      st.Labels,
+			Count:       st.Count,
+			TotalMillis: float64(st.Sum) / 1e6,
+			P50Millis:   st.P50 / 1e6,
+			P90Millis:   st.P90 / 1e6,
+			P99Millis:   st.P99 / 1e6,
+			P999Millis:  st.P999 / 1e6,
+			MaxMillis:   st.Max / 1e6,
+		}
+	}
+	for _, e := range obs.DefaultRing.Snapshot() {
+		trace := apiv1.ObsTrace{
+			ID:              e.ID,
+			Method:          e.Method,
+			Path:            e.Path,
+			Status:          e.Status,
+			StartUnixMillis: e.Start.UnixMilli(),
+			DurationMillis:  float64(e.Duration) / 1e6,
+		}
+		for _, sp := range e.Spans {
+			trace.Spans = append(trace.Spans, apiv1.ObsSpan{
+				Name:           sp.Name,
+				OffsetMillis:   float64(sp.Offset) / 1e6,
+				DurationMillis: float64(sp.Dur) / 1e6,
+			})
+		}
+		dump.SlowTraces = append(dump.SlowTraces, trace)
+	}
+	writeJSON(w, http.StatusOK, dump)
+}

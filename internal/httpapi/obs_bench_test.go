@@ -1,0 +1,129 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"diggsim/internal/obs"
+)
+
+// TestFrontPageHandlerZeroAlloc is the CI-enforceable form of the
+// acceptance bar BenchmarkFrontPageHandler reports: the instrumented
+// snapshot read path — router, timed() wrapper, handler — must stay
+// allocation-free. A regression here means per-request garbage crept
+// into the hot path (the instrumentation budget is two monotonic
+// clock reads and two atomic adds, nothing heap-bound).
+func TestFrontPageHandlerZeroAlloc(t *testing.T) {
+	p := benchPlatform(t)
+	srv := NewServer(p, 400, nil)
+	h := srv.Handler()
+	req := httptest.NewRequest(http.MethodGet, "/api/frontpage?limit=15", nil)
+	w := &benchWriter{h: make(http.Header, 4)}
+	h.ServeHTTP(w, req) // warm caches and lazy snapshot state
+	allocs := testing.AllocsPerRun(200, func() {
+		w.reset()
+		h.ServeHTTP(w, req)
+		if w.status != http.StatusOK {
+			t.Fatalf("status %d", w.status)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("front-page read path: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkMixedWorkload drives the scraper read mix and a concurrent
+// batch-digg writer through one handler, recording every request's
+// latency into private obs histograms, and reports the interpolated
+// read and write p50/p99 alongside the usual ns/op. This is the
+// distribution-aware benchmark cmd/benchjson records into
+// BENCH_obs.json: a mean hides exactly the tail the observability
+// layer exists to expose (on one core, a read that lands behind the
+// writer's lock hold is an order of magnitude slower than the median).
+//
+// b.N counts read requests; the writer paces itself at ~1ms per
+// 100-vote batch, matching BenchmarkServedReadsWhileLive's contention
+// profile.
+func BenchmarkMixedWorkload(b *testing.B) {
+	p := benchPlatform(b)
+	srv := NewServer(p, 400, nil)
+	h := srv.Handler()
+
+	var readHist, writeHist obs.Histogram
+
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		w := &benchWriter{h: make(http.Header, 4)}
+		var body []byte
+		vote := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			body = append(body[:0], `{"diggs":[`...)
+			for k := 0; k < 100; k++ {
+				if k > 0 {
+					body = append(body, ',')
+				}
+				body = append(body, `{"story":`...)
+				body = strconv.AppendInt(body, int64(vote%300), 10)
+				body = append(body, `,"voter":`...)
+				body = strconv.AppendInt(body, int64(vote%2000), 10)
+				body = append(body, `,"at":500}`...)
+				vote++
+			}
+			body = append(body, `]}`...)
+			req := httptest.NewRequest(http.MethodPost, "/v1/diggs:batch", strings.NewReader(string(body)))
+			w.reset()
+			start := obs.Now()
+			h.ServeHTTP(w, req)
+			writeHist.Observe(time.Duration(obs.Now() - start))
+			if w.status != http.StatusOK {
+				b.Errorf("batch write: status %d", w.status)
+				return
+			}
+		}
+	}()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		reqs := make([]*http.Request, len(readMix))
+		for i, path := range readMix {
+			reqs[i] = httptest.NewRequest(http.MethodGet, path, nil)
+		}
+		w := &benchWriter{h: make(http.Header, 4)}
+		i := 0
+		for pb.Next() {
+			w.reset()
+			start := obs.Now()
+			h.ServeHTTP(w, reqs[i%len(reqs)])
+			readHist.Observe(time.Duration(obs.Now() - start))
+			if w.status != http.StatusOK {
+				b.Fatalf("status %d for %s", w.status, readMix[i%len(reqs)])
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	<-writerDone
+
+	reads := readHist.Snapshot()
+	writes := writeHist.Snapshot()
+	b.ReportMetric(reads.Quantile(0.50), "read-p50-ns")
+	b.ReportMetric(reads.Quantile(0.99), "read-p99-ns")
+	if writes.Count() > 0 {
+		b.ReportMetric(writes.Quantile(0.50), "write-p50-ns")
+		b.ReportMetric(writes.Quantile(0.99), "write-p99-ns")
+		b.ReportMetric(float64(writes.Count()*100)/b.Elapsed().Seconds(), "votes/sec")
+	}
+}

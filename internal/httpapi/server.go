@@ -147,28 +147,33 @@ func (s *Server) clock() digg.Minutes {
 
 // Handler publishes the initial read snapshot and returns the HTTP
 // routing table: the versioned /v1/* surface plus the deprecated
-// /api/* aliases.
+// /api/* aliases. Every non-streaming route is wrapped in its route
+// class's latency histogram (see obs.go); the /api/* alias and /v1/*
+// form of an endpoint share a class.
 func (s *Server) Handler() http.Handler {
 	s.republish()
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", timed("healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("GET /metrics", s.handleMetricsProm)
+	}))
+	mux.HandleFunc("GET /metrics", timed("metrics", s.handleMetricsProm))
+	mux.HandleFunc("GET /debug/obs", s.handleObsDump)
 	// Deprecated unversioned aliases (offset/limit, string errors).
-	mux.HandleFunc("GET /api/frontpage", s.handleFrontPage)
-	mux.HandleFunc("GET /api/stories", s.handleStoryList)
-	mux.HandleFunc("GET /api/upcoming", s.handleUpcoming)
-	mux.HandleFunc("GET /api/stories/{id}", s.handleStory)
-	mux.HandleFunc("POST /api/stories", s.handleSubmit)
-	mux.HandleFunc("POST /api/stories/{id}/digg", s.handleDigg)
-	mux.HandleFunc("GET /api/users/{id}", s.handleUser)
-	mux.HandleFunc("GET /api/users/{id}/fans", s.handleFans)
-	mux.HandleFunc("GET /api/users/{id}/friends", s.handleFriends)
-	mux.HandleFunc("GET /api/topusers", s.handleTopUsers)
-	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /api/frontpage", timed("frontpage", s.handleFrontPage))
+	mux.HandleFunc("GET /api/stories", timed("stories", s.handleStoryList))
+	mux.HandleFunc("GET /api/upcoming", timed("upcoming", s.handleUpcoming))
+	mux.HandleFunc("GET /api/stories/{id}", timed("story", s.handleStory))
+	mux.HandleFunc("POST /api/stories", timed("submit", s.handleSubmit))
+	mux.HandleFunc("POST /api/stories/{id}/digg", timed("digg", s.handleDigg))
+	mux.HandleFunc("GET /api/users/{id}", timed("user", s.handleUser))
+	mux.HandleFunc("GET /api/users/{id}/fans", timed("links", s.handleFans))
+	mux.HandleFunc("GET /api/users/{id}/friends", timed("links", s.handleFriends))
+	mux.HandleFunc("GET /api/topusers", timed("topusers", s.handleTopUsers))
+	mux.HandleFunc("GET /api/stats", timed("stats", s.handleStats))
 	if s.live != nil {
+		// The SSE stream is long-lived; its duration is connection
+		// lifetime, not serving latency, so it stays uninstrumented.
 		mux.HandleFunc("GET /api/stream", s.handleStream)
 	}
 	s.mountV1(mux)

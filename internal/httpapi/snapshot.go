@@ -22,6 +22,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"diggsim/internal/digg"
 )
@@ -129,7 +130,9 @@ func (s *Server) republish() {
 		s.mu.RUnlock()
 		return
 	}
+	buildStart := time.Now()
 	view := st.build(s.store, gen)
+	histSnapshotRebuild.Observe(time.Since(buildStart))
 	s.mu.RUnlock()
 	st.view.Store(view)
 	if st.onPublish != nil {
@@ -151,12 +154,17 @@ func (st *snapshotStore) build(p digg.Store, gen uint64) *ReadView {
 		st.sums = grown
 	}
 	st.sums = st.sums[:n]
+	encoded := 0
 	for i, s := range stories {
 		ver := p.StoryVersion(s.ID)
 		if st.sums[i].ver != ver || st.sums[i].buf == nil {
 			buf := make([]byte, 0, 96+len(s.Title))
 			st.sums[i] = cachedSummary{ver: ver, buf: appendSummary(buf, s)}
+			encoded++
 		}
+	}
+	if encoded > 0 {
+		ctrStoriesEncoded.Add(uint64(encoded))
 	}
 
 	v := &ReadView{

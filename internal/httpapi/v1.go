@@ -26,23 +26,25 @@ import (
 
 	"diggsim/internal/apiv1"
 	"diggsim/internal/digg"
+	"diggsim/internal/obs"
 )
 
-// mountV1 registers the /v1 routes on mux.
+// mountV1 registers the /v1 routes on mux, each timed under the same
+// route class as its /api/* alias.
 func (s *Server) mountV1(mux *http.ServeMux) {
-	mux.HandleFunc("GET /v1/frontpage", s.handleV1FrontPage)
-	mux.HandleFunc("GET /v1/upcoming", s.handleV1Upcoming)
-	mux.HandleFunc("GET /v1/stories", s.handleV1Stories)
-	mux.HandleFunc("GET /v1/stories/{id}", s.handleV1Story)
-	mux.HandleFunc("POST /v1/stories", s.handleV1Submit)
-	mux.HandleFunc("POST /v1/stories/{id}/digg", s.handleV1Digg)
-	mux.HandleFunc("POST /v1/diggs:batch", s.handleV1BatchDigg)
-	mux.HandleFunc("POST /v1/stories:batch", s.handleV1BatchSubmit)
-	mux.HandleFunc("GET /v1/users/{id}", s.handleV1User)
-	mux.HandleFunc("GET /v1/users/{id}/fans", s.handleV1Fans)
-	mux.HandleFunc("GET /v1/users/{id}/friends", s.handleV1Friends)
-	mux.HandleFunc("GET /v1/topusers", s.handleV1TopUsers)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/frontpage", timed("frontpage", s.handleV1FrontPage))
+	mux.HandleFunc("GET /v1/upcoming", timed("upcoming", s.handleV1Upcoming))
+	mux.HandleFunc("GET /v1/stories", timed("stories", s.handleV1Stories))
+	mux.HandleFunc("GET /v1/stories/{id}", timed("story", s.handleV1Story))
+	mux.HandleFunc("POST /v1/stories", timed("submit", s.handleV1Submit))
+	mux.HandleFunc("POST /v1/stories/{id}/digg", timed("digg", s.handleV1Digg))
+	mux.HandleFunc("POST /v1/diggs:batch", timed("batch_digg", s.handleV1BatchDigg))
+	mux.HandleFunc("POST /v1/stories:batch", timed("batch_submit", s.handleV1BatchSubmit))
+	mux.HandleFunc("GET /v1/users/{id}", timed("user", s.handleV1User))
+	mux.HandleFunc("GET /v1/users/{id}/fans", timed("links", s.handleV1Fans))
+	mux.HandleFunc("GET /v1/users/{id}/friends", timed("links", s.handleV1Friends))
+	mux.HandleFunc("GET /v1/topusers", timed("topusers", s.handleV1TopUsers))
+	mux.HandleFunc("GET /v1/stats", timed("stats", s.handleStats))
 	if s.live != nil {
 		mux.HandleFunc("GET /v1/stream", s.handleStream)
 	}
@@ -737,8 +739,12 @@ func (s *Server) handleV1Digg(w http.ResponseWriter, r *http.Request) {
 // agent-driven load sustain several times the single-digg write rate.
 // Item failures are reported per item and do not abort the batch.
 func (s *Server) handleV1BatchDigg(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	decodeSpan := obs.SpanFrom(ctx, "decode")
 	var req apiv1.BatchDiggRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	err := json.NewDecoder(r.Body).Decode(&req)
+	decodeSpan.End()
+	if err != nil {
 		writeV1Error(w, v1Err(http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid JSON: "+err.Error()))
 		return
 	}
@@ -750,6 +756,7 @@ func (s *Server) handleV1BatchDigg(w http.ResponseWriter, r *http.Request) {
 	now := s.clock()
 	results := make([]apiv1.BatchDiggResult, len(req.Diggs))
 	var werr error
+	applySpan := obs.SpanFrom(ctx, "apply")
 	if s.bulk != nil {
 		// Sharded fast path: the store partitions the burst into
 		// per-shard sub-batches and applies them concurrently, each with
@@ -799,7 +806,10 @@ func (s *Server) handleV1BatchDigg(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.Unlock()
 	}
+	applySpan.End()
+	republishSpan := obs.SpanFrom(ctx, "republish")
 	s.republish()
+	republishSpan.End()
 	if werr != nil {
 		writeV1Error(w, v1ErrorFor(werr))
 		return
@@ -810,8 +820,12 @@ func (s *Server) handleV1BatchDigg(w http.ResponseWriter, r *http.Request) {
 // handleV1BatchSubmit serves POST /v1/stories:batch: up to
 // apiv1.MaxBatch submissions in one write transaction.
 func (s *Server) handleV1BatchSubmit(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	decodeSpan := obs.SpanFrom(ctx, "decode")
 	var req apiv1.BatchSubmitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	err := json.NewDecoder(r.Body).Decode(&req)
+	decodeSpan.End()
+	if err != nil {
 		writeV1Error(w, v1Err(http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid JSON: "+err.Error()))
 		return
 	}
@@ -823,6 +837,7 @@ func (s *Server) handleV1BatchSubmit(w http.ResponseWriter, r *http.Request) {
 	now := s.clock()
 	results := make([]apiv1.BatchSubmitResult, len(req.Stories))
 	var werr error
+	applySpan := obs.SpanFrom(ctx, "apply")
 	if s.bulk != nil {
 		ops := make([]digg.SubmitOp, len(req.Stories))
 		for i, sub := range req.Stories {
@@ -867,7 +882,10 @@ func (s *Server) handleV1BatchSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.Unlock()
 	}
+	applySpan.End()
+	republishSpan := obs.SpanFrom(ctx, "republish")
 	s.republish()
+	republishSpan.End()
 	if werr != nil {
 		writeV1Error(w, v1ErrorFor(werr))
 		return

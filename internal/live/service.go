@@ -13,8 +13,17 @@ import (
 	"diggsim/internal/dataset"
 	"diggsim/internal/digg"
 	"diggsim/internal/graph"
+	"diggsim/internal/obs"
 	"diggsim/internal/rng"
 )
+
+// histStep times each state-changing StepTo: the whole write-locked
+// section plus the snapshot republish — the window during which the
+// serving layer's locked fallbacks queue behind the writer. A tick
+// whose step duration approaches the tick interval is the simulation
+// falling behind.
+var histStep = obs.Default.Histogram("diggsim_live_step_seconds", "",
+	"Live simulation step duration (write-locked apply plus snapshot republish).")
 
 // Config parameterizes a live service. The zero value of every field
 // falls back to a sensible default in NewService.
@@ -216,6 +225,7 @@ func (s *Service) StepTo(simNow digg.Minutes) error {
 	}
 	var out []Event
 
+	stepStart := time.Now()
 	s.mu.Lock()
 	if s.batcher != nil {
 		s.batcher.BeginBatch()
@@ -231,6 +241,7 @@ func (s *Service) StepTo(simNow digg.Minutes) error {
 	if s.afterStep != nil {
 		s.afterStep()
 	}
+	histStep.Observe(time.Since(stepStart))
 	for _, ev := range out {
 		s.bus.Publish(ev)
 	}

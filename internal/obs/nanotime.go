@@ -1,0 +1,18 @@
+package obs
+
+import (
+	_ "unsafe" // for go:linkname
+)
+
+// Now returns the runtime's monotonic clock in nanoseconds. It is the
+// hot-path timestamp primitive: a single CLOCK_MONOTONIC read, roughly
+// half the cost of time.Now (which also reads the wall clock), with no
+// time.Time construction. Durations for Histogram.Observe are just
+// Now() deltas.
+//
+// runtime.nanotime is on the linkname compatibility list the runtime
+// maintains for exactly this use; the fallback if a future toolchain
+// removes it is time.Since(start) at ~25ns more per sample.
+//
+//go:linkname Now runtime.nanotime
+func Now() int64

@@ -1,0 +1,233 @@
+// Package obs is the zero-dependency observability core: lock-free,
+// allocation-free latency histograms, a named-instrument registry with
+// Prometheus text exposition, a lightweight span/trace facility with a
+// ring buffer of recent slow traces, and a continuous pprof capture
+// loop.
+//
+// The design splits hot from cold. The hot side — Histogram.Observe,
+// Counter.Add, Span.End — is atomics only: no locks, no maps, no
+// allocations, so it can sit inside the serving layer's 0-alloc read
+// path and the write pipeline's per-record loop. The cold side —
+// registration, snapshots, quantile interpolation, exposition — takes
+// a mutex and allocates freely; it runs on /metrics scrapes and
+// /debug/obs dumps, never per request.
+//
+// Instruments are process-global by convention: packages obtain them
+// from Default at init or construction time with get-or-create
+// semantics (the same (family, labels) pair always returns the same
+// instrument), so two servers in one process — or a test constructing
+// many — share cumulative series exactly like Prometheus client
+// libraries behave.
+//
+// See docs/observability.md for the metric catalog, trace semantics
+// and the operator runbook.
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Registry holds named instruments and renders them for export.
+// The zero value is not usable; construct with NewRegistry.
+type Registry struct {
+	mu sync.Mutex
+	// families preserves registration order for stable exposition.
+	families []string
+	hists    map[string][]*Histogram // family -> labeled series
+	counters map[string]*Counter     // family -> counter (unlabeled)
+	help     map[string]string
+}
+
+// Default is the process-wide registry every package-level instrument
+// registers with. cmd binaries export it on /metrics and /debug/obs.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		hists:    make(map[string][]*Histogram),
+		counters: make(map[string]*Counter),
+		help:     make(map[string]string),
+	}
+}
+
+// Histogram returns the histogram series (family, labels), creating it
+// on first use. family is the Prometheus metric name (by convention a
+// *_seconds name; Observe records time.Durations); labels is the raw
+// label-pair text spliced into the series, e.g. `route="frontpage"`,
+// or "" for an unlabeled series. help is recorded on first
+// registration of the family and ignored afterwards.
+func (r *Registry) Histogram(family, labels, help string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, h := range r.hists[family] {
+		if h.labels == labels {
+			return h
+		}
+	}
+	if _, seen := r.hists[family]; !seen {
+		r.registerFamily(family, help)
+	}
+	h := &Histogram{family: family, labels: labels}
+	r.hists[family] = append(r.hists[family], h)
+	return h
+}
+
+// Counter returns the monotonic counter named family (by convention a
+// *_total name), creating it on first use.
+func (r *Registry) Counter(family, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[family]; ok {
+		return c
+	}
+	r.registerFamily(family, help)
+	c := &Counter{family: family}
+	r.counters[family] = c
+	return c
+}
+
+// registerFamily records a new family's order and help. Caller holds mu.
+func (r *Registry) registerFamily(family, help string) {
+	r.families = append(r.families, family)
+	r.help[family] = help
+}
+
+// WritePrometheus renders every instrument in the text exposition
+// format (version 0.0.4): histograms as cumulative _bucket/_sum/_count
+// series with `le` bounds in seconds, counters as plain counter
+// samples. Only non-empty buckets are emitted (plus +Inf), which keeps
+// the exposition proportional to the latency range actually observed
+// while remaining a valid cumulative histogram.
+func (r *Registry) WritePrometheus(b *bytes.Buffer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var snap HistSnapshot
+	for _, family := range r.families {
+		if c, ok := r.counters[family]; ok {
+			fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+				family, r.help[family], family, family, c.Value())
+			continue
+		}
+		series := r.hists[family]
+		if len(series) == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", family, r.help[family], family)
+		for _, h := range series {
+			h.Load(&snap)
+			writePromHistogram(b, family, h.labels, &snap)
+		}
+	}
+}
+
+// writePromHistogram emits one labeled histogram series from a
+// snapshot.
+func writePromHistogram(b *bytes.Buffer, family, labels string, s *HistSnapshot) {
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, upper := BucketBounds(i)
+		b.WriteString(family)
+		b.WriteString("_bucket{")
+		if labels != "" {
+			b.WriteString(labels)
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(strconv.FormatFloat(float64(upper)/1e9, 'g', -1, 64))
+		b.WriteString(`"} `)
+		b.WriteString(strconv.FormatUint(cum, 10))
+		b.WriteByte('\n')
+	}
+	suffix := func(sfx string) {
+		b.WriteString(family)
+		b.WriteString(sfx)
+		if labels != "" {
+			b.WriteByte('{')
+			b.WriteString(labels)
+			b.WriteByte('}')
+		}
+		b.WriteByte(' ')
+	}
+	b.WriteString(family)
+	b.WriteString(`_bucket{`)
+	if labels != "" {
+		b.WriteString(labels)
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="+Inf"} `)
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+	suffix("_sum")
+	b.WriteString(strconv.FormatFloat(float64(s.Sum)/1e9, 'g', -1, 64))
+	b.WriteByte('\n')
+	suffix("_count")
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+}
+
+// InstrumentStat is a cold-side summary of one histogram series —
+// what /debug/obs dumps and diggstats -obs tabulates.
+type InstrumentStat struct {
+	Name   string
+	Labels string
+	Count  uint64
+	// Sum is the total observed time.
+	Sum time.Duration
+	// Quantiles are interpolated estimates in nanoseconds.
+	P50, P90, P99, P999 float64
+	// Max is the upper bound of the highest non-empty bucket (an upper
+	// estimate of the largest observation).
+	Max float64
+}
+
+// Instruments summarizes every histogram series, in registration order
+// (series within a family sorted by labels for stability).
+func (r *Registry) Instruments() []InstrumentStat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []InstrumentStat
+	var snap HistSnapshot
+	for _, family := range r.families {
+		series := append([]*Histogram(nil), r.hists[family]...)
+		sort.Slice(series, func(i, j int) bool { return series[i].labels < series[j].labels })
+		for _, h := range series {
+			h.Load(&snap)
+			out = append(out, InstrumentStat{
+				Name:   family,
+				Labels: h.labels,
+				Count:  snap.Count(),
+				Sum:    time.Duration(snap.Sum),
+				P50:    snap.Quantile(0.50),
+				P90:    snap.Quantile(0.90),
+				P99:    snap.Quantile(0.99),
+				P999:   snap.Quantile(0.999),
+				Max:    snap.Max(),
+			})
+		}
+	}
+	return out
+}
+
+// Counter is a monotonically increasing counter. Add is one atomic
+// add; the zero value is unusable — obtain from a Registry so the
+// series is exported.
+type Counter struct {
+	family string
+	v      paddedUint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 { return c.v.Load() }

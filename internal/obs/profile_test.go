@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCaptureProfiles(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- CaptureProfiles(ctx, dir, ProfilerOptions{
+			Period: 50 * time.Millisecond,
+			Keep:   2,
+			Logf:   t.Logf,
+		})
+	}()
+	// Let a few windows rotate, then stop.
+	time.Sleep(220 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("CaptureProfiles: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("CaptureProfiles did not stop after cancel")
+	}
+
+	cpu, heap := 0, 0
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		switch {
+		case strings.HasPrefix(e.Name(), "cpu-") && strings.HasSuffix(e.Name(), ".pprof"):
+			cpu++
+		case strings.HasPrefix(e.Name(), "heap-") && strings.HasSuffix(e.Name(), ".pprof"):
+			heap++
+		default:
+			t.Errorf("unexpected file %s", e.Name())
+		}
+	}
+	if cpu == 0 || heap == 0 {
+		t.Fatalf("got %d cpu / %d heap profiles, want at least one of each", cpu, heap)
+	}
+	if cpu > 2 || heap > 2 {
+		t.Fatalf("pruning kept %d cpu / %d heap profiles, want <= 2 each", cpu, heap)
+	}
+	// Profiles must be non-empty files.
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", e.Name())
+		}
+	}
+}
+
+func TestPruneProfiles(t *testing.T) {
+	dir := t.TempDir()
+	names := []string{"cpu-1.pprof", "cpu-2.pprof", "cpu-3.pprof", "heap-1.pprof"}
+	for _, n := range names {
+		if err := os.WriteFile(filepath.Join(dir, n), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pruneProfiles(dir, "cpu-", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "cpu-1.pprof")); !os.IsNotExist(err) {
+		t.Fatal("oldest cpu profile not pruned")
+	}
+	for _, n := range []string{"cpu-2.pprof", "cpu-3.pprof", "heap-1.pprof"} {
+		if _, err := os.Stat(filepath.Join(dir, n)); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+}

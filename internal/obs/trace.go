@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace IDs are 64-bit values minted from an atomic counter mixed
+// through splitmix64 — unique within a process, well-distributed
+// across processes by the start-time seed, and far cheaper than
+// crypto/rand on the request path.
+var (
+	traceSeed uint64 = uint64(time.Now().UnixNano())
+	traceCtr  atomic.Uint64
+)
+
+// NewTraceID mints a fresh trace ID.
+func NewTraceID() uint64 {
+	return splitmix64(traceSeed + traceCtr.Add(1))
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// TraceIDString formats id as 16 lowercase hex digits — the wire form
+// carried in X-Trace-Id headers and logged with slow-request events.
+func TraceIDString(id uint64) string {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// SpanRec is one completed span within a trace: a named stage with its
+// offset from the trace start and its duration.
+type SpanRec struct {
+	Name   string        `json:"name"`
+	Offset time.Duration `json:"offset"`
+	Dur    time.Duration `json:"duration"`
+}
+
+// Trace collects the spans of one request. The serving middleware
+// allocates traces from a pool, attaches them to the request context,
+// and drains them into the slow-trace ring when the request exceeds
+// the slow threshold. Span recording is mutex-guarded (spans may end
+// on worker goroutines); the capacity is fixed, so a trace never
+// allocates after Reset.
+type Trace struct {
+	id    uint64
+	start time.Time
+
+	mu    sync.Mutex
+	spans []SpanRec
+}
+
+// traceSpanCap bounds spans per trace; later spans are dropped rather
+// than grown, keeping traces allocation-free after construction.
+const traceSpanCap = 32
+
+// NewTrace returns a trace ready for use.
+func NewTrace(id uint64, start time.Time) *Trace {
+	t := &Trace{spans: make([]SpanRec, 0, traceSpanCap)}
+	t.Reset(id, start)
+	return t
+}
+
+// Reset rearms a pooled trace for a new request.
+func (t *Trace) Reset(id uint64, start time.Time) {
+	t.id = id
+	t.start = start
+	t.spans = t.spans[:0]
+}
+
+// ID returns the trace ID.
+func (t *Trace) ID() uint64 { return t.id }
+
+// StartSpan opens a named span. End it with Span.End; spans past the
+// fixed capacity are silently dropped.
+func (t *Trace) StartSpan(name string) Span {
+	return Span{t: t, name: name, begin: time.Now()}
+}
+
+// Span is an open span handle (a value — no allocation).
+type Span struct {
+	t     *Trace
+	name  string
+	begin time.Time
+}
+
+// End records the span. A zero Span (from a nil trace lookup) is a
+// no-op, so call sites need no nil checks.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	if len(t.spans) < cap(t.spans) {
+		t.spans = append(t.spans, SpanRec{
+			Name:   s.name,
+			Offset: s.begin.Sub(t.start),
+			Dur:    time.Since(s.begin),
+		})
+	}
+	t.mu.Unlock()
+}
+
+// Spans copies the recorded spans out of the trace.
+func (t *Trace) Spans() []SpanRec {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRec(nil), t.spans...)
+}
+
+type traceKey struct{}
+
+// WithTrace attaches t to ctx.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace attached to ctx, or nil. Combined with
+// the zero-Span no-op this makes instrumentation sites one-liners:
+//
+//	defer obs.SpanFrom(ctx, "apply").End()
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// SpanFrom opens a span on ctx's trace, or returns a no-op span when
+// no trace is attached.
+func SpanFrom(ctx context.Context, name string) Span {
+	if t := TraceFrom(ctx); t != nil {
+		return t.StartSpan(name)
+	}
+	return Span{}
+}
+
+// TraceEntry is one finished slow request, as retained by the ring.
+type TraceEntry struct {
+	ID       string
+	Method   string
+	Path     string
+	Status   int
+	Start    time.Time
+	Duration time.Duration
+	Spans    []SpanRec
+}
+
+// TraceRing retains the most recent slow traces in a fixed ring.
+// Add is mutex-guarded but runs only for requests past the slow
+// threshold, so it never touches the fast path.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []TraceEntry
+	next  int
+	total uint64
+}
+
+// DefaultRing is the process-wide slow-trace ring the serving
+// middleware records into and /debug/obs serves from.
+var DefaultRing = NewTraceRing(64)
+
+// NewTraceRing returns a ring retaining the last n traces.
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]TraceEntry, 0, n)}
+}
+
+// Add records one slow trace, evicting the oldest when full.
+func (r *TraceRing) Add(e TraceEntry) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Total returns how many slow traces have ever been recorded.
+func (r *TraceRing) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained traces, newest first.
+func (r *TraceRing) Snapshot() []TraceEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]TraceEntry, 0, len(r.buf))
+	for i := 0; i < len(r.buf); i++ {
+		idx := (r.next - 1 - i + len(r.buf)) % len(r.buf)
+		out = append(out, r.buf[idx])
+	}
+	return out
+}

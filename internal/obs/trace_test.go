@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTraceIDString(t *testing.T) {
+	if got := TraceIDString(0); got != "0000000000000000" {
+		t.Fatalf("TraceIDString(0) = %q", got)
+	}
+	if got := TraceIDString(0xdeadbeefcafe0123); got != "deadbeefcafe0123" {
+		t.Fatalf("TraceIDString = %q", got)
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewTraceID()
+		if seen[id] {
+			t.Fatalf("duplicate trace ID after %d mints", i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceSpans(t *testing.T) {
+	start := time.Now()
+	tr := NewTrace(42, start)
+	sp := tr.StartSpan("decode")
+	sp.End()
+	tr.StartSpan("apply").End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "decode" || spans[1].Name != "apply" {
+		t.Fatalf("span names %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Offset < 0 || spans[0].Dur < 0 {
+		t.Fatalf("negative offset/duration: %+v", spans[0])
+	}
+
+	// Capacity cap: excess spans drop silently, no growth.
+	tr.Reset(43, time.Now())
+	for i := 0; i < traceSpanCap+10; i++ {
+		tr.StartSpan("s").End()
+	}
+	if got := len(tr.Spans()); got != traceSpanCap {
+		t.Fatalf("got %d spans, want cap %d", got, traceSpanCap)
+	}
+}
+
+func TestSpanFromContext(t *testing.T) {
+	// No trace attached: zero span, End is a no-op.
+	SpanFrom(context.Background(), "orphan").End()
+
+	tr := NewTrace(7, time.Now())
+	ctx := WithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatal("TraceFrom did not return the attached trace")
+	}
+	SpanFrom(ctx, "stage").End()
+	if spans := tr.Spans(); len(spans) != 1 || spans[0].Name != "stage" {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	r := NewTraceRing(3)
+	for i := 0; i < 5; i++ {
+		r.Add(TraceEntry{ID: fmt.Sprintf("t%d", i)})
+	}
+	if got := r.Total(); got != 5 {
+		t.Fatalf("total %d, want 5", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("retained %d, want 3", len(snap))
+	}
+	for i, want := range []string{"t4", "t3", "t2"} {
+		if snap[i].ID != want {
+			t.Fatalf("snapshot[%d] = %q, want %q (newest first)", i, snap[i].ID, want)
+		}
+	}
+
+	// Partially filled ring still reports newest first.
+	r2 := NewTraceRing(8)
+	r2.Add(TraceEntry{ID: "a"})
+	r2.Add(TraceEntry{ID: "b"})
+	snap2 := r2.Snapshot()
+	if len(snap2) != 2 || snap2[0].ID != "b" || snap2[1].ID != "a" {
+		t.Fatalf("snapshot = %+v", snap2)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"diggsim/internal/digg"
 	"diggsim/internal/durable"
@@ -79,6 +80,7 @@ func (s *Store) DiggMany(ops []digg.DiggOp, out []digg.DiggOutcome) error {
 		wg.Add(1)
 		go func(sh int, idxs []int) {
 			defer wg.Done()
+			applyStart := time.Now()
 			shard := s.shards[sh]
 			if ds := s.stores[sh]; ds != nil {
 				ds.BeginBatch()
@@ -100,10 +102,13 @@ func (s *Store) DiggMany(ops []digg.DiggOp, out []digg.DiggOutcome) error {
 			if ds := s.stores[sh]; ds != nil {
 				errs[sh] = ds.EndBatch()
 			}
+			s.applyHist[sh].Observe(time.Since(applyStart))
 		}(sh, idxs)
 	}
 	wg.Wait()
+	mergeStart := time.Now()
 	s.mergePromotions(promos)
+	histMerge.Observe(time.Since(mergeStart))
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -192,6 +197,7 @@ func (s *Store) SubmitMany(ops []digg.SubmitOp, out []digg.SubmitOutcome) error 
 		wg.Add(1)
 		go func(sh int, idxs []int) {
 			defer wg.Done()
+			applyStart := time.Now()
 			shard := s.shards[sh]
 			if ds := s.stores[sh]; ds != nil {
 				ds.BeginBatch()
@@ -205,11 +211,13 @@ func (s *Store) SubmitMany(ops []digg.SubmitOp, out []digg.SubmitOutcome) error 
 			if ds := s.stores[sh]; ds != nil {
 				errs[sh] = ds.EndBatch()
 			}
+			s.applyHist[sh].Observe(time.Since(applyStart))
 		}(sh, idxs)
 	}
 	wg.Wait()
 	// Extend the merged sequence with the minted stories at their
 	// assigned IDs.
+	mergeStart := time.Now()
 	s.stories = append(s.stories, make([]*digg.Story, assigned)...)
 	for i, id := range ids {
 		if id < 0 {
@@ -224,6 +232,7 @@ func (s *Store) SubmitMany(ops []digg.SubmitOp, out []digg.SubmitOutcome) error 
 		}
 		s.stories[id] = o.Story
 	}
+	histMerge.Observe(time.Since(mergeStart))
 	for _, err := range errs {
 		if err != nil {
 			return err

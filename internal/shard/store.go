@@ -42,7 +42,14 @@ import (
 	"diggsim/internal/digg"
 	"diggsim/internal/durable"
 	"diggsim/internal/graph"
+	"diggsim/internal/obs"
 )
+
+// histMerge times the serial tail of a bulk apply — promotion merging
+// and story-sequence extension — the part that cannot overlap across
+// shards.
+var histMerge = obs.Default.Histogram("diggsim_shard_merge_seconds", "",
+	"Scatter-gather merge latency after a bulk apply (promotion merge, story-sequence extension).")
 
 // Store is an N-way sharded digg.Store.
 type Store struct {
@@ -72,6 +79,9 @@ type Store struct {
 	// write counters are atomics because DiggMany/SubmitMany increment
 	// them from per-shard goroutines.
 	stats []shardCounters
+	// applyHist times each shard's bulk sub-batch apply (commands plus
+	// the shard's WAL group commit), labeled shard="i".
+	applyHist []*obs.Histogram
 
 	rec RecoveryInfo
 	dir string
@@ -117,6 +127,12 @@ func New(g *graph.Graph, policy digg.PromotionPolicy, n int) *Store {
 		stores:              make([]*durable.Store, n),
 		promotedBySubmitter: make(map[digg.UserID]int),
 		stats:               make([]shardCounters, n),
+		applyHist:           make([]*obs.Histogram, n),
+	}
+	for i := 0; i < n; i++ {
+		s.applyHist[i] = obs.Default.Histogram("diggsim_shard_apply_seconds",
+			`shard="`+fmt.Sprint(i)+`"`,
+			"Per-shard bulk sub-batch apply latency, including the shard's WAL group commit.")
 	}
 	for i := 0; i < n; i++ {
 		p := digg.NewShardPlatform(g, policy, digg.StoryID(i), digg.StoryID(n))

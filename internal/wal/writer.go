@@ -9,6 +9,18 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"diggsim/internal/obs"
+)
+
+// Append latency (the buffered group write) and fsync latency are
+// tracked separately: the write is where group-commit batching shows
+// up, the fsync is where the disk does.
+var (
+	histAppend = obs.Default.Histogram("diggsim_wal_append_seconds", "",
+		"WAL group append latency: one buffered write of the encoded record group, excluding fsync.")
+	histFsync = obs.Default.Histogram("diggsim_wal_fsync_seconds", "",
+		"WAL fsync latency (per group under SyncAlways; per flush otherwise).")
 )
 
 // Writer appends records to a segmented log. All methods are safe for
@@ -234,7 +246,10 @@ func (w *Writer) commitLocked(n uint64) (uint64, error) {
 		}
 	}
 	first := w.next
-	if _, err := w.f.Write(w.buf); err != nil {
+	writeStart := time.Now()
+	_, err := w.f.Write(w.buf)
+	histAppend.Observe(time.Since(writeStart))
+	if err != nil {
 		w.err = err
 		return 0, err
 	}
@@ -242,7 +257,10 @@ func (w *Writer) commitLocked(n uint64) (uint64, error) {
 	w.next += n
 	w.dirty = true
 	if w.opts.Sync == SyncAlways {
-		if err := w.f.Sync(); err != nil {
+		syncStart := time.Now()
+		err := w.f.Sync()
+		histFsync.Observe(time.Since(syncStart))
+		if err != nil {
 			w.err = err
 			return 0, err
 		}
@@ -267,7 +285,10 @@ func (w *Writer) syncLocked() error {
 	if !w.dirty {
 		return nil
 	}
-	if err := w.f.Sync(); err != nil {
+	syncStart := time.Now()
+	err := w.f.Sync()
+	histFsync.Observe(time.Since(syncStart))
+	if err != nil {
 		w.err = err
 		return err
 	}
