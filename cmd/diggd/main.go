@@ -8,6 +8,8 @@
 //	      [-submissions-per-hour 60] [-export DIR] [-pprof ADDR]
 //	      [-data-dir DIR] [-fsync interval] [-checkpoint-interval 1m]
 //	      [-shards N] [-slow-threshold 250ms] [-profile-dir DIR]
+//	      [-replica-of URL] [-ready-max-lag 5s]
+//	diggd -promote -peers URL1,URL2,...
 //
 // The server generates a corpus at startup. In the default static mode
 // it then serves the corpus read-mostly (live submissions and votes are
@@ -42,6 +44,17 @@
 // overlapped fsync per shard instead of a serial one. Recovery opens
 // every shard WAL and reconciles them; see docs/sharding.md.
 //
+// With -replica-of URL the node boots as a read-only follower
+// (internal/repl, docs/replication.md): it bootstraps -data-dir from
+// the primary's newest checkpoint, tails the primary's WAL streams,
+// and serves the full read surface from its own store. Writes answer
+// 503 read_only_replica; every response carries X-Replica-Lag; and
+// GET /readyz gates on staleness staying under -ready-max-lag. Every
+// durable node (primary or follower) serves the replication surface
+// under /repl/v1/. `diggd -promote -peers ...` runs the failover
+// election: it promotes the reachable follower with the highest
+// applied LSN and prints the winner's URL.
+//
 // Observability (docs/observability.md): every request carries an
 // X-Trace-Id; requests at or above -slow-threshold are retained with
 // their spans in the slow-trace ring (GET /debug/obs) and logged.
@@ -63,6 +76,7 @@ import (
 	_ "net/http/pprof" // registered on DefaultServeMux, served by -pprof
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -72,6 +86,7 @@ import (
 	"diggsim/internal/httpapi"
 	"diggsim/internal/live"
 	"diggsim/internal/obs"
+	"diggsim/internal/repl"
 	"diggsim/internal/shard"
 	"diggsim/internal/wal"
 )
@@ -110,9 +125,35 @@ func main() {
 	slowThreshold := flag.Duration("slow-threshold", 250*time.Millisecond, "retain and log traces of requests at least this slow (0 disables slow-trace capture)")
 	profileDir := flag.String("profile-dir", "", "continuously rotate CPU and heap profiles into this directory (see docs/observability.md)")
 	profilePeriod := flag.Duration("profile-period", 30*time.Second, "length of each continuous-profiling capture window")
+	replicaOf := flag.String("replica-of", "", "boot as a read-only follower of this primary base URL (requires -data-dir; see docs/replication.md)")
+	peers := flag.String("peers", "", "comma-separated peer base URLs for -promote's failover election")
+	promote := flag.Bool("promote", false, "failover: promote the reachable peer with the highest applied LSN among -peers, print the winner, and exit")
+	readyMaxLag := flag.Duration("ready-max-lag", httpapi.DefaultReadyMaxLag, "follower readiness: /readyz fails while replication staleness exceeds this bound")
 	flag.Parse()
 	if *shards < 1 {
 		fatal(fmt.Errorf("-shards must be >= 1, got %d", *shards))
+	}
+
+	if *promote {
+		if *peers == "" {
+			fatal(errors.New("-promote needs -peers URL1,URL2,..."))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		winner, err := repl.ElectAndPromote(ctx, strings.Split(*peers, ","))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(winner)
+		return
+	}
+	if *replicaOf != "" {
+		if *dataDir == "" {
+			fatal(errors.New("-replica-of needs -data-dir for the follower's own log"))
+		}
+		if *liveMode {
+			fatal(errors.New("-replica-of and -live are mutually exclusive: a follower replays the primary's writes"))
+		}
 	}
 
 	if *pprofAddr != "" {
@@ -143,6 +184,7 @@ func main() {
 	var (
 		store   digg.Store
 		dstore  *durable.Store
+		sdstore *shard.Store // sharded store with its own WALs (durable only)
 		rankOf  func(digg.UserID) int
 		startAt digg.Minutes
 		stories int
@@ -153,6 +195,9 @@ func main() {
 			Close() error
 			Generation() uint64
 		}
+		// follower/replNode are set when booting with -replica-of.
+		follower *repl.Follower
+		replNode *repl.Node
 	)
 	// A data directory is either unsharded (WAL at its root) or sharded
 	// (shard-0000/ ... subdirectories); the layout on disk wins over
@@ -164,11 +209,43 @@ func main() {
 	if *dataDir != "" && *shards == 1 && shard.Exists(*dataDir) {
 		fatal(fmt.Errorf("%s holds a sharded store; recover it with -shards (any value >= 2) or start a fresh directory", *dataDir))
 	}
-	if *dataDir != "" && *shards > 1 && shard.Exists(*dataDir) {
+	if *replicaOf != "" {
+		// Follower boot: seed (or resume) the local directory from the
+		// primary's checkpoint, open it exactly as a restarting primary
+		// would, and tail the primary's WAL streams. A diverged directory
+		// (a demoted primary with unreplicated records) is wiped and
+		// re-seeded; see docs/replication.md.
+		tr := &repl.HTTPTransport{Base: strings.TrimRight(*replicaOf, "/")}
+		node, err := repl.Bootstrap(context.Background(), tr, *dataDir, dopts)
+		if err != nil {
+			fatal(err)
+		}
+		replNode = node
+		follower = repl.NewFollower(node.Target, tr, repl.Options{
+			StateDir: *dataDir,
+			Primary:  *replicaOf,
+		})
+		store = node.Store()
+		var genesis []byte
+		if node.Sharded != nil {
+			genesis, persist = node.Sharded.Genesis(), node.Sharded
+		} else {
+			genesis, persist = node.Durable.Genesis(), node.Durable
+		}
+		var gi genesisInfo
+		if err := json.Unmarshal(genesis, &gi); err == nil && gi.Config.Users > 0 {
+			cfg = gi.Config
+		}
+		startAt = latestActivity(store, cfg.SnapshotAt)
+		stories = store.NumStories()
+		logger.Info("bootstrapped follower",
+			"primary", *replicaOf, "dir", *dataDir, "shards", node.Shards, "stories", stories)
+	} else if *dataDir != "" && *shards > 1 && shard.Exists(*dataDir) {
 		sstore, err := shard.Open(*dataDir, dopts)
 		if err != nil {
 			fatal(err)
 		}
+		sdstore = sstore
 		rec := sstore.Recovery()
 		var replayed, rejected uint64
 		torn := 0
@@ -238,6 +315,7 @@ func main() {
 				if err != nil {
 					fatal(err)
 				}
+				sdstore = sstore
 				store, persist = sstore, sstore
 				logger.Info("created sharded durable store",
 					"dir", *dataDir, "shards", *shards, "fsync", syncPolicy.String(), "checkpoint_every", *ckptEvery)
@@ -312,6 +390,40 @@ func main() {
 		srv.SetNowFunc(func() digg.Minutes { return clock.Now(time.Now()) })
 	}
 
+	if follower != nil {
+		srv.AttachRepl(follower, *readyMaxLag)
+	}
+	// Any node with its own write-ahead log serves the replication
+	// surface under /repl/v1/: a primary streams to followers, a
+	// follower answers the status/promote calls elections make.
+	var replSrc *repl.Source
+	var srcShards []repl.SourceShard
+	switch {
+	case replNode != nil:
+		srcShards = replNode.SourceShards()
+	case dstore != nil:
+		srcShards = []repl.SourceShard{{Dir: dstore.Dir(), Head: dstore.AppliedLSN}}
+	case sdstore != nil:
+		for i := 0; i < sdstore.ShardCount(); i++ {
+			ds := sdstore.DurableShard(i)
+			srcShards = append(srcShards, repl.SourceShard{Dir: ds.Dir(), Head: ds.AppliedLSN})
+		}
+	}
+	if len(srcShards) > 0 {
+		replSrc = &repl.Source{Shards: srcShards}
+		if follower != nil {
+			replSrc.Role = func() string {
+				if follower.ReadOnly() {
+					return "follower"
+				}
+				return "primary"
+			}
+			replSrc.Promote = follower.Promote
+		}
+		srv.MountRepl(replSrc)
+		logger.Info("replication surface mounted", "shards", len(srcShards), "path", "/repl/v1/")
+	}
+
 	metrics := httpapi.NewMetrics()
 	srv.AttachMetrics(metrics)
 	handler := http.Handler(srv.Handler())
@@ -332,6 +444,11 @@ func main() {
 		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	if follower != nil {
+		follower.Start()
+		logger.Info("tailing primary", "primary", *replicaOf, "ready_max_lag", *readyMaxLag)
 	}
 
 	errCh := make(chan error, 1)
@@ -355,6 +472,15 @@ func main() {
 			fatal(err)
 		}
 		return
+	}
+	// Stop replication before draining HTTP: the tailers' applies stop,
+	// and closing the source ends the otherwise-unbounded WAL streams so
+	// followers reconnect elsewhere instead of riding the drain deadline.
+	if follower != nil {
+		follower.Stop()
+	}
+	if replSrc != nil {
+		replSrc.Close()
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()

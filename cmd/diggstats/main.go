@@ -9,7 +9,12 @@
 // process, and the genesis provenance — the operator's view of what a
 // restart will do, without touching the directory. A sharded directory
 // (diggd -shards N: shard-0000/ ... subdirectories) gets one report
-// per shard; the exit status is 1 if any shard is corrupt.
+// per shard; the exit status is 1 if any shard is corrupt. When the
+// directory belongs to a replication follower (diggd -replica-of; see
+// docs/replication.md), the report adds the recorded position per
+// shard — applied vs shipped LSN and last-contact age — and -max-lag
+// makes the exit status non-zero when the follower has not heard from
+// its primary within that bound.
 //
 // With -obs it queries a running diggd's observability dump
 // (GET /debug/obs) and pretty-prints every latency instrument's
@@ -20,7 +25,7 @@
 // Usage:
 //
 //	diggstats -data DIR [-tree] [-cv]
-//	diggstats -wal DIR
+//	diggstats -wal DIR [-max-lag 30s]
 //	diggstats -obs http://localhost:8080
 package main
 
@@ -41,6 +46,7 @@ import (
 	"diggsim/internal/dataset"
 	"diggsim/internal/durable"
 	"diggsim/internal/mltree"
+	"diggsim/internal/repl"
 	"diggsim/internal/rng"
 	"diggsim/internal/shard"
 	"diggsim/internal/stats"
@@ -54,9 +60,10 @@ func main() {
 	showTree := flag.Bool("tree", true, "print the learned decision tree")
 	runCV := flag.Bool("cv", true, "run 10-fold cross-validation")
 	seed := flag.Uint64("seed", 99, "cross-validation shuffle seed")
+	maxLag := flag.Duration("max-lag", 0, "with -wal: exit non-zero when a follower's last primary contact is older than this (0 disables)")
 	flag.Parse()
 	if *walDir != "" {
-		inspectWAL(*walDir)
+		inspectWAL(*walDir, *maxLag)
 		return
 	}
 	if *obsURL != "" {
@@ -136,8 +143,11 @@ func main() {
 
 // inspectWAL reports on a diggd data directory — unsharded (WAL at
 // the root) or sharded (shard-NNNN/ subdirectories, each inspected in
-// turn). Exits 1 if any shard is corrupt or missing its checkpoint.
-func inspectWAL(dir string) {
+// turn), plus any recorded replication position. Exits 1 if any shard
+// is corrupt, missing its checkpoint, or (with -max-lag) the follower
+// is beyond the lag bound.
+func inspectWAL(dir string, maxLag time.Duration) {
+	bad := false
 	if shard.Exists(dir) {
 		dirs, err := shard.ShardDirs(dir)
 		if err != nil {
@@ -160,17 +170,91 @@ func inspectWAL(dir string) {
 		}
 		if unhealthy > 0 {
 			fmt.Printf("\n%d of %d shards unhealthy\n", unhealthy, len(dirs))
-			os.Exit(1)
+			bad = true
 		}
-		return
+	} else {
+		info, err := durable.Inspect(dir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(info.String())
+		if info.Corrupt != nil || info.Checkpoint == nil {
+			bad = true
+		}
 	}
-	info, err := durable.Inspect(dir)
-	if err != nil {
-		fatal(err)
+	if reportRepl(dir, maxLag) {
+		bad = true
 	}
-	fmt.Print(info.String())
-	if info.Corrupt != nil || info.Checkpoint == nil {
+	if bad {
 		os.Exit(1)
+	}
+}
+
+// reportRepl prints the replication position recorded in the data
+// directory's repl-state.json, when present, and reports whether the
+// node is beyond maxLag. The file is written by a running follower
+// about once a second, so for a live node "last contact" is accurate
+// to roughly that; for a dead node it dates the moment replication
+// stopped. The lag bound only applies while the node is still
+// read-only — a promoted follower is a primary and has no lag.
+func reportRepl(dir string, maxLag time.Duration) bool {
+	st, err := repl.ReadState(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false // never ran as a follower
+		}
+		fmt.Println("\nreplication state unreadable:", err)
+		return true
+	}
+	now := time.Now()
+	role := "promoted primary (writable)"
+	if st.ReadOnly {
+		role = "read-only follower"
+	}
+	fmt.Printf("\nreplication: %s of %s, position recorded %s ago\n",
+		role, st.Primary, fmtAge(now.Sub(time.Unix(0, st.UpdatedUnixNano))))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SHARD\tAPPLIED\tSHIPPED\tBEHIND\tLAST CONTACT")
+	beyond := false
+	for _, sh := range st.Shards {
+		behind := uint64(0)
+		if sh.ShippedLSN > sh.AppliedLSN {
+			behind = sh.ShippedLSN - sh.AppliedLSN
+		}
+		contact := "never"
+		if sh.LastContact > 0 {
+			age := now.Sub(time.Unix(0, sh.LastContact))
+			contact = fmtAge(age) + " ago"
+			if maxLag > 0 && st.ReadOnly && age > maxLag {
+				beyond = true
+			}
+		} else if maxLag > 0 && st.ReadOnly {
+			beyond = true
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%s\n",
+			sh.Shard, sh.AppliedLSN, sh.ShippedLSN, behind, contact)
+	}
+	tw.Flush()
+	if beyond {
+		fmt.Printf("follower is beyond the -max-lag bound (%s)\n", maxLag)
+	}
+	return beyond
+}
+
+// fmtAge renders a duration at operator precision: milliseconds under
+// a second, tenths of a second under a minute, whole seconds beyond.
+func fmtAge(d time.Duration) string {
+	if d < 0 {
+		d = 0
+	}
+	switch {
+	case d < time.Second:
+		return d.Round(time.Millisecond).String()
+	case d < time.Minute:
+		return d.Round(100 * time.Millisecond).String()
+	default:
+		return d.Round(time.Second).String()
 	}
 }
 

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"diggsim/internal/repl"
+)
+
+func writeState(t *testing.T, dir string, st repl.State) {
+	t.Helper()
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, repl.StateFileName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportReplNoStateFile(t *testing.T) {
+	if reportRepl(t.TempDir(), time.Second) {
+		t.Error("directory without repl-state.json flagged as beyond bound")
+	}
+}
+
+func TestReportReplLagBound(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Now()
+	writeState(t, dir, repl.State{
+		Primary:         "http://primary:8080",
+		UpdatedUnixNano: now.UnixNano(),
+		ReadOnly:        true,
+		Shards: []repl.StateShard{
+			{Shard: 0, AppliedLSN: 90, ShippedLSN: 100,
+				LastContact: now.Add(-10 * time.Second).UnixNano()},
+		},
+	})
+	if reportRepl(dir, 0) {
+		t.Error("max-lag 0 must disable the bound")
+	}
+	if reportRepl(dir, time.Minute) {
+		t.Error("10s-old contact flagged against a 1m bound")
+	}
+	if !reportRepl(dir, time.Second) {
+		t.Error("10s-old contact not flagged against a 1s bound")
+	}
+}
+
+func TestReportReplPromotedIgnoresBound(t *testing.T) {
+	dir := t.TempDir()
+	writeState(t, dir, repl.State{
+		Primary:         "http://old-primary:8080",
+		UpdatedUnixNano: time.Now().UnixNano(),
+		ReadOnly:        false, // promoted: no longer lagging anyone
+		Shards: []repl.StateShard{
+			{Shard: 0, AppliedLSN: 100, ShippedLSN: 100, LastContact: 0},
+		},
+	})
+	if reportRepl(dir, time.Second) {
+		t.Error("promoted node flagged by the follower lag bound")
+	}
+}
+
+func TestReportReplNeverContacted(t *testing.T) {
+	dir := t.TempDir()
+	writeState(t, dir, repl.State{
+		Primary:         "http://primary:8080",
+		UpdatedUnixNano: time.Now().UnixNano(),
+		ReadOnly:        true,
+		Shards:          []repl.StateShard{{Shard: 0, LastContact: 0}},
+	})
+	if !reportRepl(dir, time.Second) {
+		t.Error("never-contacted follower not flagged against the bound")
+	}
+}

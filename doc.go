@@ -131,6 +131,25 @@
 // quantiles under a mixed workload via the histogram-aware
 // cmd/benchjson. See docs/observability.md.
 //
+// Durability makes one node survive a restart; replication
+// (internal/repl) makes the service survive the node. A primary diggd
+// streams its WAL — the same CRC-framed records the durability layer
+// fsyncs — over HTTP chunked responses under /repl/v1/, resumable
+// from any retained LSN. A follower (diggd -replica-of URL)
+// bootstraps from the primary's newest checkpoint, replays and tails
+// the log into its own durable store, and serves the entire read
+// surface through the same lock-free snapshot path at primary speed
+// (BenchmarkServedReadsFollower; BENCH_repl.json), while writes
+// answer 503 read_only_replica and every response carries
+// X-Replica-Lag. GET /readyz gates rotation on replication health,
+// /metrics grows per-shard applied/shipped LSN gauges and a lag
+// histogram, diggstats -wal reports a follower's recorded position
+// (with a -max-lag bound for monitoring), and diggd -promote runs a
+// highest-LSN election to fail over. A chaos harness (fault-injecting
+// transport: drops, partitions, kill/restart, failover-and-rejoin)
+// pins convergence to byte-identical stores under the race detector.
+// See docs/replication.md.
+//
 // See README.md for the package map, DESIGN.md for the system inventory
 // and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
 // results. The benchmarks in bench_test.go regenerate one experiment

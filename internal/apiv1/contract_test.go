@@ -78,6 +78,17 @@ func contractCases() map[string]any {
 		"error_invalid_argument": ErrorEnvelope{Error: &Error{
 			Code: CodeInvalidArgument, Message: "limit must be a non-negative integer",
 		}},
+		"error_read_only_replica": ErrorEnvelope{Error: &Error{
+			Code: CodeReadOnlyReplica, Message: "this node is a read-only follower; write to the primary",
+		}},
+		"repl_stats": ReplStats{
+			Role: "follower", Primary: "http://primary:8080",
+			StalenessSeconds: 0.254,
+			Shards: []ReplShardStats{
+				{Shard: 0, AppliedLSN: 48122, ShippedLSN: 48123, LagSeconds: 0.254, LastContactAgeSeconds: 0.004},
+				{Shard: 1, AppliedLSN: 47990, ShippedLSN: 47990, LagSeconds: 0.121, LastContactAgeSeconds: 0.004},
+			},
+		},
 		"obs_dump": ObsDump{
 			Instruments: []ObsInstrument{
 				{

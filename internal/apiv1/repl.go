@@ -1,0 +1,41 @@
+package apiv1
+
+// repl.go is the replication block of the v1 contract (v1.3): the
+// error code a fenced follower rejects writes with, and the stats
+// shapes describing a node's replication position.
+
+// CodeReadOnlyReplica: the write reached a follower. Followers serve
+// the full read surface but fence every write with 503 + this code;
+// clients should retry against the primary (or after a failover
+// promotes this node).
+const CodeReadOnlyReplica = "read_only_replica"
+
+// ReplStats is the replication section of the /v1/stats envelope,
+// present when the serving node participates in replication.
+type ReplStats struct {
+	// Role is "primary" or "follower".
+	Role string `json:"role"`
+	// Primary is the upstream base URL a follower tails (empty on a
+	// primary).
+	Primary string `json:"primary,omitempty"`
+	// StalenessSeconds is the age of the oldest shard's last heartbeat —
+	// an upper bound on how far behind the primary reads may be. It is
+	// -1 until the first heartbeat arrives, and omitted on a primary.
+	StalenessSeconds float64 `json:"staleness_seconds,omitempty"`
+	// Shards is each WAL stream's position.
+	Shards []ReplShardStats `json:"shards,omitempty"`
+}
+
+// ReplShardStats is one shard's replication position.
+type ReplShardStats struct {
+	Shard int `json:"shard"`
+	// AppliedLSN is this node's log position.
+	AppliedLSN uint64 `json:"applied_lsn"`
+	// ShippedLSN is the primary's head per its last heartbeat.
+	ShippedLSN uint64 `json:"shipped_lsn"`
+	// LagSeconds is the age of the last heartbeat (-1 before the first).
+	LagSeconds float64 `json:"lag_seconds"`
+	// LastContactAgeSeconds is how long ago any frame arrived on this
+	// shard's stream (-1 before the first).
+	LastContactAgeSeconds float64 `json:"last_contact_age_seconds"`
+}

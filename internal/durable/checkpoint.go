@@ -161,11 +161,18 @@ func writeFileAtomic(dir, path string, data []byte) error {
 
 // readCheckpoint loads and validates one checkpoint file.
 func readCheckpoint(path string) (checkpoint, error) {
-	var ck checkpoint
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return ck, err
+		return checkpoint{}, err
 	}
+	return decodeCheckpoint(data, path)
+}
+
+// decodeCheckpoint validates and decodes a checkpoint blob; path names
+// the source in errors. The replication bootstrap decodes blobs it
+// received over the wire through the same function.
+func decodeCheckpoint(data []byte, path string) (checkpoint, error) {
+	var ck checkpoint
 	if len(data) < len(ckptMagic)+16+8+4 || string(data[:len(ckptMagic)]) != ckptMagic {
 		return ck, fmt.Errorf("durable: %s: not a checkpoint file", path)
 	}

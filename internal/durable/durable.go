@@ -289,6 +289,18 @@ func Open(dir string, opts Options) (*Store, error) {
 	_, _, rec.TailTruncated = r.Torn()
 	walEnd := r.End()
 	r.Close()
+	if walEnd == 0 {
+		segs, serr := wal.ListSegments(dir)
+		if serr != nil {
+			return nil, serr
+		}
+		if len(segs) == 0 {
+			// A seeded replica directory (SeedReplica): a checkpoint with
+			// no log yet. The writer's first segment starts at the
+			// checkpoint LSN, which is exactly where replay "ended".
+			walEnd = ck.LSN
+		}
+	}
 	w, err := wal.OpenWriter(dir, ck.LSN, opts.walOptions())
 	if err != nil {
 		return nil, err
@@ -550,6 +562,12 @@ func (s *Store) Checkpoint() error {
 		return werr
 	}
 	if err := pruneCheckpoints(s.dir, lsn); err != nil {
+		s.err = err
+		return err
+	}
+	// Seal the active segment so every record below the checkpoint is
+	// actually prunable; the retained log then starts at lsn.
+	if err := s.w.Rotate(); err != nil {
 		s.err = err
 		return err
 	}

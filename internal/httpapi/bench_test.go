@@ -1,6 +1,7 @@
 package httpapi
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -13,6 +14,8 @@ import (
 	"diggsim/internal/durable"
 	"diggsim/internal/graph"
 	"diggsim/internal/live"
+	"diggsim/internal/obs"
+	"diggsim/internal/repl"
 	"diggsim/internal/rng"
 	"diggsim/internal/wal"
 )
@@ -104,6 +107,69 @@ func BenchmarkServedReads(b *testing.B) {
 	p := benchPlatform(b)
 	srv := NewServer(p, 400, nil)
 	benchServe(b, srv.Handler(), readMix)
+}
+
+// BenchmarkServedReadsFollower measures the same read mix served off
+// a replication follower with a live tail attached: the snapshot read
+// path plus the replica-lag middleware. The acceptance bar is within
+// 10% of BenchmarkServedReads — follower reads must cost what primary
+// reads cost.
+func BenchmarkServedReadsFollower(b *testing.B) {
+	p := benchPlatform(b)
+	primary, err := durable.Create(b.TempDir(), p, []byte(`{"bench":"repl"}`), durable.Options{
+		Policy:          &digg.ClassicPromotion{VoteThreshold: 10, Window: digg.Day},
+		Sync:            wal.SyncOS,
+		CheckpointEvery: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer primary.Close()
+
+	src := &repl.Source{
+		Shards:    []repl.SourceShard{{Dir: primary.Dir(), Head: primary.AppliedLSN}},
+		Heartbeat: 10 * time.Millisecond, // dense lag observations for the quantile report
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/repl/v1/", http.StripPrefix("/repl/v1", src.Handler()))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	defer src.Close()
+
+	fdir := b.TempDir()
+	tr := &repl.HTTPTransport{Base: ts.URL}
+	node, err := repl.Bootstrap(context.Background(), tr, fdir, durable.Options{
+		Policy: &digg.ClassicPromotion{VoteThreshold: 10, Window: digg.Day},
+		Sync:   wal.SyncOS,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer node.Close()
+	f := repl.NewFollower(node.Target, tr, repl.Options{StateDir: fdir, Primary: ts.URL})
+	f.Start()
+	defer f.Stop()
+	deadline := time.Now().Add(20 * time.Second)
+	for node.Target.AppliedLSN(0) < primary.AppliedLSN() {
+		if time.Now().After(deadline) {
+			b.Fatalf("follower never caught up (err: %v)", f.Err())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	srv := NewServer(node.Store(), 400, nil)
+	srv.AttachRepl(f, 0)
+	benchServe(b, srv.Handler(), readMix)
+	b.StopTimer()
+
+	// Replication lag quantiles observed at each heartbeat during the
+	// run; cmd/benchjson lifts the -ns metrics into quantiles_ns.
+	lag := obs.Default.Histogram("diggsim_repl_lag_seconds", `shard="0"`,
+		"Replication lag observed at each heartbeat.").Snapshot()
+	if lag.Count() > 0 {
+		b.ReportMetric(lag.Quantile(0.50), "lag-p50-ns")
+		b.ReportMetric(lag.Quantile(0.99), "lag-p99-ns")
+	}
 }
 
 // BenchmarkServedReadsWhileLive measures the same read mix while the

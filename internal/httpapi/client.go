@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"math/rand/v2"
 	"net/http"
 	"strconv"
 	"strings"
@@ -36,12 +37,20 @@ type Client struct {
 	HTTPClient *http.Client
 	// MaxRetries bounds retry attempts per request (default 3).
 	MaxRetries int
-	// Backoff is the initial retry delay, doubled per attempt
-	// (default 100ms).
+	// Backoff is the initial retry delay, doubled per attempt with
+	// full jitter (default 100ms).
 	Backoff time.Duration
+	// MaxBackoff caps the exponential delay between attempts
+	// (default 2s).
+	MaxBackoff time.Duration
 	// MaxRetryAfter caps how long the client will honor a server's
 	// Retry-After before giving that attempt up (default 10s).
 	MaxRetryAfter time.Duration
+	// DisableTransientRetry turns off retrying idempotent GETs on
+	// connection errors and 5xx responses. Rate-limit retries (429
+	// with Retry-After) still happen: the server rejected the request
+	// before doing any work, so repeating it is always safe.
+	DisableTransientRetry bool
 
 	// etags caches (path -> ETag, body) for revalidatable GETs.
 	etagMu sync.Mutex
@@ -55,12 +64,49 @@ type etagEntry struct {
 
 // NewClient returns a client with production defaults.
 func NewClient(baseURL string) *Client {
-	return &Client{
-		BaseURL:    baseURL,
-		HTTPClient: &http.Client{Timeout: 10 * time.Second},
-		MaxRetries: 3,
-		Backoff:    100 * time.Millisecond,
+	return NewClientWith(baseURL, ClientOptions{})
+}
+
+// ClientOptions tunes NewClientWith. Zero values take the production
+// defaults, so callers set only what they care about.
+type ClientOptions struct {
+	// HTTPClient overrides the default 10-second-timeout client.
+	HTTPClient *http.Client
+	// MaxRetries bounds retry attempts per request (default 3).
+	MaxRetries int
+	// Backoff is the initial retry delay (default 100ms).
+	Backoff time.Duration
+	// MaxBackoff caps the exponential delay (default 2s).
+	MaxBackoff time.Duration
+	// MaxRetryAfter caps honored Retry-After waits (default 10s).
+	MaxRetryAfter time.Duration
+	// DisableTransientRetry opts out of retrying idempotent GETs on
+	// connection errors and 5xx responses (429s are still retried).
+	DisableTransientRetry bool
+}
+
+// NewClientWith returns a client with the given options applied over
+// the production defaults.
+func NewClientWith(baseURL string, opts ClientOptions) *Client {
+	c := &Client{
+		BaseURL:               baseURL,
+		HTTPClient:            opts.HTTPClient,
+		MaxRetries:            opts.MaxRetries,
+		Backoff:               opts.Backoff,
+		MaxBackoff:            opts.MaxBackoff,
+		MaxRetryAfter:         opts.MaxRetryAfter,
+		DisableTransientRetry: opts.DisableTransientRetry,
 	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.Backoff == 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	return c
 }
 
 // APIError is re-exported in types.go as an alias of apiv1.Error; the
@@ -84,10 +130,17 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
+	maxBackoff := c.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
 	maxRetryAfter := c.MaxRetryAfter
 	if maxRetryAfter <= 0 {
 		maxRetryAfter = 10 * time.Second
 	}
+	// Only idempotent GETs are safe to repeat after a connection error
+	// or an ambiguous 5xx: a timed-out POST may already have applied.
+	retryTransient := method == http.MethodGet && !c.DisableTransientRetry
 	var bodyBytes []byte
 	if body != nil {
 		var err error
@@ -102,8 +155,12 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			if wait <= 0 {
-				wait = backoff
-				backoff *= 2
+				// Full jitter on the current step so a herd of
+				// clients recovering from one outage desynchronizes.
+				wait = backoff/2 + rand.N(backoff/2+1)
+				if backoff < maxBackoff {
+					backoff *= 2
+				}
 			}
 			select {
 			case <-ctx.Done():
@@ -131,8 +188,11 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		resp, err := httpClient.Do(req)
 		if err != nil {
+			if !retryTransient {
+				return fmt.Errorf("httpapi: %s %s: %w", method, path, err)
+			}
 			lastErr = err
-			continue // network error: retry
+			continue // network error on a GET: retry
 		}
 		err = c.decodeResponse(path, resp, cached, out)
 		if err == nil {
@@ -140,7 +200,8 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 		var apiErr *apiv1.Error
 		if asAPIError(err, &apiErr) &&
-			(apiErr.StatusCode >= 500 || apiErr.StatusCode == http.StatusTooManyRequests) {
+			(apiErr.StatusCode == http.StatusTooManyRequests ||
+				(apiErr.StatusCode >= 500 && retryTransient)) {
 			lastErr = err
 			// Honor the server's Retry-After (capped) over blind
 			// backoff: a GCRA 429 tells us exactly when the next

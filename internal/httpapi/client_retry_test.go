@@ -1,0 +1,133 @@
+package httpapi
+
+// client_retry_test.go exercises the transient-retry policy against
+// deliberately flaky servers: idempotent GETs ride out connection
+// drops and 5xx bursts, while non-idempotent POSTs fail fast (except
+// on 429, where the server rejected the request before doing work).
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyServer fails the first n requests by invoking fail, then
+// serves 200 "ok". It returns the server and the call counter.
+func flakyServer(t *testing.T, n int32, fail func(w http.ResponseWriter)) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			fail(w)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok"))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// dropConn severs the TCP connection mid-request so the client sees a
+// connection error rather than an HTTP status.
+func dropConn(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic("test server does not support hijacking")
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		panic(err)
+	}
+	conn.Close()
+}
+
+func TestClientGETRetriesConnectionError(t *testing.T) {
+	ts, calls := flakyServer(t, 2, dropConn)
+	c := NewClientWith(ts.URL, ClientOptions{Backoff: time.Millisecond})
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("GET did not recover from dropped connections: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("calls = %d want 3", got)
+	}
+}
+
+func TestClientPOSTDoesNotRetryConnectionError(t *testing.T) {
+	ts, calls := flakyServer(t, 1000, dropConn)
+	c := NewClientWith(ts.URL, ClientOptions{Backoff: time.Millisecond})
+	err := c.do(context.Background(), http.MethodPost, "/v1/stories", nil, nil)
+	if err == nil {
+		t.Fatal("dropped POST reported success")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("calls = %d want 1 (a timed-out POST may already have applied)", got)
+	}
+}
+
+func TestClientPOSTDoesNotRetry5xx(t *testing.T) {
+	ts, calls := flakyServer(t, 1000, func(w http.ResponseWriter) {
+		w.WriteHeader(http.StatusInternalServerError)
+	})
+	c := NewClientWith(ts.URL, ClientOptions{Backoff: time.Millisecond})
+	err := c.do(context.Background(), http.MethodPost, "/v1/stories", nil, nil)
+	if err == nil {
+		t.Fatal("500 POST reported success")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("calls = %d want 1 (5xx on a write is ambiguous)", got)
+	}
+}
+
+func TestClientPOSTStillRetries429(t *testing.T) {
+	ts, calls := flakyServer(t, 2, func(w http.ResponseWriter) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	})
+	c := NewClientWith(ts.URL, ClientOptions{Backoff: time.Millisecond})
+	if err := c.do(context.Background(), http.MethodPost, "/v1/stories", nil, nil); err != nil {
+		t.Fatalf("POST did not ride out 429s: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("calls = %d want 3", got)
+	}
+}
+
+func TestClientRetryOptOut(t *testing.T) {
+	ts, calls := flakyServer(t, 1000, func(w http.ResponseWriter) {
+		w.WriteHeader(http.StatusBadGateway)
+	})
+	c := NewClientWith(ts.URL, ClientOptions{
+		Backoff:               time.Millisecond,
+		DisableTransientRetry: true,
+	})
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("502 not surfaced with retries disabled")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("calls = %d want 1 (opt-out must not retry)", got)
+	}
+}
+
+func TestClientBackoffCapRespected(t *testing.T) {
+	// With Backoff=1ms and MaxBackoff=4ms, 5 retries cost at most
+	// ~1+2+4+4+4 ms plus jitter; an uncapped doubling would need
+	// 1+2+4+8+16. The timing bound is generous to stay unflaky.
+	ts, _ := flakyServer(t, 5, func(w http.ResponseWriter) {
+		w.WriteHeader(http.StatusBadGateway)
+	})
+	c := NewClientWith(ts.URL, ClientOptions{
+		MaxRetries: 5,
+		Backoff:    time.Millisecond,
+		MaxBackoff: 4 * time.Millisecond,
+	})
+	start := time.Now()
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("GET did not recover: %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("retries took %v; backoff cap not applied?", d)
+	}
+}

@@ -66,6 +66,20 @@ func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if s.repl != nil {
+		sts := s.repl.ShardStatuses()
+		fmt.Fprintf(&b, "# HELP diggsim_repl_applied_lsn This node's applied WAL position per shard.\n# TYPE diggsim_repl_applied_lsn gauge\n")
+		for _, st := range sts {
+			fmt.Fprintf(&b, "diggsim_repl_applied_lsn{shard=%s} %d\n", strconv.Quote(strconv.Itoa(st.Shard)), st.AppliedLSN)
+		}
+		fmt.Fprintf(&b, "# HELP diggsim_repl_shipped_lsn The primary's head per its last heartbeat, per shard.\n# TYPE diggsim_repl_shipped_lsn gauge\n")
+		for _, st := range sts {
+			fmt.Fprintf(&b, "diggsim_repl_shipped_lsn{shard=%s} %d\n", strconv.Quote(strconv.Itoa(st.Shard)), st.ShippedLSN)
+		}
+		// diggsim_repl_lag_seconds (per-shard histograms) and the
+		// reconnect/apply counters arrive via the obs registry below.
+	}
+
 	if s.live != nil {
 		ls := s.live.Stats()
 		promGauge(&b, "diggsim_live_sim_minutes", "Current simulation time in sim-minutes.", uint64(ls.SimNow))

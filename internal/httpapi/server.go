@@ -7,10 +7,12 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"diggsim/internal/digg"
 	"diggsim/internal/graph"
 	"diggsim/internal/live"
+	"diggsim/internal/repl"
 )
 
 // Server serves a digg.Store over HTTP/JSON: the versioned /v1/*
@@ -71,6 +73,14 @@ type Server struct {
 	live       *live.Service
 	metrics    *Metrics
 	snap       *snapshotStore
+
+	// repl/replSrc/replMaxLag are the replication wiring: the attached
+	// follower (write fencing, lag reporting, readiness), the node's own
+	// streaming surface mounted under /repl/v1/, and the /readyz
+	// staleness bound. See repl.go.
+	repl       *repl.Follower
+	replSrc    *repl.Source
+	replMaxLag time.Duration
 }
 
 // NewServer wraps a digg.Store (in practice the in-memory
@@ -157,6 +167,7 @@ func (s *Server) Handler() http.Handler {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	}))
+	mux.HandleFunc("GET /readyz", timed("healthz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", timed("metrics", s.handleMetricsProm))
 	mux.HandleFunc("GET /debug/obs", s.handleObsDump)
 	// Deprecated unversioned aliases (offset/limit, string errors).
@@ -176,7 +187,15 @@ func (s *Server) Handler() http.Handler {
 		// lifetime, not serving latency, so it stays uninstrumented.
 		mux.HandleFunc("GET /api/stream", s.handleStream)
 	}
+	if s.replSrc != nil {
+		// The node's own replication surface: streaming for followers,
+		// status/promote for elections.
+		mux.Handle("/repl/v1/", http.StripPrefix("/repl/v1", s.replSrc.Handler()))
+	}
 	s.mountV1(mux)
+	if s.repl != nil {
+		return replLagMiddleware(s.repl, mux)
+	}
 	return mux
 }
 
@@ -497,6 +516,9 @@ func (s *Server) storyLocked(w http.ResponseWriter, id digg.StoryID) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.fence(w) {
+		return
+	}
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
@@ -531,6 +553,9 @@ func (s *Server) submit(req SubmitRequest) (StoryDetail, error) {
 }
 
 func (s *Server) handleDigg(w http.ResponseWriter, r *http.Request) {
+	if s.fence(w) {
+		return
+	}
 	id, err := pathID(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())

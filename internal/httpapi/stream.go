@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"diggsim/internal/apiv1"
 	"diggsim/internal/live"
 )
 
@@ -21,6 +22,7 @@ import (
 type StatsResponse struct {
 	Live *live.Stats      `json:"live,omitempty"`
 	HTTP *MetricsSnapshot `json:"http,omitempty"`
+	Repl *apiv1.ReplStats `json:"repl,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -33,6 +35,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		snap := s.metrics.Snapshot()
 		resp.HTTP = &snap
 	}
+	resp.Repl = s.replStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -701,6 +701,9 @@ func (s *Server) handleV1Story(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleV1Submit(w http.ResponseWriter, r *http.Request) {
+	if s.fenceV1(w) {
+		return
+	}
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeV1Error(w, v1Err(http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid JSON: "+err.Error()))
@@ -715,6 +718,9 @@ func (s *Server) handleV1Submit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleV1Digg(w http.ResponseWriter, r *http.Request) {
+	if s.fenceV1(w) {
+		return
+	}
 	id, e := v1PathID(r)
 	if e != nil {
 		writeV1Error(w, e)
@@ -739,6 +745,9 @@ func (s *Server) handleV1Digg(w http.ResponseWriter, r *http.Request) {
 // agent-driven load sustain several times the single-digg write rate.
 // Item failures are reported per item and do not abort the batch.
 func (s *Server) handleV1BatchDigg(w http.ResponseWriter, r *http.Request) {
+	if s.fenceV1(w) {
+		return
+	}
 	ctx := r.Context()
 	decodeSpan := obs.SpanFrom(ctx, "decode")
 	var req apiv1.BatchDiggRequest
@@ -820,6 +829,9 @@ func (s *Server) handleV1BatchDigg(w http.ResponseWriter, r *http.Request) {
 // handleV1BatchSubmit serves POST /v1/stories:batch: up to
 // apiv1.MaxBatch submissions in one write transaction.
 func (s *Server) handleV1BatchSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.fenceV1(w) {
+		return
+	}
 	ctx := r.Context()
 	decodeSpan := obs.SpanFrom(ctx, "decode")
 	var req apiv1.BatchSubmitRequest

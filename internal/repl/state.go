@@ -1,0 +1,100 @@
+package repl
+
+// state.go persists a follower's replication position to
+// repl-state.json in its data directory, about once a second. The file
+// is advisory — replication correctness never reads it — but it lets
+// offline tooling (diggstats -wal) report applied-vs-shipped LSNs and
+// last-contact age for a node that is down or unreachable over HTTP.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// StateFileName is the follower position file within a data directory.
+const StateFileName = "repl-state.json"
+
+// StateShard is one shard's position in a State file.
+type StateShard struct {
+	Shard       int    `json:"shard"`
+	AppliedLSN  uint64 `json:"applied_lsn"`
+	ShippedLSN  uint64 `json:"shipped_lsn"`
+	LastContact int64  `json:"last_contact_unix_nano"`
+}
+
+// State is the on-disk repl-state.json document.
+type State struct {
+	// Primary is the upstream's URL.
+	Primary string `json:"primary"`
+	// UpdatedUnixNano is when the file was written.
+	UpdatedUnixNano int64 `json:"updated_unix_nano"`
+	// ReadOnly reports whether the node was still write-fenced.
+	ReadOnly bool `json:"read_only"`
+	// Shards holds each stream's position.
+	Shards []StateShard `json:"shards"`
+}
+
+// ReadState loads dir's repl-state.json. os.IsNotExist errors mean the
+// node never ran as a follower (or predates replication).
+func ReadState(dir string) (State, error) {
+	data, err := os.ReadFile(filepath.Join(dir, StateFileName))
+	if err != nil {
+		return State{}, err
+	}
+	var st State
+	if err := json.Unmarshal(data, &st); err != nil {
+		return State{}, err
+	}
+	return st, nil
+}
+
+// maybeWriteState persists the position if a second has passed since
+// the last write. Tailers race here; the stamp swap picks one winner.
+func (f *Follower) maybeWriteState(now time.Time) {
+	if f.opts.StateDir == "" {
+		return
+	}
+	last := f.stateStamp.Load()
+	if now.UnixNano()-last < int64(time.Second) {
+		return
+	}
+	if !f.stateStamp.CompareAndSwap(last, now.UnixNano()) {
+		return
+	}
+	f.writeState(now)
+}
+
+// writeState persists the position unconditionally (used at promote
+// time for a final stamp). Failures are ignored: the file is advisory
+// and the next heartbeat retries.
+func (f *Follower) writeState(now time.Time) {
+	if f.opts.StateDir == "" {
+		return
+	}
+	st := State{
+		Primary:         f.opts.Primary,
+		UpdatedUnixNano: now.UnixNano(),
+		ReadOnly:        f.ReadOnly(),
+		Shards:          make([]StateShard, len(f.shards)),
+	}
+	for i := range f.shards {
+		fs := &f.shards[i]
+		st.Shards[i] = StateShard{
+			Shard:       i,
+			AppliedLSN:  fs.applied.Load(),
+			ShippedLSN:  fs.shipped.Load(),
+			LastContact: fs.lastContact.Load(),
+		}
+	}
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(f.opts.StateDir, ".tmp-repl-state")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, filepath.Join(f.opts.StateDir, StateFileName))
+}

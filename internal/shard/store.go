@@ -83,6 +83,13 @@ type Store struct {
 	// the shard's WAL group commit), labeled shard="i".
 	applyHist []*obs.Histogram
 
+	// Replicated-apply bookkeeping (repl.go): how many of each shard's
+	// platform promotions have been folded toward the merged order, and
+	// promotions whose stories are still outside the merged dense
+	// prefix. Empty on a primary.
+	replSeen    []int
+	replPending []pendingPromo
+
 	rec RecoveryInfo
 	dir string
 }
@@ -128,6 +135,7 @@ func New(g *graph.Graph, policy digg.PromotionPolicy, n int) *Store {
 		promotedBySubmitter: make(map[digg.UserID]int),
 		stats:               make([]shardCounters, n),
 		applyHist:           make([]*obs.Histogram, n),
+		replSeen:            make([]int, n),
 	}
 	for i := 0; i < n; i++ {
 		s.applyHist[i] = obs.Default.Histogram("diggsim_shard_apply_seconds",

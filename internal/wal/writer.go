@@ -320,6 +320,28 @@ func (w *Writer) NextLSN() uint64 {
 	return w.next
 }
 
+// Rotate seals the active segment and opens a fresh one starting at
+// the next LSN. The checkpointer calls it before RemoveBelow so the
+// retained log begins exactly at the checkpoint — without it the
+// active segment pins every record it holds, however old. An empty
+// active segment is already positioned at the next LSN and is left
+// alone.
+func (w *Writer) Rotate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if w.f == nil || w.size == 0 {
+		return w.err
+	}
+	if err := w.rotateLocked(); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
 // RemoveBelow deletes every segment all of whose records are below
 // lsn. The segment containing lsn (and the active segment) always
 // survive, so the log always covers [checkpoint, head].
