@@ -25,6 +25,14 @@
 //
 //	benchjson -out BENCH_obs.json -bench 'BenchmarkMixedWorkload$' \
 //	    -notes "..." ./internal/httpapi/
+//
+// benchjson measures in-process microbenchmarks; its sibling
+// cmd/diggload measures the served system end to end — a mixed load
+// scenario over real sockets against a running diggd — and emits
+// BENCH_load.json wrapping the same host envelope around a full
+// internal/load report with SLO verdicts. Commit both: ns/op says what
+// a code path costs, the load report says whether the assembled server
+// holds its SLOs under realistic traffic.
 package main
 
 import (

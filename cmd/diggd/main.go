@@ -112,6 +112,7 @@ func main() {
 	small := flag.Bool("small", true, "use the reduced corpus (default on for quick startup)")
 	seed := flag.Uint64("seed", 20060630, "corpus seed")
 	rate := flag.Float64("rate", 0, "rate limit in requests/second (0 = unlimited)")
+	trustLoopback := flag.Bool("trust-loopback", false, "exempt loopback (127.0.0.1/::1) clients from -rate limiting, e.g. for a co-located diggload harness")
 	verbose := flag.Bool("v", false, "log every request")
 	liveMode := flag.Bool("live", false, "keep simulating in real time: new submissions, votes and promotions while serving")
 	speedup := flag.Float64("speedup", 600, "live mode: simulation minutes per wall-clock minute")
@@ -437,6 +438,9 @@ func main() {
 	handler = tracer.Middleware(handler)
 	if *rate > 0 {
 		limiter := httpapi.NewRateLimiter(*rate, int(*rate)+1)
+		if *trustLoopback {
+			limiter.TrustLoopback()
+		}
 		handler = limiter.Middleware(handler)
 	}
 	handler = metrics.Middleware(handler)

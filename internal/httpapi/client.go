@@ -415,6 +415,27 @@ func (c *Client) StoriesAt(ctx context.Context, cursor apiv1.Cursor, limit int) 
 	return out, err
 }
 
+// FrontPageAt fetches one page of the front page at the given cursor
+// ("" for the first page) — the single-page counterpart of
+// FrontPagePages for callers that manage their own crawl state.
+func (c *Client) FrontPageAt(ctx context.Context, cursor apiv1.Cursor, limit int) (apiv1.StoriesPage, error) {
+	url := fmt.Sprintf("/v1/frontpage?limit=%d", limit)
+	if cursor != "" {
+		url += "&cursor=" + string(cursor)
+	}
+	var out apiv1.StoriesPage
+	err := c.do(ctx, http.MethodGet, url, nil, &out)
+	return out, err
+}
+
+// ObsDump fetches the server's observability dump (/debug/obs): every
+// latency instrument's quantile summary plus retained slow traces.
+func (c *Client) ObsDump(ctx context.Context) (apiv1.ObsDump, error) {
+	var out apiv1.ObsDump
+	err := c.do(ctx, http.MethodGet, "/debug/obs", nil, &out)
+	return out, err
+}
+
 // Story fetches a story with its full chronological vote list.
 func (c *Client) Story(ctx context.Context, id digg.StoryID) (StoryDetail, error) {
 	var out StoryDetail
@@ -524,17 +545,96 @@ func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
 }
 
 // Stream subscribes to the server's /v1/stream SSE feed and invokes
-// fn for every decoded event until ctx is cancelled, the server closes
-// the stream, or fn returns an error (which is returned verbatim).
-// Unlike the other client calls, Stream never retries and ignores the
-// client timeout: a live tail has no natural deadline, so cancellation
-// is the caller's job via ctx.
+// fn for every decoded event until ctx is cancelled or fn returns an
+// error (which is returned verbatim). A severed connection reconnects
+// transparently with Last-Event-ID, so delivery resumes right after
+// the last event fn saw; events the server's broadcast ring has since
+// overwritten arrive as one synthetic "lag" event carrying the exact
+// count. Up to MaxRetries consecutive failed attempts are tolerated
+// (the budget resets whenever an event arrives); DisableTransientRetry
+// turns reconnecting off. Stream ignores the client timeout: a live
+// tail has no natural deadline, so cancellation is the caller's job
+// via ctx.
 func (c *Client) Stream(ctx context.Context, fn func(live.Event) error) error {
+	retries := c.MaxRetries
+	if retries < 0 || c.DisableTransientRetry {
+		retries = 0
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	maxBackoff := c.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
+	st := streamState{}
+	delay := backoff
+	failures := 0
+	for {
+		progressed, err := c.streamOnce(ctx, &st, fn)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err != nil {
+			var terminal *terminalStreamError
+			if errors.As(err, &terminal) {
+				return terminal.err
+			}
+		}
+		// Anything else — a severed connection, a clean server close —
+		// is a transient failure the resume protocol exists for. Event
+		// progress proves the server is alive, so it resets the budget.
+		if progressed {
+			failures = 0
+			delay = backoff
+		}
+		failures++
+		if failures > retries {
+			if err == nil {
+				err = errors.New("httpapi: stream closed by server")
+			}
+			return err
+		}
+		wait := delay/2 + rand.N(delay/2+1)
+		if delay < maxBackoff {
+			delay *= 2
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+	}
+}
+
+// streamState carries resume progress across Stream's reconnects.
+type streamState struct {
+	lastSeq  uint64
+	sawEvent bool
+}
+
+// terminalStreamError marks errors Stream must not retry: a callback
+// rejection, a malformed event, or an API error response.
+type terminalStreamError struct{ err error }
+
+func (e *terminalStreamError) Error() string { return e.err.Error() }
+
+// streamOnce runs one SSE connection: open, read frames, dispatch.
+// It reports whether any event was delivered this attempt, and wraps
+// non-retryable failures in terminalStreamError.
+func (c *Client) streamOnce(ctx context.Context, st *streamState, fn func(live.Event) error) (bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/stream", nil)
 	if err != nil {
-		return fmt.Errorf("httpapi: building stream request: %w", err)
+		return false, &terminalStreamError{fmt.Errorf("httpapi: building stream request: %w", err)}
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if st.sawEvent {
+		// Resume from the last delivered event: the server replays
+		// what its ring still holds and reports the rest as one
+		// synthetic lag event.
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(st.lastSeq, 10))
+	}
 	// The configured client's total-request timeout would sever a
 	// long-lived tail; keep its transport (TLS, proxies, test
 	// round-trippers) but drop the deadline.
@@ -544,13 +644,14 @@ func (c *Client) Stream(ctx context.Context, fn func(live.Event) error) error {
 	}
 	resp, err := streamClient.Do(req)
 	if err != nil {
-		return fmt.Errorf("httpapi: opening stream: %w", err)
+		return false, fmt.Errorf("httpapi: opening stream: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return errorFromBody(resp, data)
+		return false, &terminalStreamError{errorFromBody(resp, data)}
 	}
+	progressed := false
 	scanner := bufio.NewScanner(resp.Body)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	var data []byte
@@ -562,16 +663,21 @@ func (c *Client) Stream(ctx context.Context, fn func(live.Event) error) error {
 		case line == "" && len(data) > 0:
 			var ev live.Event
 			if err := json.Unmarshal(data, &ev); err != nil {
-				return fmt.Errorf("httpapi: decoding stream event: %w", err)
+				return progressed, &terminalStreamError{fmt.Errorf("httpapi: decoding stream event: %w", err)}
 			}
 			data = data[:0]
+			if ev.Seq > 0 {
+				st.lastSeq = ev.Seq
+				st.sawEvent = true
+			}
+			progressed = true
 			if err := fn(ev); err != nil {
-				return err
+				return progressed, &terminalStreamError{err}
 			}
 		}
 	}
 	if err := scanner.Err(); err != nil && ctx.Err() == nil {
-		return fmt.Errorf("httpapi: reading stream: %w", err)
+		return progressed, fmt.Errorf("httpapi: reading stream: %w", err)
 	}
-	return ctx.Err()
+	return progressed, nil
 }

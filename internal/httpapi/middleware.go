@@ -3,6 +3,7 @@ package httpapi
 import (
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -70,6 +71,27 @@ type RateLimiter struct {
 	tolerance int64            // (burst-1) * interval: allowed head start
 	tat       atomic.Int64     // theoretical arrival time, UnixNano
 	now       func() time.Time // injectable clock for tests
+
+	// trustLoopback exempts requests from loopback addresses — the
+	// diggd -trust-loopback switch, so a co-located load harness can
+	// drive the server at full rate while remote scrapers stay
+	// politeness-limited.
+	trustLoopback bool
+}
+
+// TrustLoopback makes the middleware skip rate limiting for requests
+// whose RemoteAddr is a loopback address. Call before serving.
+func (l *RateLimiter) TrustLoopback() { l.trustLoopback = true }
+
+// isLoopbackAddr reports whether a request RemoteAddr ("ip:port") is a
+// loopback address.
+func isLoopbackAddr(remoteAddr string) bool {
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil {
+		host = remoteAddr
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
 }
 
 // NewRateLimiter allows rate requests per second with the given burst
@@ -128,6 +150,10 @@ func (l *RateLimiter) AllowOrRetry() (bool, time.Duration) {
 // fixed hint.
 func (l *RateLimiter) Middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if l.trustLoopback && isLoopbackAddr(r.RemoteAddr) {
+			next.ServeHTTP(w, r)
+			return
+		}
 		ok, wait := l.AllowOrRetry()
 		if !ok {
 			secs := int((wait + time.Second - 1) / time.Second) // ceil

@@ -113,6 +113,40 @@ func TestRateLimitMiddleware429(t *testing.T) {
 	}
 }
 
+// TestRateLimitTrustLoopback checks the -trust-loopback exemption:
+// loopback clients bypass the limiter entirely while remote addresses
+// stay limited.
+func TestRateLimitTrustLoopback(t *testing.T) {
+	l := NewRateLimiter(0.001, 1) // effectively one request
+	l.TrustLoopback()
+	h := l.Middleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	// httptest connects over 127.0.0.1, so every request is exempt.
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("loopback request %d status %d", i, resp.StatusCode)
+		}
+	}
+	// A non-loopback RemoteAddr still consumes tokens and gets 429'd.
+	for i, want := range []int{http.StatusOK, http.StatusTooManyRequests} {
+		req := httptest.NewRequest(http.MethodGet, "/", nil)
+		req.RemoteAddr = "203.0.113.9:4242"
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != want {
+			t.Fatalf("remote request %d status %d, want %d", i, rec.Code, want)
+		}
+	}
+}
+
 func TestClientRetriesOn429(t *testing.T) {
 	var calls atomic.Int32
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

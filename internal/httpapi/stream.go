@@ -3,14 +3,18 @@ package httpapi
 // stream.go serves the live event feed and the live-metrics endpoint.
 // GET /api/stream is Server-Sent Events: one "event:"/"data:" frame per
 // typed live.Event, with the bus sequence number as the SSE id so
-// clients can detect gaps. A slow client's ring buffer drops oldest
-// events rather than stalling the simulation; the drop count reaches
-// the client as a synthetic "lag" event.
+// clients can detect gaps and resume. A reconnecting client sends
+// Last-Event-ID and replay starts from the broadcast ring right after
+// that sequence; events the ring has already overwritten reach the
+// client as a synthetic "lag" event carrying the exact count. A slow
+// client likewise loses oldest events rather than stalling the
+// simulation.
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"diggsim/internal/apiv1"
 	"diggsim/internal/live"
@@ -45,7 +49,20 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
-	sub := s.live.Bus().Subscribe(0)
+	bus := s.live.Bus()
+	var sub *live.Subscriber
+	if lastID := r.Header.Get("Last-Event-ID"); lastID != "" {
+		if seq, err := strconv.ParseUint(lastID, 10, 64); err == nil {
+			// Resume: replay from the ring right after the last event
+			// the client saw. If the ring has moved past it, the first
+			// Drain reports the gap and the loop below surfaces it as
+			// a lag event.
+			sub = bus.SubscribeFrom(seq)
+		}
+	}
+	if sub == nil {
+		sub = bus.Subscribe()
+	}
 	defer sub.Close()
 
 	h := w.Header()

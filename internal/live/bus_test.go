@@ -1,14 +1,18 @@
 package live
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestBusFanOut(t *testing.T) {
-	b := NewBus()
-	a := b.Subscribe(8)
-	c := b.Subscribe(8)
+	b := NewBus(8)
+	a := b.Subscribe()
+	c := b.Subscribe()
 	defer a.Close()
 	defer c.Close()
 
@@ -32,8 +36,8 @@ func TestBusFanOut(t *testing.T) {
 }
 
 func TestBusDropOldestAndLag(t *testing.T) {
-	b := NewBus()
-	s := b.Subscribe(4)
+	b := NewBus(4)
+	s := b.Subscribe()
 	defer s.Close()
 
 	for i := 0; i < 10; i++ {
@@ -55,7 +59,7 @@ func TestBusDropOldestAndLag(t *testing.T) {
 	if s.Lag() != 6 {
 		t.Errorf("Lag() = %d, want 6", s.Lag())
 	}
-	// Drain resets the per-drain drop counter but not lifetime lag.
+	// Drain reports drops once; a second drain has nothing new.
 	if _, d := s.Drain(); d != 0 {
 		t.Errorf("second drain dropped = %d", d)
 	}
@@ -65,9 +69,27 @@ func TestBusDropOldestAndLag(t *testing.T) {
 	}
 }
 
+// TestBusStatsCountsUnobservedLag checks Stats accounts backlog beyond
+// the ring as dropped even before the lagging subscriber drains.
+func TestBusStatsCountsUnobservedLag(t *testing.T) {
+	b := NewBus(4)
+	s := b.Subscribe()
+	defer s.Close()
+	for i := 0; i < 7; i++ {
+		b.Publish(Event{At: int64(i)})
+	}
+	st := b.Stats()
+	if st.Dropped != 3 {
+		t.Errorf("Stats Dropped = %d, want 3 (unobserved lag)", st.Dropped)
+	}
+	if st.MaxQueued != 4 {
+		t.Errorf("MaxQueued = %d, want 4 (capped at ring capacity)", st.MaxQueued)
+	}
+}
+
 func TestBusCloseStopsDelivery(t *testing.T) {
-	b := NewBus()
-	s := b.Subscribe(4)
+	b := NewBus(4)
+	s := b.Subscribe()
 	b.Publish(Event{At: 1})
 	s.Close()
 	b.Publish(Event{At: 2})
@@ -81,16 +103,169 @@ func TestBusCloseStopsDelivery(t *testing.T) {
 	s.Close() // idempotent
 }
 
+func TestBusSubscribeFrom(t *testing.T) {
+	b := NewBus(8)
+	for i := 0; i < 5; i++ {
+		b.Publish(Event{At: int64(i)})
+	}
+	// Resume from the middle: events 3..5 replay from the ring.
+	s := b.SubscribeFrom(2)
+	evs, dropped := s.Drain()
+	if dropped != 0 || len(evs) != 3 || evs[0].Seq != 3 {
+		t.Fatalf("resume drain = %d events, %d dropped (%+v)", len(evs), dropped, evs)
+	}
+	s.Close()
+
+	// Resume from before the ring's retention: the gap is exact lag.
+	for i := 5; i < 20; i++ {
+		b.Publish(Event{At: int64(i)})
+	}
+	s = b.SubscribeFrom(2)
+	evs, dropped = s.Drain()
+	if dropped != 10 { // events 3..12 overwritten (head 20, cap 8)
+		t.Errorf("overwritten resume dropped = %d, want 10", dropped)
+	}
+	if len(evs) != 8 || evs[0].Seq != 13 {
+		t.Errorf("overwritten resume delivered %d events from seq %d", len(evs), evs[0].Seq)
+	}
+	s.Close()
+
+	// Resuming from the future clamps to the head: nothing replays.
+	s = b.SubscribeFrom(999)
+	if evs, _ := s.Drain(); len(evs) != 0 {
+		t.Errorf("future resume delivered %d events", len(evs))
+	}
+	s.Close()
+}
+
+// TestBusReadyWakesSubscriber checks the drain-then-wait loop sees a
+// publish that lands at any point relative to Ready.
+func TestBusReadyWakesSubscriber(t *testing.T) {
+	b := NewBus(8)
+	s := b.Subscribe()
+	defer s.Close()
+
+	// Publish racing ahead of Ready: the returned channel must already
+	// be (or promptly become) selectable.
+	b.Publish(Event{At: 1})
+	select {
+	case <-s.Ready():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Ready did not fire for a pre-existing event")
+	}
+	if evs, _ := s.Drain(); len(evs) != 1 {
+		t.Fatalf("drained %d events", len(evs))
+	}
+
+	// Publish after the subscriber parks.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-s.Ready():
+		case <-time.After(5 * time.Second):
+			t.Error("Ready did not fire for a later publish")
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Publish(Event{At: 2})
+	<-done
+}
+
+// TestBusStressNoDupNoSkip is the broadcast ring's -race gate: one
+// publisher vs. many draining subscribers plus a churn of
+// subscribe/close, asserting per-subscriber that sequence numbers are
+// strictly increasing (no dup, no reorder) and that delivered + lagged
+// exactly covers the published range (no silent skip).
+func TestBusStressNoDupNoSkip(t *testing.T) {
+	const (
+		events   = 20000
+		stable   = 8
+		churners = 1000
+	)
+	b := NewBus(64) // small ring so overwrite/lag paths are exercised hard
+
+	var wg sync.WaitGroup
+
+	// Stable subscribers: subscribe before publishing starts, so
+	// delivered + lag must equal the full published count.
+	for i := 0; i < stable; i++ {
+		s := b.Subscribe()
+		wg.Add(1)
+		go func(s *Subscriber) {
+			defer wg.Done()
+			defer s.Close()
+			var last uint64
+			var delivered uint64
+			for {
+				evs, _ := s.Drain()
+				for _, ev := range evs {
+					if ev.Seq <= last {
+						t.Errorf("sequence regressed: %d after %d", ev.Seq, last)
+						return
+					}
+					last = ev.Seq
+					delivered++
+				}
+				if delivered+s.Lag() == uint64(events) {
+					return
+				}
+				select {
+				case <-s.Ready():
+				case <-time.After(10 * time.Second):
+					t.Errorf("stable subscriber stalled at seq %d (delivered %d, lag %d)",
+						last, delivered, s.Lag())
+					return
+				}
+			}
+		}(s)
+	}
+
+	// Churners: subscribe, drain once, close — the registry and
+	// close-freeze paths under load.
+	var churned atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < churners/4; n++ {
+				s := b.Subscribe()
+				evs, _ := s.Drain()
+				var last uint64
+				for _, ev := range evs {
+					if ev.Seq <= last {
+						t.Errorf("churner: sequence regressed: %d after %d", ev.Seq, last)
+					}
+					last = ev.Seq
+				}
+				s.Close()
+				churned.Add(1)
+			}
+		}()
+	}
+
+	for i := 1; i <= events; i++ {
+		b.Publish(Event{Type: EventDigg, At: int64(i)})
+	}
+	wg.Wait()
+
+	st := b.Stats()
+	if st.Published != events {
+		t.Errorf("published = %d, want %d", st.Published, events)
+	}
+	if churned.Load() != churners {
+		t.Errorf("churned = %d, want %d", churned.Load(), churners)
+	}
+}
+
 // TestBusConcurrent hammers publish/drain/subscribe/close from many
 // goroutines; run under -race this is the bus's memory-safety test.
 func TestBusConcurrent(t *testing.T) {
-	b := NewBus()
+	b := NewBus(32)
 	const publishers, events = 4, 500
-	// Subscribe before any publish so every subscriber is guaranteed to
-	// observe traffic (possibly with drops, which is fine).
 	subs := make([]*Subscriber, 3)
 	for i := range subs {
-		subs[i] = b.Subscribe(32)
+		subs[i] = b.Subscribe()
 	}
 	var wg sync.WaitGroup
 	for p := 0; p < publishers; p++ {
@@ -126,5 +301,36 @@ func TestBusConcurrent(t *testing.T) {
 	}
 	if seen == 0 {
 		t.Error("no events observed by any subscriber")
+	}
+}
+
+// BenchmarkBusPublish pins the tentpole property: publish cost must be
+// independent of the subscriber count. Each case registers N
+// subscribers (idle, as a fan-out of slow SSE clients would be) and
+// measures the publisher alone; ns/op flat from 100 to 100k
+// subscribers is the acceptance bar for the 100k-stream fan-out.
+func BenchmarkBusPublish(b *testing.B) {
+	for _, n := range []int{100, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) {
+			bus := NewBus(4096)
+			subs := make([]*Subscriber, n)
+			for i := range subs {
+				subs[i] = bus.Subscribe()
+			}
+			defer func() {
+				for _, s := range subs {
+					s.Close()
+				}
+			}()
+			ev := Event{Type: EventDigg, At: 1, Story: 7, User: 42, Votes: 3}
+			// Clear the GC debt from allocating N subscribers so the
+			// measured window prices publish, not setup.
+			runtime.GC()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bus.Publish(ev)
+			}
+		})
 	}
 }

@@ -52,8 +52,9 @@ type Config struct {
 	// InterestExponent shapes intrinsic interest, U(0,1)^exponent
 	// (default 3, the corpus calibration).
 	InterestExponent float64
-	// SubscriberBuffer is the per-subscriber event ring capacity
-	// (DefaultSubscriberBuffer when zero).
+	// SubscriberBuffer is the capacity of the shared broadcast ring
+	// events fan out through (DefaultBusCapacity when zero): how far
+	// the slowest subscriber may fall behind before it loses events.
 	SubscriberBuffer int
 	// TopUserListSize bounds the reputation list in exported datasets
 	// (default 1020, the paper's snapshot size).
@@ -154,7 +155,7 @@ func NewService(p digg.Store, cfg Config) (*Service, error) {
 	}
 	s := &Service{
 		cfg:      cfg,
-		bus:      NewBus(),
+		bus:      NewBus(cfg.SubscriberBuffer),
 		platform: p,
 		stepper:  stepper,
 		rng:      r,

@@ -39,7 +39,7 @@ func testService(t *testing.T, p *digg.Platform) *Service {
 func TestServiceStepTo(t *testing.T) {
 	p := testPlatform(t)
 	svc := testService(t, p)
-	sub := svc.Bus().Subscribe(1 << 14)
+	sub := svc.Bus().Subscribe()
 	defer sub.Close()
 
 	var events []Event

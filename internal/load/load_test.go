@@ -1,0 +1,264 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"diggsim/internal/apiv1"
+	"diggsim/internal/digg"
+	"diggsim/internal/graph"
+	"diggsim/internal/httpapi"
+	"diggsim/internal/live"
+	"diggsim/internal/obs"
+	"diggsim/internal/rng"
+)
+
+func TestPacerSchedule(t *testing.T) {
+	p := NewPacer(100, time.Second)
+	if got := p.At(0); got != 0 {
+		t.Errorf("At(0) = %v", got)
+	}
+	// The ramp holds rate*ramp/2 = 50 ops and ends exactly at the ramp
+	// boundary.
+	if got := p.At(50); got != time.Second {
+		t.Errorf("At(rampOps) = %v, want 1s", got)
+	}
+	// Plateau arrivals are evenly spaced at 1/rate.
+	for i := uint64(50); i < 60; i++ {
+		gap := p.At(i+1) - p.At(i)
+		if gap < 9*time.Millisecond || gap > 11*time.Millisecond {
+			t.Errorf("plateau gap at %d = %v, want 10ms", i, gap)
+		}
+	}
+	// The schedule is monotonic through the ramp.
+	prev := time.Duration(-1)
+	for i := uint64(0); i < 100; i++ {
+		at := p.At(i)
+		if at <= prev {
+			t.Fatalf("At(%d) = %v not after At(%d) = %v", i, at, i-1, prev)
+		}
+		prev = at
+	}
+}
+
+func TestPacerNoRamp(t *testing.T) {
+	p := NewPacer(1000, 0)
+	if got := p.At(0); got != 0 {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := p.At(1000); got != time.Second {
+		t.Errorf("At(1000) = %v, want 1s", got)
+	}
+}
+
+// TestOpenLoopCoordinatedOmission is the harness's reason to exist: a
+// single 200ms server stall must inflate the recorded tail across all
+// the operations it delayed, not just the one that was slow. A
+// closed-loop driver (latency = service time) sees exactly one slow
+// op; the open-loop recorder sees the whole queue that built up behind
+// it, because intended start times never move.
+func TestOpenLoopCoordinatedOmission(t *testing.T) {
+	reg := obs.NewRegistry()
+	recorded := reg.Histogram("test_recorded_seconds", "", "")
+	service := reg.Histogram("test_service_seconds", "", "")
+
+	var n atomic.Uint64
+	var cnt counters
+	// One worker, so the stall serializes everything behind it —
+	// exactly what a stalled single server does to an arrival stream.
+	openLoop(context.Background(), NewPacer(500, 0), 500*time.Millisecond, 1,
+		recorded, &cnt, func(worker int) opFunc {
+			return func(ctx context.Context) opResult {
+				start := time.Now()
+				if n.Add(1) == 20 {
+					time.Sleep(200 * time.Millisecond)
+				}
+				service.Observe(time.Since(start))
+				return opResult{}
+			}
+		})
+
+	recSnap := recorded.Snapshot()
+	svcSnap := service.Snapshot()
+	if recSnap.Count() < 100 {
+		t.Fatalf("only %d ops recorded", recSnap.Count())
+	}
+	// Service time: one deliberate stall, everything else instant.
+	slowServices := countAbove(&svcSnap, 10*time.Millisecond)
+	if slowServices != 1 {
+		t.Errorf("service-time samples over 10ms = %d, want exactly 1 (the stall)", slowServices)
+	}
+	// Recorded (intended-start) latency: the stall delayed ~100 queued
+	// arrivals, so the tail must show it broadly.
+	recP99 := recSnap.Quantile(0.99) / 1e6 // ms
+	if recP99 < 80 {
+		t.Errorf("recorded p99 = %.1fms; the stall should inflate it past 80ms", recP99)
+	}
+	slowRecorded := countAbove(&recSnap, 50*time.Millisecond)
+	if slowRecorded < 20 {
+		t.Errorf("only %d recorded samples over 50ms; the queue behind the stall should show", slowRecorded)
+	}
+}
+
+// countAbove counts histogram samples whose bucket lies entirely above
+// the threshold.
+func countAbove(s *obs.HistSnapshot, d time.Duration) uint64 {
+	var n uint64
+	for i, c := range s.Counts {
+		lower, _ := obs.BucketBounds(i)
+		if lower >= uint64(d) {
+			n += c
+		}
+	}
+	return n
+}
+
+func TestSLOEvaluate(t *testing.T) {
+	rep := &Report{
+		Populations: []PopulationReport{
+			{Name: "read", Ops: 1000, P99Millis: 8},
+			{Name: "write", Ops: 100, Errors: 0, P99Millis: 40},
+			{Name: "swarm", Ops: 50, P99Millis: 200},
+		},
+		ServerInstruments: []apiv1.ObsInstrument{
+			{Name: "diggsim_http_request_seconds", Labels: `route="frontpage"`, Count: 500, P99Millis: 4},
+			{Name: "diggsim_http_request_seconds", Labels: `route="story"`, Count: 400, P99Millis: 6},
+			{Name: "diggsim_http_request_seconds", Labels: `route="submit"`, Count: 10, P99Millis: 500},
+			{Name: "diggsim_live_step_seconds", Count: 100, P99Millis: 90},
+		},
+	}
+	evaluateSLOs(rep, SLOConfig{}.withDefaults())
+	if !rep.Pass {
+		t.Errorf("healthy report failed: %+v", rep.SLOs)
+	}
+	// The write-route p99 of 500ms must not leak into the read gate.
+	for _, r := range rep.SLOs {
+		if r.Name == "server_read_p99_ms" && r.Observed != 6 {
+			t.Errorf("server read p99 observed = %v, want 6 (worst read class)", r.Observed)
+		}
+	}
+
+	// A blown client read SLO fails the scenario.
+	rep.Populations[0].P99Millis = 80
+	evaluateSLOs(rep, SLOConfig{}.withDefaults())
+	if rep.Pass {
+		t.Error("report passed with read p99 80ms > 50ms threshold")
+	}
+
+	// Absent populations skip their gates rather than failing.
+	empty := &Report{}
+	evaluateSLOs(empty, SLOConfig{}.withDefaults())
+	if !empty.Pass {
+		t.Errorf("empty report failed: %+v", empty.SLOs)
+	}
+	for _, r := range empty.SLOs {
+		if !r.Skipped {
+			t.Errorf("gate %s not marked skipped on empty report", r.Name)
+		}
+	}
+}
+
+// TestScenarioEndToEnd runs a short mixed scenario — all four
+// populations — against an in-process live diggd and checks every
+// population did real work and the report is coherent.
+func TestScenarioEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second live scenario")
+	}
+	g, err := graph.PreferentialAttachment(rng.New(11), 1500, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := digg.NewPlatform(g, &digg.ClassicPromotion{VoteThreshold: 8, Window: digg.Day})
+	svc, err := live.NewService(p, live.Config{Seed: 5, SubmissionsPerHour: 60, StartAt: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed some stories so readers and writers have targets.
+	if err := svc.StepTo(100 + digg.Day); err != nil {
+		t.Fatal(err)
+	}
+	srv := httpapi.NewServer(p, 100, nil)
+	srv.AttachLive(svc)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Tick the simulation in the background so the stream carries
+	// events and reads race a live writer, as in production. Gently:
+	// everything here — client, server, stepper, and the SSE fan-out —
+	// shares one core in CI, and each sim-minute stepped emits a burst
+	// of vote events multiplied by every open swarm stream.
+	stepCtx, stopStepping := context.WithCancel(context.Background())
+	defer stopStepping()
+	stepDone := make(chan struct{})
+	go func() {
+		defer close(stepDone)
+		now := digg.Minutes(100 + digg.Day)
+		for {
+			select {
+			case <-stepCtx.Done():
+				return
+			case <-time.After(50 * time.Millisecond):
+				now++
+				if err := svc.StepTo(now); err != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	rep, err := Run(context.Background(), Scenario{
+		BaseURL:         ts.URL,
+		DurationSeconds: 2,
+		RampSeconds:     0.2,
+		ReadRPS:         50,
+		CrawlRPS:        10,
+		WriteRPS:        5,
+		WriteBatch:      20,
+		SwarmSize:       10,
+		SwarmConnectRPS: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopStepping()
+	<-stepDone
+
+	for _, name := range []string{"read", "crawl", "write", "swarm"} {
+		pop := rep.Population(name)
+		if pop == nil {
+			t.Fatalf("population %s missing from report", name)
+		}
+		if pop.Ops == 0 {
+			t.Errorf("population %s did no work: %+v", name, *pop)
+		}
+		if pop.Errors > pop.Ops/10 {
+			t.Errorf("population %s error-heavy: %+v", name, *pop)
+		}
+	}
+	swarm := rep.Population("swarm")
+	if swarm.Events == 0 {
+		t.Error("swarm saw no events from the live stream")
+	}
+	if swarm.Streams == 0 {
+		t.Error("swarm reports zero concurrent streams")
+	}
+	if rep.Combined == nil || rep.Combined.Ops == 0 {
+		t.Error("combined histogram missing")
+	}
+	if len(rep.SLOs) == 0 {
+		t.Error("no SLO gates evaluated")
+	}
+	if len(rep.ServerInstruments) == 0 {
+		t.Error("no server instruments scraped from /debug/obs")
+	}
+
+	// The report must serialize: it is the body of BENCH_load.json.
+	if _, err := json.MarshalIndent(rep, "", "  "); err != nil {
+		t.Fatalf("report does not serialize: %v", err)
+	}
+}

@@ -1,0 +1,47 @@
+package load
+
+import (
+	"math"
+	"time"
+)
+
+// Pacer maps operation indices to intended start times on a fixed
+// open-loop timeline: a linear ramp from zero to the target rate over
+// the ramp window, then constant rate. The schedule is a pure function
+// of the index — it never consults the clock — which is what makes the
+// driver coordinated-omission-safe: when the server stalls, the
+// dispatcher falls behind the schedule and queued operations record
+// the stall against their (unchanged) intended starts.
+type Pacer struct {
+	rate float64 // ops per second at plateau
+	ramp float64 // ramp length in seconds
+	// rampOps is how many operations the ramp window holds: the area
+	// under the linear rate ramp, rate*ramp/2.
+	rampOps float64
+}
+
+// NewPacer returns a pacer for the given plateau rate (ops/sec, must
+// be > 0) and ramp window.
+func NewPacer(rate float64, ramp time.Duration) *Pacer {
+	r := ramp.Seconds()
+	if r < 0 {
+		r = 0
+	}
+	return &Pacer{rate: rate, ramp: r, rampOps: rate * r / 2}
+}
+
+// At returns the intended start time of operation i as an offset from
+// the run start. During the ramp the instantaneous rate is
+// (t/ramp)*rate, so the cumulative count is rate*t²/(2*ramp); solving
+// for t gives the ramp schedule. Past the ramp, arrivals are evenly
+// spaced at 1/rate.
+func (p *Pacer) At(i uint64) time.Duration {
+	n := float64(i)
+	var t float64
+	if n < p.rampOps {
+		t = math.Sqrt(2 * p.ramp * n / p.rate)
+	} else {
+		t = p.ramp + (n-p.rampOps)/p.rate
+	}
+	return time.Duration(t * float64(time.Second))
+}

@@ -1,0 +1,209 @@
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"diggsim/internal/apiv1"
+	"diggsim/internal/digg"
+	"diggsim/internal/httpapi"
+	"diggsim/internal/rng"
+)
+
+// target holds what the populations learned about the server at setup:
+// how many stories and users exist, so Zipf ranks and voter picks map
+// onto real IDs.
+type target struct {
+	stories int
+	users   int
+}
+
+// discover probes the server once before the run. Story count comes
+// from the listing total; user count from a doubling-then-bisect probe
+// of /v1/users/{id} (the API has no user-count endpoint, and the graph
+// IDs are dense from zero).
+func discover(ctx context.Context, c *httpapi.Client) (target, error) {
+	page, err := c.StoriesAt(ctx, "", 1)
+	if err != nil {
+		return target{}, fmt.Errorf("load: probing story count: %w", err)
+	}
+	users, err := discoverUserCount(ctx, c)
+	if err != nil {
+		return target{}, err
+	}
+	return target{stories: page.Total, users: users}, nil
+}
+
+func discoverUserCount(ctx context.Context, c *httpapi.Client) (int, error) {
+	exists := func(id int) (bool, error) {
+		_, err := c.User(ctx, digg.UserID(id))
+		if err == nil {
+			return true, nil
+		}
+		var apiErr *apiv1.Error
+		if errors.As(err, &apiErr) && apiErr.StatusCode == 404 {
+			return false, nil
+		}
+		return false, fmt.Errorf("load: probing user %d: %w", id, err)
+	}
+	if ok, err := exists(0); err != nil {
+		return 0, err
+	} else if !ok {
+		return 0, errors.New("load: server reports no users")
+	}
+	hi := 1
+	for {
+		ok, err := exists(hi)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		if hi > 1<<30 {
+			return 0, errors.New("load: user probe did not terminate")
+		}
+		hi *= 2
+	}
+	lo := hi / 2 // exists
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		ok, err := exists(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// newReaderOps builds the reader population: each op is a front-page
+// fetch (1 in 5) or a story-detail read whose story rank is drawn from
+// a Zipf over the corpus — the attention skew LermanG08 measures. Each
+// worker gets its own RNG substream so draws never contend.
+func newReaderOps(c *httpapi.Client, tgt target, seed uint64, zipfS float64) func(worker int) opFunc {
+	return func(worker int) opFunc {
+		r := rng.Substream(seed, uint64(1000+worker))
+		zipf := rng.NewZipf(r, tgt.stories, zipfS)
+		return func(ctx context.Context) opResult {
+			if r.Float64() < 0.2 {
+				_, err := c.FrontPage(ctx, 15)
+				return opResult{err: err}
+			}
+			id := digg.StoryID(zipf.Draw() - 1) // rank 1 → story 0
+			_, err := c.Story(ctx, id)
+			return opResult{err: err}
+		}
+	}
+}
+
+// newCrawlerOps builds the crawler population: each worker walks
+// /v1/stories and /v1/frontpage in cursor order, one page per op,
+// restarting from the top when a listing is exhausted — a polite
+// scraper's sweep pattern.
+func newCrawlerOps(c *httpapi.Client, pageSize int) func(worker int) opFunc {
+	if pageSize <= 0 {
+		pageSize = 100
+	}
+	return func(worker int) opFunc {
+		var storyCursor, frontCursor apiv1.Cursor
+		onFrontpage := worker%2 == 1 // half the workers start on each listing
+		return func(ctx context.Context) opResult {
+			var page apiv1.StoriesPage
+			var err error
+			if onFrontpage {
+				page, err = c.FrontPageAt(ctx, frontCursor, pageSize)
+				frontCursor = page.NextCursor
+				if err == nil && frontCursor == "" {
+					onFrontpage = false
+				}
+			} else {
+				page, err = c.StoriesAt(ctx, storyCursor, pageSize)
+				storyCursor = page.NextCursor
+				if err == nil && storyCursor == "" {
+					onFrontpage = true
+				}
+			}
+			return opResult{err: err}
+		}
+	}
+}
+
+// newWriterOps builds the writer population: each op is one batch
+// write — batchSize diggs from Zipf-popular stories and uniform
+// voters, with every submitEvery-th op a story-submission batch
+// instead. Duplicate-vote denials are rejections (expected application
+// outcomes under random voter picks), not errors.
+func newWriterOps(c *httpapi.Client, tgt target, seed uint64, zipfS float64, batchSize, submitEvery int) func(worker int) opFunc {
+	return func(worker int) opFunc {
+		r := rng.Substream(seed, uint64(2000+worker))
+		zipf := rng.NewZipf(r, tgt.stories, zipfS)
+		nop := 0
+		return func(ctx context.Context) opResult {
+			nop++
+			if submitEvery > 0 && nop%submitEvery == 0 {
+				n := batchSize / 10
+				if n < 1 {
+					n = 1
+				}
+				req := apiv1.BatchSubmitRequest{Stories: make([]apiv1.SubmitRequest, n)}
+				for i := range req.Stories {
+					req.Stories[i] = apiv1.SubmitRequest{
+						Submitter: digg.UserID(r.Intn(tgt.users)),
+						Title:     fmt.Sprintf("load-story-w%d-%d", worker, nop),
+						Interest:  r.Float64(),
+					}
+				}
+				resp, err := c.SubmitBatch(ctx, req)
+				if err != nil {
+					return opResult{err: err}
+				}
+				for _, res := range resp.Results {
+					if res.Error != nil {
+						return opResult{rejected: true}
+					}
+				}
+				return opResult{}
+			}
+			req := apiv1.BatchDiggRequest{Diggs: make([]apiv1.BatchDiggItem, batchSize)}
+			for i := range req.Diggs {
+				req.Diggs[i] = apiv1.BatchDiggItem{
+					Story: digg.StoryID(zipf.Draw() - 1),
+					Voter: digg.UserID(r.Intn(tgt.users)),
+				}
+			}
+			resp, err := c.DiggBatch(ctx, req)
+			if err != nil {
+				return opResult{err: err}
+			}
+			for _, res := range resp.Results {
+				if res.Error != nil {
+					// Duplicate votes are the common case under random
+					// voter draws; surface the op as a rejection so the
+					// report separates them from real failures.
+					return opResult{rejected: true}
+				}
+			}
+			return opResult{}
+		}
+	}
+}
+
+// workersFor sizes a population's worker pool: enough parallelism that
+// sub-100ms ops sustain the rate, bounded so a 1-core client machine
+// is not swamped by its own goroutines.
+func workersFor(rate float64) int {
+	w := int(rate / 20)
+	if w < 4 {
+		w = 4
+	}
+	if w > 128 {
+		w = 128
+	}
+	return w
+}

@@ -1,0 +1,104 @@
+package load
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"diggsim/internal/obs"
+)
+
+// opResult is one operation's outcome.
+type opResult struct {
+	err      error
+	rejected bool // expected application denial, not a failure
+}
+
+// counters accumulates a population's outcome tallies.
+type counters struct {
+	ops        atomic.Uint64
+	errors     atomic.Uint64
+	rejections atomic.Uint64
+}
+
+// opFunc executes one operation. The worker index lets factories hand
+// each worker private state (RNG streams, crawl cursors) without
+// locking.
+type opFunc func(ctx context.Context) opResult
+
+// openLoop drives ops on the pacer's intended-rate timeline for the
+// given duration, recording intended-start→completion latency into
+// hist. A dispatcher walks the schedule and hands each operation's
+// intended start to a bounded worker pool; when every worker is busy
+// the queue (and then the dispatcher) backs up, but intended times
+// keep their scheduled values, so the backlog shows up as recorded
+// latency — never as silently missing load.
+//
+// newOp is called once per worker to build its operation closure.
+func openLoop(ctx context.Context, p *Pacer, duration time.Duration, workers int,
+	hist *obs.Histogram, cnt *counters, newOp func(worker int) opFunc) {
+	if workers < 1 {
+		workers = 1
+	}
+	// The queue absorbs short stalls without blocking the dispatcher;
+	// a stall longer than the queue covers blocks dispatch too, which
+	// is still CO-safe because intended times come from the index.
+	queue := make(chan time.Time, 4*workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		op := newOp(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for intended := range queue {
+				res := op(ctx)
+				hist.Observe(time.Since(intended))
+				cnt.ops.Add(1)
+				switch {
+				case res.rejected:
+					cnt.rejections.Add(1)
+				case res.err != nil && ctx.Err() == nil:
+					cnt.errors.Add(1)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+dispatch:
+	for i := uint64(0); ; i++ {
+		offset := p.At(i)
+		if offset > duration {
+			break
+		}
+		intended := start.Add(offset)
+		if wait := time.Until(intended); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				break dispatch
+			case <-timer.C:
+			}
+		}
+		select {
+		case queue <- intended:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(queue)
+	wg.Wait()
+}
+
+// quantilesMillis summarizes a histogram snapshot (nanosecond-valued
+// buckets) into the report's millisecond fields.
+func quantilesMillis(s *obs.HistSnapshot) (p50, p90, p99, max float64) {
+	return s.Quantile(0.50) / 1e6, s.Quantile(0.90) / 1e6,
+		s.Quantile(0.99) / 1e6, s.Max() / 1e6
+}

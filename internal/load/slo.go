@@ -1,0 +1,163 @@
+package load
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SLOConfig holds the scenario's pass/fail thresholds. Zero fields
+// take the defaults below; a negative field disables that gate. The
+// server-side defaults mirror the suggested SLOs in
+// docs/observability.md; the client-side ones add loopback headroom
+// for SDK and scheduling overhead.
+type SLOConfig struct {
+	// ReadP99Millis bounds the reader population's client-observed p99
+	// (default 50).
+	ReadP99Millis float64 `json:"read_p99_ms"`
+	// WriteP99Millis bounds the writer population's client-observed
+	// p99 (default 250 — each op is a whole write batch).
+	WriteP99Millis float64 `json:"write_p99_ms"`
+	// FirstEventP99Millis bounds the swarm's intended-connect→first-
+	// event p99 (default 1000; the feed only carries events when the
+	// simulation ticks).
+	FirstEventP99Millis float64 `json:"first_event_p99_ms"`
+	// MaxErrorRatio bounds errors/ops across the request populations
+	// (default 0.01).
+	MaxErrorRatio float64 `json:"max_error_ratio"`
+	// ServerReadP99Millis bounds the server-side p99 of
+	// diggsim_http_request_seconds across read route classes (default
+	// 10, per docs/observability.md's read-availability SLO).
+	ServerReadP99Millis float64 `json:"server_read_p99_ms"`
+	// ServerStepP99Millis bounds the server-side p99 of
+	// diggsim_live_step_seconds (default 200 — the default tick; past
+	// it the simulation falls behind wall time).
+	ServerStepP99Millis float64 `json:"server_step_p99_ms"`
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	def := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.ReadP99Millis, 50)
+	def(&c.WriteP99Millis, 250)
+	def(&c.FirstEventP99Millis, 1000)
+	def(&c.MaxErrorRatio, 0.01)
+	def(&c.ServerReadP99Millis, 10)
+	def(&c.ServerStepP99Millis, 200)
+	return c
+}
+
+// SLOResult is one gate's verdict.
+type SLOResult struct {
+	Name      string  `json:"name"`
+	Threshold float64 `json:"threshold"`
+	Observed  float64 `json:"observed"`
+	Pass      bool    `json:"pass"`
+	// Skipped marks gates that had nothing to measure (population not
+	// run, instrument absent); a skipped gate does not fail the
+	// scenario but is reported so silence is visible.
+	Skipped bool   `json:"skipped,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// serverReadClasses are the diggsim_http_request_seconds route classes
+// counted as reads by docs/observability.md's availability SLO.
+var serverReadClasses = map[string]bool{
+	"frontpage": true, "story": true, "stories": true, "upcoming": true,
+	"user": true, "links": true, "topusers": true, "stats": true,
+}
+
+// evaluateSLOs fills in rep.SLOs and rep.Pass from the populations and
+// the scraped server instruments.
+func evaluateSLOs(rep *Report, cfg SLOConfig) {
+	var results []SLOResult
+	gate := func(name string, threshold, observed float64, detail string, measured bool) {
+		if threshold < 0 {
+			return // explicitly disabled
+		}
+		r := SLOResult{Name: name, Threshold: threshold, Observed: observed, Detail: detail}
+		if !measured {
+			r.Skipped = true
+			r.Pass = true
+		} else {
+			r.Pass = observed <= threshold
+		}
+		results = append(results, r)
+	}
+
+	read := rep.Population("read")
+	gate("read_p99_ms", cfg.ReadP99Millis, popP99(read), "client-observed reader latency", read != nil && read.Ops > 0)
+	write := rep.Population("write")
+	gate("write_p99_ms", cfg.WriteP99Millis, popP99(write), "client-observed batch-write latency", write != nil && write.Ops > 0)
+	swarm := rep.Population("swarm")
+	gate("first_event_p99_ms", cfg.FirstEventP99Millis, popP99(swarm), "intended-connect to first SSE event", swarm != nil && swarm.Ops > 0)
+
+	var ops, errs uint64
+	for _, p := range rep.Populations {
+		if p.Name == "swarm" {
+			continue
+		}
+		ops += p.Ops
+		errs += p.Errors
+	}
+	ratio := 0.0
+	if ops > 0 {
+		ratio = float64(errs) / float64(ops)
+	}
+	gate("max_error_ratio", cfg.MaxErrorRatio, ratio,
+		fmt.Sprintf("%d errors / %d ops across request populations", errs, ops), ops > 0)
+
+	srvRead, srvReadSeen := 0.0, false
+	srvStep, srvStepSeen := 0.0, false
+	for _, inst := range rep.ServerInstruments {
+		switch inst.Name {
+		case "diggsim_http_request_seconds":
+			if serverReadClasses[routeClass(inst.Labels)] && inst.Count > 0 {
+				srvReadSeen = true
+				if inst.P99Millis > srvRead {
+					srvRead = inst.P99Millis
+				}
+			}
+		case "diggsim_live_step_seconds":
+			if inst.Count > 0 {
+				srvStepSeen = true
+				srvStep = inst.P99Millis
+			}
+		}
+	}
+	gate("server_read_p99_ms", cfg.ServerReadP99Millis, srvRead,
+		"worst diggsim_http_request_seconds p99 across read route classes (server lifetime)", srvReadSeen)
+	gate("server_step_p99_ms", cfg.ServerStepP99Millis, srvStep,
+		"diggsim_live_step_seconds p99 (server lifetime)", srvStepSeen)
+
+	rep.SLOs = results
+	rep.Pass = true
+	for _, r := range results {
+		if !r.Pass {
+			rep.Pass = false
+		}
+	}
+}
+
+func popP99(p *PopulationReport) float64 {
+	if p == nil {
+		return 0
+	}
+	return p.P99Millis
+}
+
+// routeClass extracts the class from a `route="..."` label string.
+func routeClass(labels string) string {
+	const key = `route="`
+	i := strings.Index(labels, key)
+	if i < 0 {
+		return ""
+	}
+	rest := labels[i+len(key):]
+	if j := strings.IndexByte(rest, '"'); j >= 0 {
+		return rest[:j]
+	}
+	return ""
+}
