@@ -391,6 +391,29 @@ func main() {
 		srv.SetNowFunc(func() digg.Minutes { return clock.Now(time.Now()) })
 	}
 
+	// The metrics timeline samples the registry once a second into a
+	// ~15-minute ring: GET /debug/timeline serves windowed deltas,
+	// rates, and histogram quantiles from it, and the multi-window SLO
+	// burn-rate evaluator it feeds turns /readyz degraded before users
+	// notice a freshness or latency regression.
+	timeline := obs.NewTimeline(obs.Default, 900, time.Second)
+	go timeline.Run(ctx)
+	srv.AttachTimeline(timeline, httpapi.DefaultSLOs()...)
+
+	// Durable nodes stamp the accepting request's trace ID next to each
+	// commit, so a follower heartbeat can name the write whose
+	// visibility it just confirmed (end-to-end freshness tracing).
+	switch {
+	case dstore != nil:
+		srv.SetWriteTraceFunc(dstore.SetWriteTrace)
+	case sdstore != nil:
+		srv.SetWriteTraceFunc(func(id uint64) {
+			for i := 0; i < sdstore.ShardCount(); i++ {
+				sdstore.DurableShard(i).SetWriteTrace(id)
+			}
+		})
+	}
+
 	if follower != nil {
 		srv.AttachRepl(follower, *readyMaxLag)
 	}
@@ -403,11 +426,11 @@ func main() {
 	case replNode != nil:
 		srcShards = replNode.SourceShards()
 	case dstore != nil:
-		srcShards = []repl.SourceShard{{Dir: dstore.Dir(), Head: dstore.AppliedLSN}}
+		srcShards = []repl.SourceShard{{Dir: dstore.Dir(), Head: dstore.AppliedLSN, LastCommit: dstore.LastCommit}}
 	case sdstore != nil:
 		for i := 0; i < sdstore.ShardCount(); i++ {
 			ds := sdstore.DurableShard(i)
-			srcShards = append(srcShards, repl.SourceShard{Dir: ds.Dir(), Head: ds.AppliedLSN})
+			srcShards = append(srcShards, repl.SourceShard{Dir: ds.Dir(), Head: ds.AppliedLSN, LastCommit: ds.LastCommit})
 		}
 	}
 	if len(srcShards) > 0 {

@@ -10,6 +10,7 @@
 //	diggload -base-url http://127.0.0.1:8080 \
 //	    [-scenario scenario.json] [-duration 10] [-ramp 1] \
 //	    [-read-rps 50] [-crawl-rps 10] [-write-rps 5] [-swarm 100] \
+//	    [-freshness-rps 2] \
 //	    [-out BENCH_load.json] [-notes "..."] [-require read,swarm]
 //
 // A scenario file (the JSON form of load.Scenario) sets the baseline;
@@ -63,6 +64,7 @@ func main() {
 	readRPS := flag.Float64("read-rps", 0, "reader ops/sec (front page + Zipf story reads)")
 	crawlRPS := flag.Float64("crawl-rps", 0, "crawler pages/sec (/v1/stories, /v1/frontpage cursors)")
 	writeRPS := flag.Float64("write-rps", 0, "writer batch ops/sec (digg batches + submits)")
+	freshRPS := flag.Float64("freshness-rps", 0, "freshness probes/sec (submit one story, poll until the read path serves it)")
 	writeBatch := flag.Int("write-batch", 0, "diggs per write batch")
 	swarm := flag.Int("swarm", 0, "concurrent SSE streams to hold on /api/stream")
 	swarmRPS := flag.Float64("swarm-connect-rps", 0, "SSE connection-establishment rate")
@@ -100,6 +102,7 @@ func main() {
 	override("crawl-rps", func() { sc.CrawlRPS = *crawlRPS })
 	override("write-rps", func() { sc.WriteRPS = *writeRPS })
 	override("write-batch", func() { sc.WriteBatch = *writeBatch })
+	override("freshness-rps", func() { sc.FreshnessRPS = *freshRPS })
 	override("swarm", func() { sc.SwarmSize = *swarm })
 	override("swarm-connect-rps", func() { sc.SwarmConnectRPS = *swarmRPS })
 	if sc.BaseURL == "" {

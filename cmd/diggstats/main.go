@@ -22,11 +22,19 @@
 // counterpart of the Prometheus exposition at GET /metrics; see
 // docs/observability.md.
 //
+// With -watch it polls a running diggd's metrics timeline
+// (GET /debug/timeline) and repaints a live terminal view: SLO
+// burn-rate statuses, write→visible freshness quantiles, and
+// sparklines of the busiest series — the glanceable freshness view
+// for deploys and incidents. -interval sets the refresh period and
+// -once renders a single frame for logs or CI.
+//
 // Usage:
 //
 //	diggstats -data DIR [-tree] [-cv]
 //	diggstats -wal DIR [-max-lag 30s]
 //	diggstats -obs http://localhost:8080
+//	diggstats -watch http://localhost:8080 [-interval 2s] [-once]
 package main
 
 import (
@@ -57,6 +65,9 @@ func main() {
 	data := flag.String("data", "", "dataset directory")
 	walDir := flag.String("wal", "", "inspect a diggd durable data directory (WAL + checkpoints) instead of analyzing a dataset")
 	obsURL := flag.String("obs", "", "query a running diggd's observability dump (base URL, e.g. http://localhost:8080)")
+	watchURL := flag.String("watch", "", "live terminal view of a running diggd's metrics timeline (base URL; polls GET /debug/timeline)")
+	watchInterval := flag.Duration("interval", 2*time.Second, "with -watch: refresh period")
+	watchOnce := flag.Bool("once", false, "with -watch: render one frame and exit (no screen clearing; for logs and CI)")
 	showTree := flag.Bool("tree", true, "print the learned decision tree")
 	runCV := flag.Bool("cv", true, "run 10-fold cross-validation")
 	seed := flag.Uint64("seed", 99, "cross-validation shuffle seed")
@@ -68,6 +79,10 @@ func main() {
 	}
 	if *obsURL != "" {
 		inspectObs(*obsURL)
+		return
+	}
+	if *watchURL != "" {
+		watchTimeline(*watchURL, *watchInterval, *watchOnce)
 		return
 	}
 	if *data == "" {

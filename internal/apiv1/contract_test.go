@@ -85,9 +85,48 @@ func contractCases() map[string]any {
 			Role: "follower", Primary: "http://primary:8080",
 			StalenessSeconds: 0.254,
 			Shards: []ReplShardStats{
-				{Shard: 0, AppliedLSN: 48122, ShippedLSN: 48123, LagSeconds: 0.254, LastContactAgeSeconds: 0.004},
+				{Shard: 0, AppliedLSN: 48122, ShippedLSN: 48123, LagSeconds: 0.254, LastContactAgeSeconds: 0.004, CommitTraceID: "4f2a9c01d3e87b65"},
 				{Shard: 1, AppliedLSN: 47990, ShippedLSN: 47990, LagSeconds: 0.121, LastContactAgeSeconds: 0.004},
 			},
+		},
+		"error_with_trace": ErrorEnvelope{Error: &Error{
+			Code: CodeInternal, Message: "wal: append failed",
+			TraceID: "4f2a9c01d3e87b65",
+		}},
+		"timeline": TimelineDump{
+			WindowSeconds: 300, StepSeconds: 10, IntervalSeconds: 1,
+			Series: []TimelineSeries{
+				{
+					Name:   "diggsim_freshness_write_to_frontpage_visible_seconds",
+					Labels: `source="http"`, Kind: "histogram",
+					Points: []TimelinePoint{
+						{AtUnixMillis: 1151712000000, IntervalSeconds: 10, Delta: 412,
+							Rate: 41.2, P50Millis: 1.8, P99Millis: 14.5, SumMillis: 980.4},
+						{AtUnixMillis: 1151712010000, IntervalSeconds: 10, Delta: 398,
+							Rate: 39.8, P50Millis: 1.9, P99Millis: 16.2, SumMillis: 1004.1},
+					},
+				},
+				{
+					Name: "diggsim_http_requests_total", Kind: "counter",
+					Points: []TimelinePoint{
+						{AtUnixMillis: 1151712000000, IntervalSeconds: 10, Delta: 120410, Rate: 12041},
+					},
+				},
+				{
+					Name: "diggsim_snapshot_view_generation", Kind: "gauge",
+					Points: []TimelinePoint{
+						{AtUnixMillis: 1151712000000, IntervalSeconds: 10, Value: 48122},
+					},
+				},
+			},
+			Burn: []BurnStatus{{
+				Name:      "frontpage_freshness",
+				Family:    "diggsim_freshness_write_to_frontpage_visible_seconds",
+				Objective: 0.99, ThresholdMillis: 250,
+				Short:    BurnWindow{WindowSeconds: 300, CoveredSeconds: 300, Total: 12400, Bad: 31, Burn: 0.25},
+				Long:     BurnWindow{WindowSeconds: 3600, CoveredSeconds: 900, Total: 36100, Bad: 40, Burn: 0.1108},
+				Degraded: false,
+			}},
 		},
 		"obs_dump": ObsDump{
 			Instruments: []ObsInstrument{

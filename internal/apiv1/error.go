@@ -43,6 +43,11 @@ type Error struct {
 	// should wait before retrying (set on rate_limited errors,
 	// mirroring the Retry-After header).
 	RetryAfter int `json:"retry_after,omitempty"`
+	// TraceID is the request's trace ID (16 hex digits, matching the
+	// X-Trace-Id header), filled in by the client SDK so a failed call
+	// can be joined to server-side traces. Not part of the JSON body
+	// servers send — the header is authoritative.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func (e *Error) Error() string {

@@ -38,4 +38,10 @@ type ReplShardStats struct {
 	// LastContactAgeSeconds is how long ago any frame arrived on this
 	// shard's stream (-1 before the first).
 	LastContactAgeSeconds float64 `json:"last_contact_age_seconds"`
+	// CommitTraceID is the trace ID of the newest primary write this
+	// follower has confirmed applied and republished (16 hex digits,
+	// v1.4) — the join key between a client's X-Trace-Id and follower
+	// visibility. Omitted on primaries and before the first stamped
+	// commit.
+	CommitTraceID string `json:"commit_trace_id,omitempty"`
 }

@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"diggsim/internal/digg"
@@ -134,6 +135,52 @@ type Store struct {
 	// has applied commands the log will never hold) the store refuses
 	// all further writes, bounding the divergence at the failed batch.
 	err error
+
+	// commit stamps the newest locally-originated durable append;
+	// replication heartbeats read it lock-free (LastCommit) so
+	// followers can measure commit→visible freshness. writeTrace is
+	// the advisory trace ID of the in-flight write (SetWriteTrace).
+	commit     atomic.Pointer[CommitStamp]
+	writeTrace atomic.Uint64
+}
+
+// CommitStamp identifies the newest locally-originated WAL commit:
+// the log head right after the append (exclusive, AppliedLSN
+// semantics), the wall-clock commit instant, and the trace ID of the
+// write that produced it (0 when untraced). Replicated applies do not
+// stamp — only writes this node originated, so a chain of followers
+// always measures freshness against the true primary's clock.
+type CommitStamp struct {
+	LSN      uint64
+	UnixNano int64
+	TraceID  uint64
+}
+
+// LastCommit returns the newest commit stamp — zero before the first
+// local write. Safe from any goroutine: the replication source's
+// heartbeat path calls it off the write lock.
+func (s *Store) LastCommit() CommitStamp {
+	if c := s.commit.Load(); c != nil {
+		return *c
+	}
+	return CommitStamp{}
+}
+
+// SetWriteTrace records the trace ID of the write about to run, so
+// the resulting commit stamp carries it to followers. Attribution is
+// advisory: concurrent writers may overwrite each other's ID before
+// either commits, which misattributes a stamp but never corrupts it.
+func (s *Store) SetWriteTrace(id uint64) { s.writeTrace.Store(id) }
+
+// stampCommit publishes the current log head as the newest commit.
+// Runs under the caller's write synchronization, right after a
+// successful append.
+func (s *Store) stampCommit() {
+	s.commit.Store(&CommitStamp{
+		LSN:      s.w.NextLSN(),
+		UnixNano: time.Now().UnixNano(),
+		TraceID:  s.writeTrace.Load(),
+	})
 }
 
 // Store implements digg.Store and the batch-grouping capability.
@@ -416,6 +463,7 @@ func (s *Store) log(typ byte, payload []byte) error {
 		s.err = err
 		return err
 	}
+	s.stampCommit()
 	return nil
 }
 
@@ -524,6 +572,7 @@ func (s *Store) EndBatch() error {
 			s.err = err
 			return err
 		}
+		s.stampCommit()
 	}
 	if s.opts.CheckpointEvery > 0 && time.Since(s.lastCkpt) >= s.opts.CheckpointEvery {
 		return s.Checkpoint()

@@ -19,6 +19,7 @@ import (
 	"diggsim/internal/apiv1"
 	"diggsim/internal/digg"
 	"diggsim/internal/live"
+	"diggsim/internal/obs"
 )
 
 // Client is the typed v1 SDK for a diggd server. Every call is
@@ -150,6 +151,10 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		}
 	}
 	cacheable := method == http.MethodGet && out != nil
+	// One trace ID per logical call, reused across retries, so the
+	// server-side traces of every attempt join under one ID (a tracing
+	// server adopts it; see Tracer.Middleware).
+	traceID := obs.TraceIDString(obs.NewTraceID())
 	var lastErr error
 	wait := time.Duration(0)
 	for attempt := 0; attempt <= retries; attempt++ {
@@ -180,6 +185,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if bodyBytes != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		req.Header.Set("X-Trace-Id", traceID)
 		var cached etagEntry
 		if cacheable {
 			if cached = c.cachedETag(path); cached.etag != "" {
@@ -199,6 +205,12 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 			return nil
 		}
 		var apiErr *apiv1.Error
+		if asAPIError(err, &apiErr) && apiErr.TraceID == "" {
+			// The server's echoed header wins (errorFromBody set it when
+			// present); otherwise record the ID this call sent, so even
+			// a connection-level failure is joinable to server logs.
+			apiErr.TraceID = traceID
+		}
 		if asAPIError(err, &apiErr) &&
 			(apiErr.StatusCode == http.StatusTooManyRequests ||
 				(apiErr.StatusCode >= 500 && retryTransient)) {
@@ -279,6 +291,7 @@ func errorFromBody(resp *http.Response, data []byte) *apiv1.Error {
 		if e.RetryAfter == 0 {
 			e.RetryAfter = retryAfterHeader(resp)
 		}
+		e.TraceID = resp.Header.Get("X-Trace-Id")
 		return e
 	}
 	var legacy ErrorResponse
@@ -291,6 +304,7 @@ func errorFromBody(resp *http.Response, data []byte) *apiv1.Error {
 		Code:       codeForStatus(resp.StatusCode),
 		Message:    msg,
 		RetryAfter: retryAfterHeader(resp),
+		TraceID:    resp.Header.Get("X-Trace-Id"),
 	}
 }
 
@@ -568,7 +582,7 @@ func (c *Client) Stream(ctx context.Context, fn func(live.Event) error) error {
 	if maxBackoff <= 0 {
 		maxBackoff = 2 * time.Second
 	}
-	st := streamState{}
+	st := streamState{traceID: obs.TraceIDString(obs.NewTraceID())}
 	delay := backoff
 	failures := 0
 	for {
@@ -608,10 +622,13 @@ func (c *Client) Stream(ctx context.Context, fn func(live.Event) error) error {
 	}
 }
 
-// streamState carries resume progress across Stream's reconnects.
+// streamState carries resume progress across Stream's reconnects. One
+// trace ID spans every reconnect of the tail, so server-side traces of
+// all attempts join.
 type streamState struct {
 	lastSeq  uint64
 	sawEvent bool
+	traceID  string
 }
 
 // terminalStreamError marks errors Stream must not retry: a callback
@@ -629,6 +646,9 @@ func (c *Client) streamOnce(ctx context.Context, st *streamState, fn func(live.E
 		return false, &terminalStreamError{fmt.Errorf("httpapi: building stream request: %w", err)}
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if st.traceID != "" {
+		req.Header.Set("X-Trace-Id", st.traceID)
+	}
 	if st.sawEvent {
 		// Resume from the last delivered event: the server replays
 		// what its ring still holds and reports the rest as one

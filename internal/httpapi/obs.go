@@ -31,6 +31,25 @@ var (
 		"Read-view rebuild latency per republish, including re-encoding changed stories.")
 	ctrStoriesEncoded = obs.Default.Counter("diggsim_snapshot_stories_encoded_total",
 		"Story summaries re-encoded across snapshot rebuilds (cache misses; unchanged stories are reused).")
+	gaugeViewGen = obs.Default.Gauge("diggsim_snapshot_view_generation",
+		"Store generation of the currently published read view.")
+)
+
+// Freshness instruments: the write→visibility spans this serving layer
+// closes. Registered at package load so the families export from every
+// node (zero series are still emitted), which lets dashboards and the
+// burn evaluator reference them unconditionally.
+var (
+	// histFreshHTTP measures HTTP write accepted → republished snapshot
+	// visible: the window in which a client that wrote could still read
+	// stale data. Observed once per write request, after republish —
+	// off the hot read path entirely.
+	histFreshHTTP = obs.Default.Histogram(obs.FreshnessFrontpageFamily, `source="http"`,
+		"Write accepted to republished front-page snapshot visible, by write source.")
+	// histFreshSSE measures bus publish → SSE frame flushed: how stale
+	// an event already was when it left for a subscriber.
+	histFreshSSE = obs.Default.Histogram(obs.FreshnessSSEFamily, "",
+		"Event published on the bus to its SSE frame flushed to the subscriber connection.")
 )
 
 // routeHist returns the request-latency histogram of one route class.
@@ -83,12 +102,23 @@ func NewTracer(slow time.Duration, log *slog.Logger) *Tracer {
 	return &Tracer{SlowThreshold: slow, Ring: obs.DefaultRing, Log: log}
 }
 
-// Middleware wraps next with tracing.
+// Middleware wraps next with tracing. A client-supplied X-Trace-Id is
+// adopted when it is exactly 16 lowercase hex digits (the format this
+// server mints), so one trace ID follows a request across retries and
+// process boundaries; anything else is replaced, never echoed —
+// reflecting arbitrary client bytes into the response header would be
+// an injection surface.
 func (t *Tracer) Middleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		id := obs.NewTraceID()
-		idStr := obs.TraceIDString(id)
+		var idStr string
+		id, ok := obs.ParseTraceID(r.Header.Get("X-Trace-Id"))
+		if ok {
+			idStr = r.Header.Get("X-Trace-Id")
+		} else {
+			id = obs.NewTraceID()
+			idStr = obs.TraceIDString(id)
+		}
 		tr, _ := t.pool.Get().(*obs.Trace)
 		if tr == nil {
 			tr = obs.NewTrace(id, start)

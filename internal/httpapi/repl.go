@@ -135,6 +135,14 @@ func replLagMiddleware(f *repl.Follower, next http.Handler) http.Handler {
 // existed). A follower is ready once replication is healthy: no fatal
 // error, and staleness within the bound.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	// The burn-rate gate applies to every role: a node burning error
+	// budget at alert rate on both windows reports degraded so load
+	// balancers drain it before users notice the regression.
+	if name := s.degradedSLO(); name != "" {
+		http.Error(w, "degraded: slo "+name+" is burning error budget at alert rate",
+			http.StatusServiceUnavailable)
+		return
+	}
 	if s.repl == nil || !s.repl.ReadOnly() {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -175,6 +183,7 @@ func (s *Server) replStats() *apiv1.ReplStats {
 			ShippedLSN:            st.ShippedLSN,
 			LagSeconds:            st.LagSeconds,
 			LastContactAgeSeconds: st.LastContact,
+			CommitTraceID:         st.CommitTraceID,
 		})
 	}
 	return out

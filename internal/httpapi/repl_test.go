@@ -78,7 +78,7 @@ func newReplHarness(t *testing.T, stories int, maxLag time.Duration) *replHarnes
 	t.Cleanup(func() { h.primary.Close() })
 
 	h.replSrc = &repl.Source{
-		Shards:    []repl.SourceShard{{Dir: h.primary.Dir(), Head: h.primary.AppliedLSN}},
+		Shards:    []repl.SourceShard{{Dir: h.primary.Dir(), Head: h.primary.AppliedLSN, LastCommit: h.primary.LastCommit}},
 		Heartbeat: 5 * time.Millisecond,
 		Poll:      time.Millisecond,
 	}

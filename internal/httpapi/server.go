@@ -12,6 +12,7 @@ import (
 	"diggsim/internal/digg"
 	"diggsim/internal/graph"
 	"diggsim/internal/live"
+	"diggsim/internal/obs"
 	"diggsim/internal/repl"
 )
 
@@ -81,6 +82,17 @@ type Server struct {
 	repl       *repl.Follower
 	replSrc    *repl.Source
 	replMaxLag time.Duration
+
+	// timeline/slos are the metrics-timeline wiring (/debug/timeline
+	// and the /readyz burn-rate gate). See timeline.go.
+	timeline *obs.Timeline
+	slos     []obs.SLO
+	// writeTrace, when set, forwards the request trace ID to the
+	// durable layer before each write, so the WAL commit stamp — and
+	// through it the replication heartbeat — carries the trace of the
+	// write that produced it. Advisory: concurrent writers may
+	// interleave, and the stamp names one of them.
+	writeTrace func(uint64)
 }
 
 // NewServer wraps a digg.Store (in practice the in-memory
@@ -144,6 +156,31 @@ func (s *Server) AttachLive(svc *live.Service) {
 // responses. Call before Handler.
 func (s *Server) AttachMetrics(m *Metrics) { s.metrics = m }
 
+// SetWriteTraceFunc registers the durable layer's write-trace hook
+// (durable.Store.SetWriteTrace, or a fan-out over shards): write
+// handlers call it with the request's trace ID before mutating the
+// store, under the write lock. Call before Handler.
+func (s *Server) SetWriteTraceFunc(fn func(uint64)) { s.writeTrace = fn }
+
+// stampWriteTrace forwards r's trace ID to the durable layer. Callers
+// hold the write lock, so the stamp pairs with this request's commit
+// (single-writer stores; sharded stores interleave, which the
+// advisory contract allows).
+func (s *Server) stampWriteTrace(trace uint64) {
+	if s.writeTrace != nil && trace != 0 {
+		s.writeTrace(trace)
+	}
+}
+
+// requestTraceID returns the trace ID the Tracer middleware attached
+// to the request, or zero when untraced (benchmarks, bare tests).
+func requestTraceID(r *http.Request) uint64 {
+	if t := obs.TraceFrom(r.Context()); t != nil {
+		return t.ID()
+	}
+	return 0
+}
+
 // clock returns the current sim time: the nowFn clock when installed,
 // the static now otherwise. Callers must not hold the lock.
 func (s *Server) clock() digg.Minutes {
@@ -170,6 +207,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", timed("healthz", s.handleReadyz))
 	mux.HandleFunc("GET /metrics", timed("metrics", s.handleMetricsProm))
 	mux.HandleFunc("GET /debug/obs", s.handleObsDump)
+	if s.timeline != nil {
+		mux.HandleFunc("GET /debug/timeline", s.handleTimeline)
+	}
 	// Deprecated unversioned aliases (offset/limit, string errors).
 	mux.HandleFunc("GET /api/frontpage", timed("frontpage", s.handleFrontPage))
 	mux.HandleFunc("GET /api/stories", timed("stories", s.handleStoryList))
@@ -524,7 +564,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
-	st, err := s.submit(req)
+	st, err := s.submit(req, requestTraceID(r))
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return
@@ -532,13 +572,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, st)
 }
 
-// submit performs one submission write and republishes the snapshot.
-func (s *Server) submit(req SubmitRequest) (StoryDetail, error) {
+// submit performs one submission write and republishes the snapshot,
+// observing the accept→front-page-visible freshness span.
+func (s *Server) submit(req SubmitRequest, trace uint64) (StoryDetail, error) {
+	start := obs.Now()
 	at := digg.Minutes(req.At)
 	if at == 0 {
 		at = s.clock()
 	}
 	s.mu.Lock()
+	s.stampWriteTrace(trace)
 	st, err := s.store.Submit(req.Submitter, req.Title, req.Interest, at)
 	var out StoryDetail
 	if err == nil {
@@ -549,6 +592,7 @@ func (s *Server) submit(req SubmitRequest) (StoryDetail, error) {
 		return StoryDetail{}, err
 	}
 	s.republish()
+	histFreshHTTP.Observe(time.Duration(obs.Now() - start))
 	return out, nil
 }
 
@@ -566,7 +610,7 @@ func (s *Server) handleDigg(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
-	res, err := s.digg(digg.StoryID(id), req)
+	res, err := s.digg(digg.StoryID(id), req, requestTraceID(r))
 	if err != nil {
 		writeError(w, statusFor(err), err.Error())
 		return
@@ -574,19 +618,23 @@ func (s *Server) handleDigg(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
-// digg performs one vote write and republishes the snapshot.
-func (s *Server) digg(id digg.StoryID, req DiggRequest) (DiggResponse, error) {
+// digg performs one vote write and republishes the snapshot, observing
+// the accept→front-page-visible freshness span.
+func (s *Server) digg(id digg.StoryID, req DiggRequest, trace uint64) (DiggResponse, error) {
+	start := obs.Now()
 	at := digg.Minutes(req.At)
 	if at == 0 {
 		at = s.clock()
 	}
 	s.mu.Lock()
+	s.stampWriteTrace(trace)
 	res, err := s.store.Digg(id, req.Voter, at)
 	s.mu.Unlock()
 	if err != nil {
 		return DiggResponse{}, err
 	}
 	s.republish()
+	histFreshHTTP.Observe(time.Duration(obs.Now() - start))
 	return DiggResponse{InNetwork: res.InNetwork, Promoted: res.Promoted, Votes: res.Votes}, nil
 }
 

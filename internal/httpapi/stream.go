@@ -15,9 +15,11 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"diggsim/internal/apiv1"
 	"diggsim/internal/live"
+	"diggsim/internal/obs"
 )
 
 // StatsResponse is the /api/stats envelope: live simulation metrics
@@ -83,6 +85,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		if dropped > 0 || len(events) > 0 {
 			fl.Flush()
+			// Publish→delivered freshness, stamped after the flush so
+			// the span covers the whole fan-out including the kernel
+			// write. Replayed events (Last-Event-ID resume) carry their
+			// original publish stamp, which is the honest measurement:
+			// the client really did see them that late.
+			now := obs.Now()
+			for i := range events {
+				if p := events[i].PubNano; p > 0 {
+					histFreshSSE.Observe(time.Duration(now - p))
+				}
+			}
 		}
 		select {
 		case <-ctx.Done():

@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"diggsim/internal/apiv1"
 	"diggsim/internal/digg"
@@ -709,7 +710,7 @@ func (s *Server) handleV1Submit(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, v1Err(http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid JSON: "+err.Error()))
 		return
 	}
-	st, err := s.submit(req)
+	st, err := s.submit(req, requestTraceID(r))
 	if err != nil {
 		writeV1Error(w, v1ErrorFor(err))
 		return
@@ -731,7 +732,7 @@ func (s *Server) handleV1Digg(w http.ResponseWriter, r *http.Request) {
 		writeV1Error(w, v1Err(http.StatusBadRequest, apiv1.CodeInvalidArgument, "invalid JSON: "+err.Error()))
 		return
 	}
-	res, err := s.digg(digg.StoryID(id), req)
+	res, err := s.digg(digg.StoryID(id), req, requestTraceID(r))
 	if err != nil {
 		writeV1Error(w, v1ErrorFor(err))
 		return
@@ -748,6 +749,7 @@ func (s *Server) handleV1BatchDigg(w http.ResponseWriter, r *http.Request) {
 	if s.fenceV1(w) {
 		return
 	}
+	start := obs.Now()
 	ctx := r.Context()
 	decodeSpan := obs.SpanFrom(ctx, "decode")
 	var req apiv1.BatchDiggRequest
@@ -781,6 +783,7 @@ func (s *Server) handleV1BatchDigg(w http.ResponseWriter, r *http.Request) {
 		}
 		out := make([]digg.DiggOutcome, len(ops))
 		s.mu.Lock()
+		s.stampWriteTrace(requestTraceID(r))
 		werr = s.bulk.DiggMany(ops, out)
 		s.mu.Unlock()
 		for i, o := range out {
@@ -792,6 +795,7 @@ func (s *Server) handleV1BatchDigg(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		s.mu.Lock()
+		s.stampWriteTrace(requestTraceID(r))
 		// On a durable store the whole batch commits as one write-ahead
 		// append and one fsync (EndBatch is the durability acknowledgment);
 		// per-item rejections still report per item.
@@ -819,6 +823,7 @@ func (s *Server) handleV1BatchDigg(w http.ResponseWriter, r *http.Request) {
 	republishSpan := obs.SpanFrom(ctx, "republish")
 	s.republish()
 	republishSpan.End()
+	histFreshHTTP.Observe(time.Duration(obs.Now() - start))
 	if werr != nil {
 		writeV1Error(w, v1ErrorFor(werr))
 		return
@@ -832,6 +837,7 @@ func (s *Server) handleV1BatchSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.fenceV1(w) {
 		return
 	}
+	start := obs.Now()
 	ctx := r.Context()
 	decodeSpan := obs.SpanFrom(ctx, "decode")
 	var req apiv1.BatchSubmitRequest
@@ -861,6 +867,7 @@ func (s *Server) handleV1BatchSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		out := make([]digg.SubmitOutcome, len(ops))
 		s.mu.Lock()
+		s.stampWriteTrace(requestTraceID(r))
 		werr = s.bulk.SubmitMany(ops, out)
 		s.mu.Unlock()
 		for i, o := range out {
@@ -873,6 +880,7 @@ func (s *Server) handleV1BatchSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	} else {
 		s.mu.Lock()
+		s.stampWriteTrace(requestTraceID(r))
 		if s.batcher != nil {
 			s.batcher.BeginBatch()
 		}
@@ -898,6 +906,7 @@ func (s *Server) handleV1BatchSubmit(w http.ResponseWriter, r *http.Request) {
 	republishSpan := obs.SpanFrom(ctx, "republish")
 	s.republish()
 	republishSpan.End()
+	histFreshHTTP.Observe(time.Duration(obs.Now() - start))
 	if werr != nil {
 		writeV1Error(w, v1ErrorFor(werr))
 		return

@@ -3,6 +3,8 @@ package live
 import (
 	"sync"
 	"sync/atomic"
+
+	"diggsim/internal/obs"
 )
 
 // DefaultBusCapacity is the broadcast ring size used when NewBus is
@@ -109,6 +111,7 @@ func (b *Bus) Publish(ev Event) uint64 {
 	b.pubMu.Lock()
 	seq := b.head.Load() + 1
 	ev.Seq = seq
+	ev.PubNano = obs.Now()
 	b.slots[(seq-1)&b.mask].Store(&busEntry{seq: seq, ev: ev})
 	b.head.Store(seq)
 	b.pubMu.Unlock()

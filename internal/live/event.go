@@ -55,6 +55,10 @@ type Event struct {
 	// Dropped is the number of events lost to ring-buffer overflow on
 	// lag events.
 	Dropped uint64 `json:"dropped,omitempty"`
+	// PubNano is the monotonic instant (obs.Now) Bus.Publish stamped
+	// the event at — the start of the publish→SSE-delivered freshness
+	// span. Process-local, so it never goes on the wire.
+	PubNano int64 `json:"-"`
 }
 
 // Stats is a point-in-time snapshot of a live service, served by the

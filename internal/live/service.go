@@ -25,6 +25,14 @@ import (
 var histStep = obs.Default.Histogram("diggsim_live_step_seconds", "",
 	"Live simulation step duration (write-locked apply plus snapshot republish).")
 
+// histStepFresh is the simulation's write→front-page-visible span:
+// from the step's first write beginning to the rebuilt snapshot being
+// published (afterStep). Together with source="http" (external
+// writes) it makes every write path on the node answer "how stale is
+// the front page?" with one family.
+var histStepFresh = obs.Default.Histogram(obs.FreshnessFrontpageFamily, `source="step"`,
+	"Write accepted to republished front-page snapshot visible, by write source.")
+
 // Config parameterizes a live service. The zero value of every field
 // falls back to a sensible default in NewService.
 type Config struct {
@@ -241,6 +249,11 @@ func (s *Service) StepTo(simNow digg.Minutes) error {
 
 	if s.afterStep != nil {
 		s.afterStep()
+		// Only a republishing step makes writes visible; without
+		// afterStep there is no front page to be fresh on.
+		if len(out) > 0 {
+			histStepFresh.Observe(time.Since(stepStart))
+		}
 	}
 	histStep.Observe(time.Since(stepStart))
 	for _, ev := range out {

@@ -57,6 +57,13 @@ type Scenario struct {
 	// instead of diggs (default 10; 0 disables submissions).
 	SubmitEvery int `json:"submit_every"`
 
+	// FreshnessRPS targets this many freshness probes/sec: each op is
+	// one story submission followed by read-path polling until the new
+	// story is visible, so the population's latency IS the
+	// client-observed write→visible freshness span. Keep the rate low
+	// (default 0 = off): every probe adds a story to the corpus.
+	FreshnessRPS float64 `json:"freshness_rps"`
+
 	// SwarmSize is how many concurrent SSE subscribers to hold open on
 	// GET /api/stream for the whole run. Bounded by the process fd
 	// limit — see docs/load.md for the per-core maximum on this class

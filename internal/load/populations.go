@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"diggsim/internal/apiv1"
 	"diggsim/internal/digg"
@@ -190,6 +191,62 @@ func newWriterOps(c *httpapi.Client, tgt target, seed uint64, zipfS float64, bat
 				}
 			}
 			return opResult{}
+		}
+	}
+}
+
+// freshnessPollInterval paces the probe's visibility polling. 1ms
+// bounds the measurement's resolution; visibility on this server is
+// usually synchronous with the write response, so the common case is
+// zero polls and the interval only matters when the snapshot pipeline
+// is actually behind — exactly when resolution is cheap to give up.
+const freshnessPollInterval = time.Millisecond
+
+// freshnessPollBudget bounds how long one probe keeps polling before
+// declaring the write lost to the read path. A story invisible for
+// two seconds is not a latency measurement any more, it is an error.
+const freshnessPollBudget = 2 * time.Second
+
+// newFreshnessOps builds the freshness probe population: each op
+// submits one story and then polls the read path until the new story
+// is served, so the recorded latency is the client-observed
+// write→visible span — the end-to-end counterpart of the server's
+// diggsim_freshness_write_to_frontpage_visible_seconds histogram
+// (which cannot see client RTT or anything queued in front of the
+// handler).
+func newFreshnessOps(c *httpapi.Client, tgt target, seed uint64) func(worker int) opFunc {
+	return func(worker int) opFunc {
+		r := rng.Substream(seed, uint64(3000+worker))
+		nop := 0
+		return func(ctx context.Context) opResult {
+			nop++
+			detail, err := c.Submit(ctx, apiv1.SubmitRequest{
+				Submitter: digg.UserID(r.Intn(tgt.users)),
+				Title:     fmt.Sprintf("fresh-probe-w%d-%d", worker, nop),
+				Interest:  r.Float64(),
+			})
+			if err != nil {
+				return opResult{err: err}
+			}
+			deadline := time.Now().Add(freshnessPollBudget)
+			for {
+				_, err := c.Story(ctx, detail.ID)
+				if err == nil {
+					return opResult{}
+				}
+				var apiErr *apiv1.Error
+				if !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+					return opResult{err: err}
+				}
+				if time.Now().After(deadline) {
+					return opResult{err: fmt.Errorf("load: story %d not visible within %s", detail.ID, freshnessPollBudget)}
+				}
+				select {
+				case <-ctx.Done():
+					return opResult{err: ctx.Err()}
+				case <-time.After(freshnessPollInterval):
+				}
+			}
 		}
 	}
 }

@@ -81,6 +81,7 @@ func Run(ctx context.Context, sc Scenario) (*Report, error) {
 	addOpen("read", sc.ReadRPS, newReaderOps(client, tgt, sc.Seed, sc.ZipfS))
 	addOpen("crawl", sc.CrawlRPS, newCrawlerOps(client, 100))
 	addOpen("write", sc.WriteRPS, newWriterOps(client, tgt, sc.Seed, sc.ZipfS, sc.WriteBatch, sc.SubmitEvery))
+	addOpen("freshness", sc.FreshnessRPS, newFreshnessOps(client, tgt, sc.Seed))
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()

@@ -17,6 +17,11 @@ type SLOConfig struct {
 	// WriteP99Millis bounds the writer population's client-observed
 	// p99 (default 250 — each op is a whole write batch).
 	WriteP99Millis float64 `json:"write_p99_ms"`
+	// FreshnessP99Millis bounds the freshness probe's client-observed
+	// write→visible p99 (default 250, mirroring the server-side
+	// frontpage-freshness SLO in docs/observability.md — the probe adds
+	// two request RTTs on top, which loopback absorbs).
+	FreshnessP99Millis float64 `json:"freshness_p99_ms"`
 	// FirstEventP99Millis bounds the swarm's intended-connect→first-
 	// event p99 (default 1000; the feed only carries events when the
 	// simulation ticks).
@@ -42,6 +47,7 @@ func (c SLOConfig) withDefaults() SLOConfig {
 	}
 	def(&c.ReadP99Millis, 50)
 	def(&c.WriteP99Millis, 250)
+	def(&c.FreshnessP99Millis, 250)
 	def(&c.FirstEventP99Millis, 1000)
 	def(&c.MaxErrorRatio, 0.01)
 	def(&c.ServerReadP99Millis, 10)
@@ -91,6 +97,8 @@ func evaluateSLOs(rep *Report, cfg SLOConfig) {
 	gate("read_p99_ms", cfg.ReadP99Millis, popP99(read), "client-observed reader latency", read != nil && read.Ops > 0)
 	write := rep.Population("write")
 	gate("write_p99_ms", cfg.WriteP99Millis, popP99(write), "client-observed batch-write latency", write != nil && write.Ops > 0)
+	fresh := rep.Population("freshness")
+	gate("freshness_p99_ms", cfg.FreshnessP99Millis, popP99(fresh), "client-observed submit to read-path visibility", fresh != nil && fresh.Ops > 0)
 	swarm := rep.Population("swarm")
 	gate("first_event_p99_ms", cfg.FirstEventP99Millis, popP99(swarm), "intended-connect to first SSE event", swarm != nil && swarm.Ops > 0)
 

@@ -40,6 +40,7 @@ type Registry struct {
 	families []string
 	hists    map[string][]*Histogram // family -> labeled series
 	counters map[string]*Counter     // family -> counter (unlabeled)
+	gauges   map[string]*Gauge       // family -> gauge (unlabeled)
 	help     map[string]string
 }
 
@@ -52,6 +53,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		hists:    make(map[string][]*Histogram),
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		help:     make(map[string]string),
 	}
 }
@@ -92,6 +94,22 @@ func (r *Registry) Counter(family, help string) *Counter {
 	return c
 }
 
+// Gauge returns the last-value gauge named family, creating it on
+// first use. Gauges export with gauge TYPE and pass through the
+// timeline raw (no delta), because their value may legitimately move
+// in either direction or reset.
+func (r *Registry) Gauge(family, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[family]; ok {
+		return g
+	}
+	r.registerFamily(family, help)
+	g := &Gauge{family: family}
+	r.gauges[family] = g
+	return g
+}
+
 // registerFamily records a new family's order and help. Caller holds mu.
 func (r *Registry) registerFamily(family, help string) {
 	r.families = append(r.families, family)
@@ -112,6 +130,11 @@ func (r *Registry) WritePrometheus(b *bytes.Buffer) {
 		if c, ok := r.counters[family]; ok {
 			fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 				family, r.help[family], family, family, c.Value())
+			continue
+		}
+		if g, ok := r.gauges[family]; ok {
+			fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n",
+				family, r.help[family], family, family, g.Value())
 			continue
 		}
 		series := r.hists[family]
@@ -231,3 +254,16 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value reads the counter.
 func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a last-value instrument: Set is one atomic store, cheap
+// enough for per-write call sites. Obtain from a Registry.
+type Gauge struct {
+	family string
+	v      paddedUint64
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v uint64) { g.v.Store(v) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() uint64 { return g.v.Load() }

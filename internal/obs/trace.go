@@ -41,6 +41,30 @@ func TraceIDString(id uint64) string {
 	return string(b[:])
 }
 
+// ParseTraceID parses the 16-lowercase-hex wire form produced by
+// TraceIDString. ok is false for any other shape (wrong length, upper
+// case, non-hex digits), so untrusted header values fail closed and
+// the caller mints a fresh ID instead.
+func ParseTraceID(s string) (id uint64, ok bool) {
+	if len(s) != 16 {
+		return 0, false
+	}
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, false
+		}
+		id = id<<4 | d
+	}
+	return id, true
+}
+
 // SpanRec is one completed span within a trace: a named stage with its
 // offset from the trace start and its duration.
 type SpanRec struct {

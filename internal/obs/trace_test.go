@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -91,5 +92,68 @@ func TestTraceRing(t *testing.T) {
 	snap2 := r2.Snapshot()
 	if len(snap2) != 2 || snap2[0].ID != "b" || snap2[1].ID != "a" {
 		t.Fatalf("snapshot = %+v", snap2)
+	}
+}
+
+// TestTraceRingConcurrent hammers the slow-trace ring with concurrent
+// recorders and snapshotters — the -race regression gate for the
+// add/evict locking. Every snapshot must be internally consistent:
+// never more than cap entries, each fully formed (no torn writes).
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(16)
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Add(TraceEntry{
+					ID:       TraceIDString(NewTraceID()),
+					Method:   "GET",
+					Path:     "/v1/frontpage",
+					Status:   200,
+					Duration: time.Duration(i) * time.Microsecond,
+					Spans:    []SpanRec{{Name: "apply", Dur: time.Microsecond}},
+				})
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				if len(snap) > 16 {
+					t.Errorf("snapshot retained %d > cap 16", len(snap))
+					return
+				}
+				for _, e := range snap {
+					if len(e.ID) != 16 || e.Method != "GET" || len(e.Spans) != 1 {
+						t.Errorf("torn entry retained: %+v", e)
+						return
+					}
+				}
+				r.Total()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	if got := r.Total(); got != writers*perWriter {
+		t.Fatalf("total = %d, want %d", got, writers*perWriter)
+	}
+	if got := len(r.Snapshot()); got != 16 {
+		t.Fatalf("retained = %d, want 16", got)
 	}
 }

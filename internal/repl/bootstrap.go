@@ -81,7 +81,7 @@ func (n *Node) SourceShards() []SourceShard {
 		} else {
 			ds = n.Durable
 		}
-		out[i] = SourceShard{Dir: ds.Dir(), Head: ds.AppliedLSN}
+		out[i] = SourceShard{Dir: ds.Dir(), Head: ds.AppliedLSN, LastCommit: ds.LastCommit}
 	}
 	return out
 }

@@ -118,6 +118,14 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// histFreshFollower measures primary commit→follower visible: the gap
+// between a write committing on the primary (durable.CommitStamp) and
+// the heartbeat at which this follower confirms it has applied — and,
+// via afterApply, republished — that LSN. Registered unlabeled at
+// package load so the family exports from every node, followers or not.
+var histFreshFollower = obs.Default.Histogram(obs.FreshnessFollowerFamily, "",
+	"Primary commit to follower applied and republished, confirmed at heartbeat receipt.")
+
 // followerShard is one shard's replication position, all atomics so
 // status, metrics and headers read them without the store lock.
 type followerShard struct {
@@ -125,6 +133,12 @@ type followerShard struct {
 	shipped     atomic.Uint64 // primary head per the last heartbeat
 	lastShip    atomic.Int64  // ship wall-clock of the last heartbeat (unix nanos)
 	lastContact atomic.Int64  // local wall-clock of the last frame (unix nanos)
+	// commitSeen dedups freshness observations: the newest primary
+	// commit LSN already measured, so heartbeats repeating a stamp
+	// (idle primary) observe it once. commitTrace is the trace ID of
+	// that commit's originating write — the cross-process join signal.
+	commitSeen  atomic.Uint64
+	commitTrace atomic.Uint64
 }
 
 // ShardStatus is one shard's replication position as reported by
@@ -135,6 +149,10 @@ type ShardStatus struct {
 	ShippedLSN  uint64  `json:"shipped_lsn"`
 	LagSeconds  float64 `json:"lag_seconds"`
 	LastContact float64 `json:"last_contact_age_seconds"`
+	// CommitTraceID is the trace ID of the newest primary write this
+	// follower has confirmed applied — the join key between a primary
+	// request trace and this follower's replication stream.
+	CommitTraceID string `json:"commit_trace_id,omitempty"`
 }
 
 // Follower replicates a primary into a local target store.
@@ -290,6 +308,9 @@ func (f *Follower) ShardStatuses() []ShardStatus {
 			st.LastContact = float64(now-c) / 1e9
 		} else {
 			st.LastContact = -1
+		}
+		if id := fs.commitTrace.Load(); id != 0 {
+			st.CommitTraceID = fmt.Sprintf("%016x", id)
 		}
 		out[i] = st
 	}
@@ -447,6 +468,22 @@ func (f *Follower) consume(ctx context.Context, shard int, rc io.Reader) (int, e
 				f.histLag[shard].Observe(time.Duration(lag))
 			} else {
 				f.histLag[shard].Observe(0)
+			}
+			// Commit→visible freshness: the flush above guarantees that
+			// everything this stream delivered is applied and (through
+			// afterApply) republished, so once our applied LSN covers
+			// the stamped commit, that write is visible here. Observe
+			// each primary commit once, at the first heartbeat that
+			// confirms it.
+			if frame.CommitLSN > 0 && frame.CommitLSN <= fs.applied.Load() &&
+				frame.CommitLSN > fs.commitSeen.Load() {
+				fs.commitSeen.Store(frame.CommitLSN)
+				fs.commitTrace.Store(frame.TraceID)
+				if d := now.UnixNano() - frame.CommitUnixNano; d > 0 {
+					histFreshFollower.Observe(time.Duration(d))
+				} else {
+					histFreshFollower.Observe(0)
+				}
 			}
 			f.maybeWriteState(now)
 		case FrameError:

@@ -49,6 +49,43 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 }
 
+func TestFrameHeartbeatCommitRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendHeartbeatCommitFrame(buf, 99, 123456789, 97, 111222333, 0xdeadbeefcafe0123)
+	buf = AppendHeartbeatFrame(buf, 100, 223456789)
+
+	fr := NewFrameReader(bytes.NewReader(buf))
+	f, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FrameHeartbeat || f.Head != 99 || f.ShipUnixNano != 123456789 ||
+		f.CommitLSN != 97 || f.CommitUnixNano != 111222333 || f.TraceID != 0xdeadbeefcafe0123 {
+		t.Fatalf("extended heartbeat = %+v", f)
+	}
+	// A legacy heartbeat after an extended one must decode with all
+	// commit fields zero — the reader's buffer is reused between calls.
+	f, err = fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != FrameHeartbeat || f.Head != 100 || f.ShipUnixNano != 223456789 ||
+		f.CommitLSN != 0 || f.CommitUnixNano != 0 || f.TraceID != 0 {
+		t.Fatalf("legacy heartbeat = %+v", f)
+	}
+}
+
+func TestFrameHeartbeatBadLength(t *testing.T) {
+	// A heartbeat body of any length other than 16 or 40 is corrupt.
+	for _, n := range []int{0, 15, 17, 24, 39, 41} {
+		full := appendFrame(nil, FrameHeartbeat, make([]byte, n))
+		fr := NewFrameReader(bytes.NewReader(full))
+		if _, err := fr.Next(); !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("heartbeat body len %d: %v, want ErrFrameCorrupt", n, err)
+		}
+	}
+}
+
 func TestFrameTornStream(t *testing.T) {
 	full := AppendRecordFrame(nil, 7, 2, []byte("some-payload"))
 	// Every proper prefix of a frame must decode as an unexpected EOF,

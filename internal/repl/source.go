@@ -44,6 +44,23 @@ type SourceShard struct {
 	// store lock and must be safe for concurrent use
 	// (durable.Store.AppliedLSN is).
 	Head func() uint64
+	// LastCommit, when non-nil, returns the shard's newest locally
+	// originated commit stamp; heartbeats then carry it so followers can
+	// measure commit→visible freshness. It is called without any store
+	// lock and must be safe for concurrent use
+	// (durable.Store.LastCommit is).
+	LastCommit func() durable.CommitStamp
+}
+
+// appendBeat appends a heartbeat for sh: the extended commit-stamp form
+// when the shard exposes one, the legacy 16-byte form otherwise.
+func appendBeat(buf []byte, sh SourceShard, now time.Time) []byte {
+	if sh.LastCommit != nil {
+		if c := sh.LastCommit(); c.LSN > 0 {
+			return AppendHeartbeatCommitFrame(buf, sh.Head(), now.UnixNano(), c.LSN, c.UnixNano, c.TraceID)
+		}
+	}
+	return AppendHeartbeatFrame(buf, sh.Head(), now.UnixNano())
 }
 
 // Source serves a node's replication endpoints. Zero-value durations
@@ -252,8 +269,8 @@ func (s *Source) handleWAL(w http.ResponseWriter, r *http.Request) {
 		case err == nil:
 			buf = AppendRecordFrame(buf, rec.LSN, rec.Type, rec.Payload)
 			if time.Since(lastBeat) >= hb {
-				buf = AppendHeartbeatFrame(buf, sh.Head(), time.Now().UnixNano())
 				lastBeat = time.Now()
+				buf = appendBeat(buf, sh, lastBeat)
 			}
 			if len(buf) >= 256<<10 {
 				if !flush(buf) {
@@ -263,8 +280,8 @@ func (s *Source) handleWAL(w http.ResponseWriter, r *http.Request) {
 			}
 		case errors.Is(err, wal.ErrCaughtUp):
 			if time.Since(lastBeat) >= hb {
-				buf = AppendHeartbeatFrame(buf, sh.Head(), time.Now().UnixNano())
 				lastBeat = time.Now()
+				buf = appendBeat(buf, sh, lastBeat)
 			}
 			if !flush(buf) {
 				return
